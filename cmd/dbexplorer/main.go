@@ -1,0 +1,116 @@
+// Command dbexplorer is an interactive CADQL shell: load a dataset (CSV
+// or a builtin synthetic one) and explore it with SELECT, CREATE
+// CADVIEW, HIGHLIGHT SIMILAR IUNITS, and REORDER ROWS statements.
+//
+// Usage:
+//
+//	dbexplorer -data usedcars -n 40000 -e "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM UsedCars IUNITS 3"
+//	dbexplorer -data mushroom                 # REPL on stdin
+//	dbexplorer -data listings.csv -name Cars  # load a CSV
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbexplorer"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "usedcars", "dataset: usedcars, mushroom, or a CSV path")
+		name    = flag.String("name", "", "table name for CSV data (default: file path)")
+		n       = flag.Int("n", 40000, "row count for synthetic datasets")
+		seed    = flag.Int64("seed", 1, "generation and clustering seed")
+		exec    = flag.String("e", "", "statements to execute (semicolon separated); empty starts a REPL")
+		maxRows = flag.Int("maxrows", 20, "row display cap for SELECT results")
+	)
+	flag.Parse()
+
+	table, err := loadTable(*data, *name, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sess := dbexplorer.NewSession()
+	sess.Seed = *seed
+	if err := sess.Register(table); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Loaded table %s: %d rows, %d attributes\n", table.Name(), table.NumRows(), table.NumCols())
+
+	if *exec != "" {
+		for _, stmt := range splitStatements(*exec) {
+			if err := run(sess, stmt, *maxRows); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	fmt.Println(`Enter CADQL statements (end with ';'); "quit" exits.`)
+	repl(sess, *maxRows)
+}
+
+func loadTable(data, name string, n int, seed int64) (*dbexplorer.Table, error) {
+	switch strings.ToLower(data) {
+	case "usedcars":
+		return dbexplorer.UsedCars(n, seed), nil
+	case "mushroom":
+		return dbexplorer.Mushroom(seed), nil
+	default:
+		return dbexplorer.ReadCSVFile(name, data)
+	}
+}
+
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if trimmed := strings.TrimSpace(part); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}
+
+func run(sess *dbexplorer.Session, stmt string, maxRows int) error {
+	res, err := sess.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(dbexplorer.RenderResult(res, maxRows))
+	return nil
+}
+
+func repl(sess *dbexplorer.Session, maxRows int) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var pending strings.Builder
+	fmt.Print("cadql> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.EqualFold(strings.TrimSpace(line), "quit") || strings.EqualFold(strings.TrimSpace(line), "exit") {
+			return
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.Contains(line, ";") {
+			for _, stmt := range splitStatements(pending.String()) {
+				if err := run(sess, stmt, maxRows); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				}
+			}
+			pending.Reset()
+			fmt.Print("cadql> ")
+		} else {
+			fmt.Print("   ... ")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dbexplorer: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Table 1, Figures 2-10, and the §6.3 sampling optimization),
+// printing each alongside the numbers the paper reports.
+//
+// Usage:
+//
+//	experiments -run all            # the whole battery (minutes)
+//	experiments -run table1,fig8    # selected experiments
+//	experiments -run fig2 -quick    # reduced scale, seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbexplorer"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", `experiment ids, comma separated, or "all"`)
+		seed  = flag.Int64("seed", 1, "data generation and simulation seed")
+		quick = flag.Bool("quick", false, "reduced dataset sizes and repetitions")
+		sims  = flag.Int("sims", 0, "simulations per performance point (0 = default)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range dbexplorer.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := dbexplorer.ExperimentConfig{Seed: *seed, Quick: *quick, Sims: *sims}
+	if *run == "all" {
+		out, err := dbexplorer.RunAllExperiments(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		out, err := dbexplorer.RunExperiment(id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", strings.ToUpper(id), out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}

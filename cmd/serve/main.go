@@ -1,0 +1,62 @@
+// Command serve runs DBExplorer's HTTP interface: a JSON API plus a
+// browser TPFacet page, the deployment shape the paper's own
+// implementation used (§6.1).
+//
+// Usage:
+//
+//	serve -data usedcars -n 40000 -addr :8080
+//	# then open http://localhost:8080/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"dbexplorer"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/httpapi"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "usedcars", "dataset: usedcars, mushroom, hotels, or a CSV path")
+		name = flag.String("name", "", "table name for CSV data")
+		n    = flag.Int("n", 20000, "row count for synthetic datasets")
+		seed = flag.Int64("seed", 1, "generation and clustering seed")
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	var table *dbexplorer.Table
+	var err error
+	switch strings.ToLower(*data) {
+	case "usedcars":
+		table = dbexplorer.UsedCars(*n, *seed)
+	case "mushroom":
+		table = dbexplorer.Mushroom(*seed)
+	case "hotels":
+		table = dbexplorer.Hotels(*n, *seed)
+	default:
+		table, err = dbexplorer.ReadCSVFile(*name, *data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	view, err := dataview.New(table, dataview.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	srv := httpapi.NewServer(view, *seed)
+	fmt.Printf("DBExplorer serving %s (%d tuples) on http://%s/\n", table.Name(), table.NumRows(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	os.Exit(1)
+}

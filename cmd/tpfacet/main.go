@@ -1,0 +1,80 @@
+// Command tpfacet is the interactive TPFacet two-phased faceted
+// interface (paper §5) as a terminal session: filter and read the
+// digest in the query-revision phase, build and manipulate CAD Views in
+// the exploration phase.
+//
+// Usage:
+//
+//	tpfacet -data usedcars -n 20000
+//	tpfacet -data mushroom
+//
+// then type "help" at the prompt.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbexplorer"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/tpfacetcli"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "usedcars", "dataset: usedcars, mushroom, or a CSV path")
+		name = flag.String("name", "", "table name for CSV data")
+		n    = flag.Int("n", 20000, "row count for synthetic datasets")
+		seed = flag.Int64("seed", 1, "generation and clustering seed")
+	)
+	flag.Parse()
+
+	var table *dbexplorer.Table
+	var err error
+	switch strings.ToLower(*data) {
+	case "usedcars":
+		table = dbexplorer.UsedCars(*n, *seed)
+	case "mushroom":
+		table = dbexplorer.Mushroom(*seed)
+	default:
+		table, err = dbexplorer.ReadCSVFile(*name, *data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	view, err := dataview.New(table, dataview.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	cli := tpfacetcli.New(view, dataset.AllRows(table.NumRows()))
+	cli.Seed = *seed
+
+	fmt.Printf("TPFacet over %s (%d tuples). Queriable attributes: %s\n",
+		table.Name(), table.NumRows(), strings.Join(cli.Attrs(), ", "))
+	fmt.Println(`Type "help" for commands, "quit" to exit.`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("tpfacet> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		out, err := cli.Exec(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else if out != "" {
+			fmt.Print(out)
+		}
+		fmt.Print("tpfacet> ")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tpfacet: %v\n", err)
+	os.Exit(1)
+}

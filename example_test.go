@@ -1,0 +1,85 @@
+package dbexplorer_test
+
+import (
+	"fmt"
+	"log"
+
+	"dbexplorer"
+)
+
+// ExampleSession_Exec runs the paper's lookup and exploratory queries
+// end to end on a small synthetic dataset.
+func ExampleSession_Exec() {
+	cars := dbexplorer.UsedCars(2000, 1)
+	sess := dbexplorer.NewSession()
+	if err := sess.Register(cars); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Exec(`SELECT * FROM UsedCars WHERE BodyType = SUV AND Price < 20K`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cheap SUVs: %d\n", len(res.Rows))
+
+	view, err := sess.Exec(`CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM UsedCars
+		WHERE BodyType = SUV AND Make IN (Jeep, Ford) IUNITS 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pivot: %s, rows: %d, explicit compare attr: %s\n",
+		view.View.Pivot, len(view.View.Rows), view.View.CompareAttrs[0])
+	// Output:
+	// cheap SUVs: 475
+	// pivot: Make, rows: 2, explicit compare attr: Price
+}
+
+// ExampleBuildCADView constructs a CAD View programmatically and reads
+// a contrast off it.
+func ExampleBuildCADView() {
+	tbl := dbexplorer.NewTable("pets", dbexplorer.Schema{
+		{Name: "Species", Kind: dbexplorer.Categorical, Queriable: true},
+		{Name: "Sound", Kind: dbexplorer.Categorical, Queriable: true},
+	})
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			tbl.MustAppendRow("cat", "meow")
+		} else {
+			tbl.MustAppendRow("dog", "woof")
+		}
+	}
+	view, err := dbexplorer.NewView(tbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cad, _, err := dbexplorer.BuildCADView(view, dbexplorer.AllRows(40), dbexplorer.CADConfig{
+		Pivot: "Species", K: 1, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range cad.Rows {
+		fmt.Printf("%s -> %s\n", row.Value, row.IUnits[0].Label("Sound"))
+	}
+	// Output:
+	// cat -> [meow]
+	// dog -> [woof]
+}
+
+// ExampleDiscoverFDs finds the planted Model -> Make dependency.
+func ExampleDiscoverFDs() {
+	cars := dbexplorer.UsedCars(3000, 1)
+	view, err := dbexplorer.NewView(cars)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deps, err := dbexplorer.DiscoverFDs(view, dbexplorer.AllRows(cars.NumRows()),
+		[]string{"Make", "Model", "Color"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range deps {
+		fmt.Println(d)
+	}
+	// Output:
+	// Model -> Make
+}

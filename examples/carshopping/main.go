@@ -1,0 +1,89 @@
+// Carshopping walks through the paper's Example 1 end to end: Mary's
+// initial lookup query, the exploratory CAD View, finding IUnits similar
+// to one she likes (HIGHLIGHT SIMILAR IUNITS), finding makes similar to
+// a make she likes (REORDER ROWS), and the final narrowed lookup —
+// including querying the hidden Engine attribute via visible surrogates
+// (Limitation 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbexplorer"
+)
+
+func main() {
+	cars := dbexplorer.UsedCars(40000, 1)
+	sess := dbexplorer.NewSession()
+	sess.Seed = 1
+	if err := sess.Register(cars); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — the initial lookup query returns far too many rows to
+	// browse.
+	res, err := sess.Exec(`SELECT * FROM UsedCars
+		WHERE Mileage BETWEEN 10K AND 30K AND
+		      Transmission = Automatic AND BodyType = SUV`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step 1: Mary's initial query matches %d SUVs — too many to browse.\n\n", len(res.Rows))
+
+	// Step 2 — the exploratory query: a CAD View comparing her five
+	// candidate makes.
+	res, err = sess.Exec(`CREATE CADVIEW CompareMakes AS
+		SET pivot = Make
+		SELECT Price
+		FROM UsedCars
+		WHERE Mileage BETWEEN 10K AND 30K AND
+		      Transmission = Automatic AND BodyType = SUV AND
+		      Make IN (Jeep, Toyota, Honda, Ford, Chevrolet)
+		LIMIT COLUMNS 5 IUNITS 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view := res.View
+	fmt.Println("Step 2: the CAD View in context of her selections:")
+	fmt.Println(dbexplorer.RenderResult(res, 0))
+
+	// Step 3 — Mary likes Chevrolet's compact-SUV IUnit; which other
+	// makes offer something similar?
+	h, err := sess.Exec(fmt.Sprintf(
+		"HIGHLIGHT SIMILAR IUNITS IN CompareMakes WHERE SIMILARITY(Chevrolet, 1) > %.2f", view.Tau))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Step 3: IUnits similar to Chevrolet's IUnit 1:")
+	for _, m := range h.Highlight.Matches {
+		fmt.Printf("  %s IUnit %d (similarity %.2f of max %d)\n",
+			m.Ref.PivotValue, m.Ref.Rank, m.Similarity, len(view.CompareAttrs))
+	}
+
+	// Step 4 — which makes are most like Chevrolet overall?
+	r, err := sess.Exec("REORDER ROWS IN CompareMakes ORDER BY SIMILARITY(Chevrolet) DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStep 4: makes ordered by similarity to Chevrolet:")
+	for _, s := range r.Similarities {
+		fmt.Printf("  %-10s (Algorithm-2 distance %.0f)\n", s.PivotValue, s.Distance)
+	}
+
+	// Step 5 — Limitation 2: Mary wants a V4 engine but Engine is not a
+	// queriable attribute. The CAD View showed her that V4 SUVs in her
+	// range are the Compass/Patriot/Captiva-style compacts at 15K-25K,
+	// so she queries them through visible surrogates.
+	res, err = sess.Exec(`SELECT Make, Model, Price, Engine FROM UsedCars
+		WHERE Mileage BETWEEN 10K AND 30K AND
+		      Transmission = Automatic AND BodyType = SUV AND
+		      Price BETWEEN 14K AND 24K AND Drivetrain = 2WD AND
+		      Make IN (Jeep, Chevrolet, Ford)
+		LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStep 5: querying the hidden Engine attribute via surrogates (expect V4s):")
+	fmt.Println(dbexplorer.RenderResult(res, 10))
+}

@@ -1,0 +1,76 @@
+// Facetsearch demonstrates the TPFacet two-phased interface (§5): the
+// query-revision phase looks at the CAD View, the result-set phase looks
+// at the faceted summary digest — and contrasts what the Solr-style
+// baseline shows for the same selections. It also shows Limitation 2:
+// the baseline cannot filter on the non-queriable Engine attribute at
+// all, while TPFacet can still pivot on it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbexplorer"
+)
+
+func main() {
+	cars := dbexplorer.UsedCars(20000, 1)
+	view, err := dbexplorer.NewView(cars)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := dbexplorer.AllRows(cars.NumRows())
+
+	// ----- Baseline: Solr-style faceted navigation -----
+	baseline := dbexplorer.NewFacetSession(view, base)
+	if err := baseline.Select("BodyType", "SUV"); err != nil {
+		log.Fatal(err)
+	}
+	if err := baseline.Select("Make", "Jeep"); err != nil {
+		log.Fatal(err)
+	}
+	if err := baseline.Select("Make", "Ford"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Baseline: BodyType=SUV, Make in {Jeep, Ford} -> %d tuples\n", baseline.Count())
+	fmt.Println("The baseline's entire view of the data is the summary digest:")
+	digest := baseline.Digest()
+	for _, attr := range []string{"Make", "Drivetrain", "Price"} {
+		s := digest.Attr(attr)
+		fmt.Printf("  %-12s", attr+":")
+		for _, vc := range s.Values {
+			fmt.Printf(" %s(%d)", vc.Value, vc.Count)
+		}
+		fmt.Println()
+	}
+	// Limitation 2: Engine is in the data but not in the query panel.
+	if err := baseline.Select("Engine", "V4"); err != nil {
+		fmt.Printf("  Selecting Engine=V4 fails as expected: %v\n\n", err)
+	}
+
+	// ----- TPFacet: the same filters plus the CAD View phase -----
+	tp := dbexplorer.NewTPFacet(view, base)
+	if err := tp.Select("BodyType", "SUV"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tp.Select("Make", "Jeep"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tp.Select("Make", "Ford"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("TPFacet query-revision phase — CAD View of the current result set, pivot Make:")
+	cad, err := tp.BuildCADView(dbexplorer.CADConfig{Pivot: "Make", K: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dbexplorer.RenderCADView(cad, nil))
+
+	// The CAD View can even pivot on the hidden attribute.
+	fmt.Println("TPFacet pivoting on the NON-QUERIABLE Engine attribute (Limitation 2 lifted):")
+	engineCad, err := tp.BuildCADView(dbexplorer.CADConfig{Pivot: "Engine", K: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dbexplorer.RenderCADView(engineCad, nil))
+}

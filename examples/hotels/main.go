@@ -1,0 +1,78 @@
+// Hotels replays the paper's introduction: a traveler books a hotel in
+// an unfamiliar big city. Without exploration she cannot know that the
+// five-star hotels cluster in the Financial District, that price trades
+// off against location, or that hostel prices live on another scale —
+// the CAD View surfaces all three in a couple of interactions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbexplorer"
+)
+
+func main() {
+	hotels := dbexplorer.Hotels(6000, 1)
+	view, err := dbexplorer.NewView(hotels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := dbexplorer.AllRows(hotels.NumRows())
+
+	// A naive summary statistic — the paper's "average price for a
+	// hotel room ... of only limited value".
+	price, err := hotels.NumByName("Price")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	for _, r := range rows {
+		total += price.Value(r)
+	}
+	fmt.Printf("City-wide average nightly price: $%.0f — but is that meaningful?\n\n", total/float64(len(rows)))
+
+	// CAD View pivoted on Area: each neighbourhood summarized in
+	// context, exposing who is expensive and what lives where.
+	cad, _, err := dbexplorer.BuildCADView(view, rows, dbexplorer.CADConfig{
+		Pivot:        "Area",
+		CompareAttrs: []string{"Price"},
+		K:            2,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CAD View, pivot = Area (what does each neighbourhood offer?):")
+	fmt.Println(dbexplorer.RenderCADView(cad, nil))
+
+	// Pivot on StarRating to see where the five-star hotels live.
+	starCad, _, err := dbexplorer.BuildCADView(view, rows, dbexplorer.CADConfig{
+		Pivot: "StarRating",
+		K:     2,
+		Seed:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CAD View, pivot = StarRating (where are the five-star hotels?):")
+	fmt.Println(dbexplorer.RenderCADView(starCad, nil))
+
+	// The backpacker's view: restrict to hostels; the in-context price
+	// summary now bears no resemblance to the citywide average.
+	tp := dbexplorer.NewTPFacet(view, rows)
+	if err := tp.Select("HotelType", "Hostel"); err != nil {
+		log.Fatal(err)
+	}
+	hostelCad, err := tp.BuildCADView(dbexplorer.CADConfig{
+		Pivot:        "Area",
+		CompareAttrs: []string{"Price"},
+		K:            1,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The backpacker's CAD View (HotelType = Hostel, pivot = Area):")
+	fmt.Println(dbexplorer.RenderCADView(hostelCad, nil))
+}

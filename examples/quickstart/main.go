@@ -1,0 +1,39 @@
+// Quickstart: load the synthetic used-car dataset, run the paper's
+// CREATE CADVIEW example (§2.1.2), and print the Table-1-style CAD View.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbexplorer"
+)
+
+func main() {
+	// 40,000 listings, like the paper's YahooUsedCar scrape.
+	cars := dbexplorer.UsedCars(40000, 1)
+
+	sess := dbexplorer.NewSession()
+	sess.Seed = 1
+	if err := sess.Register(cars); err != nil {
+		log.Fatal(err)
+	}
+
+	// Mary wants an automatic SUV with 10K-30K miles and is comparing
+	// five manufacturers; Price is her explicitly chosen Compare
+	// Attribute, the other four are selected automatically.
+	res, err := sess.Exec(`CREATE CADVIEW CompareMakes AS
+		SET pivot = Make
+		SELECT Price
+		FROM UsedCars
+		WHERE Mileage BETWEEN 10K AND 30K AND
+		      Transmission = Automatic AND BodyType = SUV AND
+		      Make IN (Jeep, Toyota, Honda, Ford, Chevrolet)
+		LIMIT COLUMNS 5 IUNITS 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Compare Attributes:", res.View.CompareAttrs)
+	fmt.Println(dbexplorer.RenderResult(res, 0))
+}

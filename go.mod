@@ -1,0 +1,3 @@
+module dbexplorer
+
+go 1.22

@@ -1,0 +1,210 @@
+package bayesnet
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// chainData plants a Markov chain A -> B -> C plus an independent noise
+// attribute N; the Chow-Liu tree must recover the chain and leave N
+// attached with near-zero MI.
+func chainData(t *testing.T, n int, seed int64) (*dataview.View, dataset.RowSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := dataset.NewTable("chain", dataset.Schema{
+		{Name: "A", Kind: dataset.Categorical, Queriable: true},
+		{Name: "B", Kind: dataset.Categorical, Queriable: true},
+		{Name: "C", Kind: dataset.Categorical, Queriable: true},
+		{Name: "N", Kind: dataset.Categorical, Queriable: true},
+	})
+	flip := func(v string, p float64, alt string) string {
+		if rng.Float64() < p {
+			return alt
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		a := "a0"
+		if rng.Float64() < 0.5 {
+			a = "a1"
+		}
+		b := flip("b"+a[1:], 0.1, "b"+string('1'-a[1]+'0'))
+		c := flip("c"+b[1:], 0.1, "c"+string('1'-b[1]+'0'))
+		noise := []string{"n0", "n1", "n2"}[rng.Intn(3)]
+		tbl.MustAppendRow(a, b, c, noise)
+	}
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, dataset.AllRows(n)
+}
+
+func TestLearnRecoversChain(t *testing.T) {
+	v, rows := chainData(t, 3000, 1)
+	net, err := Learn(v, rows, []string{"A", "B", "C", "N"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain structure: A-B and B-C must be tree edges (in either
+	// direction); C must not hang off A directly.
+	adj := map[string]string{}
+	for _, e := range net.Edges {
+		adj[e.Parent+"-"+e.Child] = ""
+	}
+	hasEdge := func(x, y string) bool {
+		_, a := adj[x+"-"+y]
+		_, b := adj[y+"-"+x]
+		return a || b
+	}
+	if !hasEdge("A", "B") || !hasEdge("B", "C") {
+		t.Errorf("chain not recovered: %+v", net.Edges)
+	}
+	if hasEdge("A", "C") {
+		t.Errorf("spurious A-C edge: %+v", net.Edges)
+	}
+	// Noise attribute's edge carries the lowest MI.
+	deps := net.Dependencies()
+	last := deps[len(deps)-1]
+	if last.Parent != "N" && last.Child != "N" {
+		t.Errorf("noise attribute not weakest dependency: %+v", deps)
+	}
+	if last.MutualInformation > 0.05 {
+		t.Errorf("noise MI = %g, want near 0", last.MutualInformation)
+	}
+}
+
+func TestLearnExplicitRoot(t *testing.T) {
+	v, rows := chainData(t, 1000, 2)
+	net, err := Learn(v, rows, []string{"A", "B", "C", "N"}, Options{Root: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Root != "C" {
+		t.Errorf("root = %q", net.Root)
+	}
+	if net.Parent("C") != "" {
+		t.Errorf("root has parent %q", net.Parent("C"))
+	}
+	if _, err := Learn(v, rows, []string{"A", "B"}, Options{Root: "Zzz"}); err == nil {
+		t.Error("unknown root: want error")
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	v, rows := chainData(t, 100, 3)
+	if _, err := Learn(v, rows, []string{"A"}, Options{}); err == nil {
+		t.Error("one attribute: want error")
+	}
+	if _, err := Learn(v, nil, []string{"A", "B"}, Options{}); err == nil {
+		t.Error("no rows: want error")
+	}
+	if _, err := Learn(v, rows, []string{"A", "Zzz"}, Options{}); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+	if _, err := Learn(v, rows, []string{"A", "A"}, Options{}); err == nil {
+		t.Error("duplicate attribute: want error")
+	}
+}
+
+func TestProbAndLogLikelihood(t *testing.T) {
+	v, rows := chainData(t, 3000, 4)
+	net, err := Learn(v, rows, []string{"A", "B", "C"}, Options{Root: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(B=b0 | A=a0) should be near the planted 0.9.
+	p, err := net.Prob("B", "b0", "a0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.9) > 0.05 {
+		t.Errorf("P(b0|a0) = %g, want ~0.9", p)
+	}
+	// CPT rows are distributions.
+	for _, val := range []string{"a0", "a1"} {
+		p0, _ := net.Prob("B", "b0", val)
+		p1, _ := net.Prob("B", "b1", val)
+		if math.Abs(p0+p1-1) > 1e-9 {
+			t.Errorf("CPT row for A=%s sums to %g", val, p0+p1)
+		}
+	}
+	// Root probability ignores the parent value.
+	pr, err := net.Prob("A", "a0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr-0.5) > 0.05 {
+		t.Errorf("P(a0) = %g, want ~0.5", pr)
+	}
+	// Error cases.
+	if _, err := net.Prob("Zzz", "x", ""); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+	if _, err := net.Prob("B", "zzz", "a0"); err == nil {
+		t.Error("unknown value: want error")
+	}
+	if _, err := net.Prob("B", "b0", "zzz"); err == nil {
+		t.Error("unknown parent value: want error")
+	}
+
+	// Log-likelihood: the fitted network must beat an attribute-shuffled
+	// one on held-in data.
+	ll := net.LogLikelihood(rows)
+	if ll >= 0 {
+		t.Errorf("log-likelihood = %g, want negative", ll)
+	}
+	// Per-row average must beat the independent (log 1/2·1/2·1/2) bound
+	// since the chain is strongly dependent.
+	indep := float64(len(rows)) * 3 * math.Log(0.5)
+	if ll <= indep {
+		t.Errorf("chain model ll %g not better than independence bound %g", ll, indep)
+	}
+}
+
+func TestLearnOnMushroom(t *testing.T) {
+	tbl := datagen.MushroomN(3000, 5)
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []string{"Class", "Odor", "Bruises", "RingType", "SporePrintColor", "CapShape"}
+	net, err := Learn(v, dataset.AllRows(tbl.NumRows()), attrs, Options{Root: "Class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strongest dependency must involve Odor — the attribute the
+	// latent subtype determines most sharply. (Odor–SporePrintColor can
+	// legitimately beat Class–Odor: both are subtype-determined, while
+	// the binary Class caps its MI at ln 2.)
+	deps := net.Dependencies()
+	top := deps[0]
+	if top.Parent != "Odor" && top.Child != "Odor" {
+		t.Errorf("strongest dependency = %+v, want one involving Odor", top)
+	}
+	if top.MutualInformation < 0.5 {
+		t.Errorf("top dependency MI = %g, want strong", top.MutualInformation)
+	}
+	// Noise-like CapShape must carry the weakest edge.
+	last := deps[len(deps)-1]
+	if last.Parent != "CapShape" && last.Child != "CapShape" {
+		t.Errorf("weakest dependency = %+v, want one involving CapShape", last)
+	}
+	// RingType must attach to Bruises (its generative parent), not to
+	// Class directly.
+	if p := net.Parent("RingType"); p != "Bruises" {
+		t.Errorf("RingType parent = %q, want Bruises", p)
+	}
+	out := net.Render()
+	for _, want := range []string{"Class", "Odor", "MI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package cadql
+
+import "dbexplorer/internal/expr"
+
+// Stmt is a parsed CADQL statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is a plain lookup query:
+//
+//	SELECT * | a, b, ... FROM table [WHERE pred] [LIMIT n]
+type SelectStmt struct {
+	// Columns lists the projection; empty means SELECT *.
+	Columns []string
+	// Tables is the FROM list; multiple tables natural-join
+	// left-to-right, per the paper's "FROM table1, table2..." grammar.
+	Tables []string
+	Where  expr.Expr
+	// OrderBy sorts the result rows before Limit applies.
+	OrderBy []OrderKey
+	// Limit caps returned rows; 0 means no limit.
+	Limit int
+}
+
+// Table returns the first FROM table, for the common single-table case.
+func (s *SelectStmt) Table() string {
+	if len(s.Tables) == 0 {
+		return ""
+	}
+	return s.Tables[0]
+}
+
+func (*SelectStmt) stmt() {}
+
+// OrderKey is one ORDER BY entry of CREATE CADVIEW; it names the numeric
+// attribute whose cluster mean ranks IUnits, and the direction.
+type OrderKey struct {
+	Attr string
+	Desc bool
+}
+
+// CreateCADViewStmt is the paper's exploratory query:
+//
+//	CREATE CADVIEW name AS
+//	SET pivot = attr
+//	SELECT a, b, ... FROM table
+//	[WHERE pred]
+//	[LIMIT COLUMNS m] [IUNITS k]
+//	[ORDER BY attr [ASC|DESC], ...]
+type CreateCADViewStmt struct {
+	Name    string
+	Pivot   string
+	Compare []string // explicit Compare Attributes from the SELECT list
+	// Tables is the FROM list (natural-joined when more than one).
+	Tables []string
+	Where  expr.Expr
+	// MaxCompare is LIMIT COLUMNS (0 = default).
+	MaxCompare int
+	// IUnits is the IUNITS count (0 = default).
+	IUnits int
+	// OrderBy holds the IUnit preference keys (empty = cluster size).
+	OrderBy []OrderKey
+}
+
+func (*CreateCADViewStmt) stmt() {}
+
+// HighlightStmt finds IUnits similar to a reference cell:
+//
+//	HIGHLIGHT SIMILAR IUNITS IN view WHERE SIMILARITY(value, rank) > tau
+type HighlightStmt struct {
+	View       string
+	PivotValue string
+	Rank       int
+	Threshold  float64
+}
+
+func (*HighlightStmt) stmt() {}
+
+// ReorderStmt reorders pivot rows by similarity to a reference value:
+//
+//	REORDER ROWS IN view ORDER BY SIMILARITY(value) [ASC|DESC]
+type ReorderStmt struct {
+	View       string
+	PivotValue string
+	// Desc true (the default) means most-similar first.
+	Desc bool
+}
+
+func (*ReorderStmt) stmt() {}
+
+// ExplainStmt analyzes a CREATE CADVIEW statement without storing the
+// view: result-set size, pivot value counts, the ranked Compare
+// Attribute candidates with their chi-square relevance, and build
+// timings.
+//
+//	EXPLAIN CREATE CADVIEW ...
+type ExplainStmt struct {
+	Create *CreateCADViewStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// ShowStmt lists session objects:
+//
+//	SHOW TABLES | SHOW CADVIEWS
+type ShowStmt struct {
+	// What is "TABLES" or "CADVIEWS" (normalized uppercase).
+	What string
+}
+
+func (*ShowStmt) stmt() {}
+
+// DescribeStmt prints a table's schema:
+//
+//	DESCRIBE table
+type DescribeStmt struct {
+	Table string
+}
+
+func (*DescribeStmt) stmt() {}
+
+// DropStmt removes a stored CAD View:
+//
+//	DROP CADVIEW name
+type DropStmt struct {
+	View string
+}
+
+func (*DropStmt) stmt() {}

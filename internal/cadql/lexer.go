@@ -1,0 +1,160 @@
+// Package cadql implements the paper's SQL extension for exploratory
+// search (§2.1.2): plain SELECT queries, CREATE CADVIEW, HIGHLIGHT
+// SIMILAR IUNITS, and REORDER ROWS. It provides a hand-written lexer, a
+// recursive-descent parser producing an AST, and compilation of WHERE
+// clauses into package expr predicates. Numeric literals accept the
+// paper's K-suffix shorthand (10K = 10000).
+package cadql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // = != < <= > >=
+	tokPunct // ( ) , * .
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercase for idents? no — original text; keyword match is case-insensitive
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits the statement into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != '\'' {
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("cadql: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			text := input[i:j]
+			mult := 1.0
+			if j < n && (input[j] == 'K' || input[j] == 'k') && (j+1 >= n || !isIdentChar(input[j+1])) {
+				mult = 1000
+				j++
+			} else if j < n && (input[j] == 'M' || input[j] == 'm') && (j+1 >= n || !isIdentChar(input[j+1])) {
+				mult = 1e6
+				j++
+			}
+			// A digit-led word that keeps going ("2WD", "4Runner",
+			// "10Kx") is an identifier-like value, not a number.
+			if j < n && isIdentChar(input[j]) {
+				for j < n && isIdentChar(input[j]) {
+					j++
+				}
+				toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+				i = j
+				continue
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cadql: bad number %q at offset %d", text, i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], num: v * mult, pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentChar(input[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("cadql: unexpected '!' at offset %d", i)
+			}
+		case c == '<' || c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{kind: tokOp, text: "!=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{kind: tokOp, text: "=", pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '.' || c == ';':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("cadql: unexpected character %q at offset %d", rune(c), i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a
+// negative number (it follows an operator, keyword, comma, or open
+// paren) rather than being part of an identifier context.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokOp:
+		return true
+	case tokPunct:
+		return last.text == "(" || last.text == ","
+	case tokIdent:
+		up := strings.ToUpper(last.text)
+		return up == "AND" || up == "OR" || up == "BETWEEN" || up == "IN"
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

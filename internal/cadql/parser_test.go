@@ -1,0 +1,415 @@
+package cadql
+
+import (
+	"strings"
+	"testing"
+
+	"dbexplorer/internal/expr"
+)
+
+func parseSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", q, s)
+	}
+	return sel
+}
+
+func TestParseSelectStar(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM D")
+	if s.Table() != "D" || s.Columns != nil || s.Where != nil || s.Limit != 0 {
+		t.Errorf("got %+v", s)
+	}
+}
+
+func TestParseSelectColumnsAndLimit(t *testing.T) {
+	s := parseSelect(t, "SELECT Make, Model FROM cars LIMIT 10;")
+	if len(s.Columns) != 2 || s.Columns[0] != "Make" || s.Columns[1] != "Model" {
+		t.Errorf("columns = %v", s.Columns)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseMarysQuery(t *testing.T) {
+	// The paper's Example 1 initial query.
+	q := `SELECT * FROM D WHERE Mileage BETWEEN 10K AND 30K AND Transmission = Automatic AND BodyType = SUV`
+	s := parseSelect(t, q)
+	and, ok := s.Where.(*expr.And)
+	if !ok {
+		t.Fatalf("where = %T", s.Where)
+	}
+	if len(and.Kids) != 3 {
+		t.Fatalf("AND kids = %d", len(and.Kids))
+	}
+	between, ok := and.Kids[0].(*expr.Between)
+	if !ok || between.Lo != 10000 || between.Hi != 30000 {
+		t.Errorf("K suffix not applied: %+v", and.Kids[0])
+	}
+	cmp, ok := and.Kids[1].(*expr.Cmp)
+	if !ok || cmp.Attr != "Transmission" || cmp.Str != "Automatic" {
+		t.Errorf("bare-word literal: %+v", and.Kids[1])
+	}
+}
+
+func TestParseWherePrecedenceAndParens(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*expr.Or)
+	if !ok {
+		t.Fatalf("top = %T, want Or (AND binds tighter)", s.Where)
+	}
+	if len(or.Kids) != 2 {
+		t.Fatalf("or kids = %d", len(or.Kids))
+	}
+	if _, ok := or.Kids[1].(*expr.And); !ok {
+		t.Errorf("right kid = %T, want And", or.Kids[1])
+	}
+
+	s = parseSelect(t, "SELECT * FROM t WHERE (a = 1 OR b = 2) AND NOT c = 3")
+	and, ok := s.Where.(*expr.And)
+	if !ok {
+		t.Fatalf("top = %T, want And", s.Where)
+	}
+	if _, ok := and.Kids[0].(*expr.Or); !ok {
+		t.Errorf("paren group lost: %T", and.Kids[0])
+	}
+	if _, ok := and.Kids[1].(*expr.Not); !ok {
+		t.Errorf("NOT lost: %T", and.Kids[1])
+	}
+}
+
+func TestParseInAndOperators(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM t WHERE Make IN (Jeep, 'Land Rover') AND Price >= 20.5K AND Year != 2011")
+	and := s.Where.(*expr.And)
+	in, ok := and.Kids[0].(*expr.In)
+	if !ok || len(in.Values) != 2 || in.Values[1] != "Land Rover" {
+		t.Errorf("IN parse: %+v", and.Kids[0])
+	}
+	ge := and.Kids[1].(*expr.Cmp)
+	if ge.Op != expr.Ge || ge.Num != 20500 {
+		t.Errorf("decimal K literal: %+v", ge)
+	}
+	ne := and.Kids[2].(*expr.Cmp)
+	if ne.Op != expr.Ne || ne.Num != 2011 {
+		t.Errorf("!= literal: %+v", ne)
+	}
+}
+
+func TestParseAllCmpOps(t *testing.T) {
+	for _, tc := range []struct {
+		src string
+		op  expr.CmpOp
+	}{
+		{"=", expr.Eq}, {"!=", expr.Ne}, {"<>", expr.Ne},
+		{"<", expr.Lt}, {"<=", expr.Le}, {">", expr.Gt}, {">=", expr.Ge},
+	} {
+		s := parseSelect(t, "SELECT * FROM t WHERE x "+tc.src+" 5")
+		cmp := s.Where.(*expr.Cmp)
+		if cmp.Op != tc.op {
+			t.Errorf("%q parsed as %v", tc.src, cmp.Op)
+		}
+	}
+}
+
+func TestParseCreateCADView(t *testing.T) {
+	// The paper's CompareMakes example, §2.1.2.
+	q := `CREATE CADVIEW CompareMakes AS
+	SET pivot = Make
+	SELECT Price
+	FROM UsedCars
+	WHERE Mileage BETWEEN 10K AND 30K AND
+	Transmission = Automatic AND BodyType = SUV AND
+	(Make = Jeep OR Make = Toyota OR Make = Honda OR
+	Make = Ford OR Make = Chevrolet)
+	LIMIT COLUMNS 5 IUNITS 3`
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.(*CreateCADViewStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if c.Name != "CompareMakes" || c.Pivot != "Make" || c.Tables[0] != "UsedCars" {
+		t.Errorf("header: %+v", c)
+	}
+	if len(c.Compare) != 1 || c.Compare[0] != "Price" {
+		t.Errorf("compare attrs = %v", c.Compare)
+	}
+	if c.MaxCompare != 5 || c.IUnits != 3 {
+		t.Errorf("limits: columns=%d iunits=%d", c.MaxCompare, c.IUnits)
+	}
+	if c.Where == nil {
+		t.Error("where missing")
+	}
+}
+
+func TestParseCreateCADViewOrderByAndStar(t *testing.T) {
+	q := `CREATE CADVIEW v AS SET pivot = Make SELECT * FROM t ORDER BY Price ASC, Mileage DESC`
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.(*CreateCADViewStmt)
+	if len(c.Compare) != 0 {
+		t.Errorf("SELECT * should leave compare empty: %v", c.Compare)
+	}
+	if len(c.OrderBy) != 2 || c.OrderBy[0] != (OrderKey{"Price", false}) || c.OrderBy[1] != (OrderKey{"Mileage", true}) {
+		t.Errorf("order by = %+v", c.OrderBy)
+	}
+	// SELECT directly followed by FROM also means "all automatic".
+	s, err = Parse(`CREATE CADVIEW v AS SET pivot = Make SELECT FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := s.(*CreateCADViewStmt); len(c.Compare) != 0 {
+		t.Errorf("compare = %v", c.Compare)
+	}
+}
+
+func TestParseHighlight(t *testing.T) {
+	// The paper's highlight example.
+	q := `HIGHLIGHT SIMILAR IUNITS IN CompareMakes WHERE SIMILARITY(Chevrolet, 3) > 3.5`
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.(*HighlightStmt)
+	if h.View != "CompareMakes" || h.PivotValue != "Chevrolet" || h.Rank != 3 || h.Threshold != 3.5 {
+		t.Errorf("got %+v", h)
+	}
+	// Quoted pivot values carry spaces.
+	s, err = Parse(`HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY('Land Rover', 1) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*HighlightStmt).PivotValue != "Land Rover" {
+		t.Errorf("quoted pivot value: %+v", s)
+	}
+}
+
+func TestParseReorder(t *testing.T) {
+	q := `REORDER ROWS IN CompareMakes ORDER BY SIMILARITY(Chevrolet) DESC`
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.(*ReorderStmt)
+	if r.View != "CompareMakes" || r.PivotValue != "Chevrolet" || !r.Desc {
+		t.Errorf("got %+v", r)
+	}
+	s, err = Parse(`REORDER ROWS IN v ORDER BY SIMILARITY(x) ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*ReorderStmt).Desc {
+		t.Error("ASC not honored")
+	}
+	// Direction defaults to DESC.
+	s, err = Parse(`REORDER ROWS IN v ORDER BY SIMILARITY(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.(*ReorderStmt).Desc {
+		t.Error("default direction should be DESC")
+	}
+}
+
+func TestParseMultiTableFrom(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM Listings, Makers WHERE Country = USA")
+	if len(s.Tables) != 2 || s.Tables[0] != "Listings" || s.Tables[1] != "Makers" {
+		t.Errorf("tables = %v", s.Tables)
+	}
+	if s.Table() != "Listings" {
+		t.Errorf("Table() = %q", s.Table())
+	}
+	c, err := Parse("CREATE CADVIEW v AS SET pivot = Make SELECT * FROM a, b, c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.(*CreateCADViewStmt).Tables; len(got) != 3 || got[2] != "c" {
+		t.Errorf("cadview tables = %v", got)
+	}
+	if (&SelectStmt{}).Table() != "" {
+		t.Error("empty Table() accessor")
+	}
+	if _, err := Parse("SELECT * FROM a,"); err == nil {
+		t.Error("trailing comma: want error")
+	}
+}
+
+func TestParseShowDescribeDrop(t *testing.T) {
+	s, err := Parse("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*ShowStmt).What != "TABLES" {
+		t.Errorf("got %+v", s)
+	}
+	s, err = Parse("show cadviews;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*ShowStmt).What != "CADVIEWS" {
+		t.Errorf("got %+v", s)
+	}
+	s, err = Parse("DESCRIBE UsedCars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*DescribeStmt).Table != "UsedCars" {
+		t.Errorf("got %+v", s)
+	}
+	s, err = Parse("DESC UsedCars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*DescribeStmt).Table != "UsedCars" {
+		t.Errorf("DESC alias: got %+v", s)
+	}
+	s, err = Parse("DROP CADVIEW CompareMakes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*DropStmt).View != "CompareMakes" {
+		t.Errorf("got %+v", s)
+	}
+	for _, bad := range []string{"SHOW", "SHOW NOTHING", "DESCRIBE", "DROP CADVIEW", "DROP TABLE t"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseSelectOrderBy(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM t WHERE a = 1 ORDER BY Price DESC, Make LIMIT 3")
+	if len(s.OrderBy) != 2 {
+		t.Fatalf("order by = %+v", s.OrderBy)
+	}
+	if s.OrderBy[0] != (OrderKey{"Price", true}) || s.OrderBy[1] != (OrderKey{"Make", false}) {
+		t.Errorf("order keys = %+v", s.OrderBy)
+	}
+	if s.Limit != 3 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	if _, err := Parse("SELECT * FROM t ORDER Price"); err == nil {
+		t.Error("ORDER without BY: want error")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select * from t where a = 1 and b between 2 and 3"); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+	if _, err := Parse("create cadview v as set pivot = Make select Price from t iunits 4"); err != nil {
+		t.Errorf("lowercase cadview: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE t",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a BETWEEN x AND 3",
+		"SELECT * FROM t WHERE a BETWEEN 1, 3",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE a IN (1,",
+		"SELECT * FROM t WHERE (a = 1",
+		"SELECT * FROM t LIMIT 0",
+		"SELECT * FROM t LIMIT 2.5",
+		"SELECT FROM, x FROM t",
+		"SELECT * FROM t trailing",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a ! b",
+		"SELECT * FROM t WHERE a @ b",
+		"CREATE VIEW v AS SELECT * FROM t",
+		"CREATE CADVIEW v SELECT * FROM t",
+		"CREATE CADVIEW v AS SET pivot Make SELECT * FROM t",
+		"CREATE CADVIEW v AS SET pivot = Make SELECT * FROM t LIMIT COLUMNS 0",
+		"CREATE CADVIEW v AS SET pivot = Make SELECT * FROM t LIMIT 5",
+		"CREATE CADVIEW v AS SET pivot = Make SELECT * FROM t IUNITS -1",
+		"CREATE CADVIEW v AS SET pivot = Make SELECT * FROM t ORDER BY",
+		"HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(x) > 2",
+		"HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(x, 0) > 2",
+		"HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(x, 1) < 2",
+		"HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(x, 1)",
+		"REORDER ROWS IN v",
+		"REORDER ROWS IN v ORDER BY SIMILARITY()",
+		"REORDER IN v ORDER BY SIMILARITY(x)",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): want error", q)
+		}
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM t WHERE a > -5 AND b BETWEEN -10 AND -1")
+	and := s.Where.(*expr.And)
+	if cmp := and.Kids[0].(*expr.Cmp); cmp.Num != -5 {
+		t.Errorf("negative literal: %+v", cmp)
+	}
+	if b := and.Kids[1].(*expr.Between); b.Lo != -10 || b.Hi != -1 {
+		t.Errorf("negative between: %+v", b)
+	}
+}
+
+func TestParseDigitLedValues(t *testing.T) {
+	// Values like 2WD, 4Runner, and bin labels like 15K-20K start with
+	// digits but are identifiers, not numbers.
+	s := parseSelect(t, "SELECT * FROM t WHERE Drivetrain = 2WD AND Model = 4Runner")
+	and := s.Where.(*expr.And)
+	if cmp := and.Kids[0].(*expr.Cmp); cmp.Str != "2WD" {
+		t.Errorf("2WD parsed as %+v", cmp)
+	}
+	if cmp := and.Kids[1].(*expr.Cmp); cmp.Str != "4Runner" {
+		t.Errorf("4Runner parsed as %+v", cmp)
+	}
+	s = parseSelect(t, "SELECT * FROM t WHERE PriceBin = 15K-20K")
+	if cmp := s.Where.(*expr.Cmp); cmp.Str != "15K-20K" {
+		t.Errorf("bin label parsed as %+v", cmp)
+	}
+	// Plain numbers and suffixes still lex as numbers.
+	s = parseSelect(t, "SELECT * FROM t WHERE Year = 2011 AND Price < 20K")
+	and = s.Where.(*expr.And)
+	if cmp := and.Kids[0].(*expr.Cmp); cmp.Num != 2011 {
+		t.Errorf("2011 parsed as %+v", cmp)
+	}
+	if cmp := and.Kids[1].(*expr.Cmp); cmp.Num != 20000 {
+		t.Errorf("20K parsed as %+v", cmp)
+	}
+}
+
+func TestParseMSuffix(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM t WHERE Price < 1.5M")
+	cmp := s.Where.(*expr.Cmp)
+	if cmp.Num != 1.5e6 {
+		t.Errorf("M suffix: %+v", cmp)
+	}
+}
+
+func TestTokenStringAndErrors(t *testing.T) {
+	toks, err := lex("a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(toks[0].String(), "a") {
+		t.Errorf("token String = %q", toks[0].String())
+	}
+	eof := toks[len(toks)-1]
+	if eof.String() != "end of input" {
+		t.Errorf("EOF String = %q", eof.String())
+	}
+}

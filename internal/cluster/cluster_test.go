@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// twoGroupView builds a table with two obvious latent groups:
+// (Engine=V4, Drive=2WD, low Price) vs (Engine=V8, Drive=4WD, high Price).
+func twoGroupView(t *testing.T, n int, seed int64) (*dataview.View, dataset.RowSet, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := dataset.NewTable("cars", dataset.Schema{
+		{Name: "Engine", Kind: dataset.Categorical, Queriable: true},
+		{Name: "Drive", Kind: dataset.Categorical, Queriable: true},
+		{Name: "Price", Kind: dataset.Numeric, Queriable: true},
+	})
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			truth[i] = 0
+			tbl.MustAppendRow("V4", "2WD", 15000+rng.Float64()*3000)
+		} else {
+			truth[i] = 1
+			tbl.MustAppendRow("V8", "4WD", 40000+rng.Float64()*3000)
+		}
+	}
+	v, err := dataview.New(tbl, dataview.Options{Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, dataset.AllRows(n), truth
+}
+
+func TestEncode(t *testing.T) {
+	v, rows, _ := twoGroupView(t, 20, 1)
+	p, enc, err := Encode(v, rows, []string{"Engine", "Drive", "Price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 20 {
+		t.Errorf("N = %d", p.N)
+	}
+	wantDim := 2 + 2 // Engine, Drive
+	priceCol, _ := v.Column("Price")
+	wantDim += priceCol.Cardinality()
+	if p.Dim != wantDim {
+		t.Errorf("Dim = %d, want %d", p.Dim, wantDim)
+	}
+	if len(enc.Attrs) != 3 || enc.Offsets[len(enc.Offsets)-1] != p.Dim {
+		t.Errorf("encoding metadata wrong: %+v", enc)
+	}
+	// Every row must have exactly one 1 per attribute block.
+	for i := 0; i < p.N; i++ {
+		row := p.Row(i)
+		for a := range enc.Attrs {
+			lo, hi := enc.Block(a)
+			ones := 0
+			for d := lo; d < hi; d++ {
+				if row[d] == 1 {
+					ones++
+				} else if row[d] != 0 {
+					t.Fatalf("non-binary coordinate %g", row[d])
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("row %d attr %d has %d ones", i, a, ones)
+			}
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	v, rows, _ := twoGroupView(t, 5, 2)
+	if _, _, err := Encode(v, rows, nil); err == nil {
+		t.Error("no attrs: want error")
+	}
+	if _, _, err := Encode(v, rows, []string{"Nope"}); err == nil {
+		t.Error("unknown attr: want error")
+	}
+}
+
+func TestKMeansSeparatesGroups(t *testing.T) {
+	v, rows, truth := twoGroupView(t, 200, 3)
+	p, _, err := Encode(v, rows, []string{"Engine", "Drive", "Price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KMeans(p, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d", res.K)
+	}
+	// All members of a latent group should land in one cluster.
+	agree, disagree := 0, 0
+	for i := range truth {
+		if res.Assign[i] == truth[i] {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	correct := agree
+	if disagree > agree {
+		correct = disagree // label permutation
+	}
+	if correct < 195 {
+		t.Errorf("separation: %d/200 correct", correct)
+	}
+	sizes := res.Sizes()
+	if sizes[0]+sizes[1] != 200 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	v, rows, _ := twoGroupView(t, 100, 4)
+	p, _, _ := Encode(v, rows, []string{"Engine", "Drive", "Price"})
+	r1, err := KMeans(p, 3, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(p, 3, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatalf("assignment differs at %d", i)
+		}
+	}
+	if r1.Inertia != r2.Inertia {
+		t.Errorf("inertia differs: %g vs %g", r1.Inertia, r2.Inertia)
+	}
+}
+
+func TestKMeansSampledFit(t *testing.T) {
+	v, rows, truth := twoGroupView(t, 1000, 5)
+	p, _, _ := Encode(v, rows, []string{"Engine", "Drive", "Price"})
+	res, err := KMeans(p, 2, Options{Seed: 7, SampleSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 1000 {
+		t.Fatalf("sampled fit must assign all points, got %d", len(res.Assign))
+	}
+	agree := 0
+	for i := range truth {
+		if res.Assign[i] == truth[i] {
+			agree++
+		}
+	}
+	if agree < 500 {
+		agree = 1000 - agree
+	}
+	if agree < 980 {
+		t.Errorf("sampled separation: %d/1000", agree)
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if _, err := KMeans(nil, 2, Options{}); err == nil {
+		t.Error("nil points: want error")
+	}
+	if _, err := KMeans(&Points{N: 0}, 2, Options{}); err == nil {
+		t.Error("empty points: want error")
+	}
+	p := &Points{Data: []float64{0, 1, 2}, N: 3, Dim: 1}
+	if _, err := KMeans(p, 0, Options{}); err == nil {
+		t.Error("k=0: want error")
+	}
+	// k > n clamps to n.
+	res, err := KMeans(p, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Errorf("K = %d, want clamp to 3", res.K)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("one point per center should have zero inertia, got %g", res.Inertia)
+	}
+	// Identical points collapse.
+	same := &Points{Data: []float64{5, 5, 5, 5}, N: 4, Dim: 1}
+	res, err = KMeans(same, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %g", res.Inertia)
+	}
+}
+
+// Property: inertia is non-negative and every assignment is in range.
+func TestKMeansInvariantProperty(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw)
+		p := &Points{Data: make([]float64, n*2), N: n, Dim: 2}
+		for i, v := range raw {
+			p.Data[i*2] = float64(v % 16)
+			p.Data[i*2+1] = float64(v / 16)
+		}
+		k := int(kRaw)%5 + 1
+		res, err := KMeans(p, k, Options{Seed: 3})
+		if err != nil {
+			return false
+		}
+		if res.Inertia < 0 {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= res.K {
+				return false
+			}
+		}
+		total := 0
+		for _, s := range res.Sizes() {
+			if s < 0 {
+				return false
+			}
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansRestarts(t *testing.T) {
+	v, rows, _ := twoGroupView(t, 300, 6)
+	p, _, err := Encode(v, rows, []string{"Engine", "Drive", "Price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := KMeans(p, 6, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := KMeans(p, 6, Options{Seed: 2, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Inertia > single.Inertia {
+		t.Errorf("restarts made inertia worse: %g > %g", multi.Inertia, single.Inertia)
+	}
+	// Deterministic under the same options.
+	again, err := KMeans(p, 6, Options{Seed: 2, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Inertia != multi.Inertia {
+		t.Error("restarted fit not deterministic")
+	}
+}
+
+func TestKModes(t *testing.T) {
+	// Two clean categorical groups.
+	var codes [][]int
+	for i := 0; i < 50; i++ {
+		codes = append(codes, []int{0, 0, 0})
+	}
+	for i := 0; i < 50; i++ {
+		codes = append(codes, []int{1, 1, 1})
+	}
+	res, err := KModes(codes, []int{2, 2, 2}, 2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Errorf("clean groups should have zero cost, got %d", res.Cost)
+	}
+	if res.Assign[0] == res.Assign[99] {
+		t.Error("groups not separated")
+	}
+	if res.Assign[0] != res.Assign[49] || res.Assign[50] != res.Assign[99] {
+		t.Error("group members split")
+	}
+}
+
+func TestKModesErrors(t *testing.T) {
+	if _, err := KModes(nil, []int{2}, 2, Options{}); err == nil {
+		t.Error("no rows: want error")
+	}
+	if _, err := KModes([][]int{{0}}, []int{2}, 0, Options{}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := KModes([][]int{{0}}, []int{2, 2}, 1, Options{}); err == nil {
+		t.Error("card mismatch: want error")
+	}
+	if _, err := KModes([][]int{{0, 1}, {0}}, []int{2, 2}, 1, Options{}); err == nil {
+		t.Error("ragged rows: want error")
+	}
+	if _, err := KModes([][]int{{}}, []int{}, 1, Options{}); err == nil {
+		t.Error("zero attrs: want error")
+	}
+	// k > n clamps.
+	res, err := KModes([][]int{{0, 1}}, []int{2, 2}, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("K = %d", res.K)
+	}
+}

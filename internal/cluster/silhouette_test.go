@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, centers [][]float64, spread float64, seed int64) (*Points, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(centers[0])
+	p := &Points{Data: make([]float64, n*dim), N: n, Dim: dim}
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % len(centers)
+		truth[i] = c
+		for d := 0; d < dim; d++ {
+			p.Data[i*dim+d] = centers[c][d] + rng.NormFloat64()*spread
+		}
+	}
+	return p, truth
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	p, truth := blobs(200, [][]float64{{0, 0}, {100, 100}}, 1, 1)
+	s, err := Silhouette(p, truth, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Errorf("well-separated blobs silhouette = %g, want > 0.9", s)
+	}
+}
+
+func TestSilhouetteBadClustering(t *testing.T) {
+	p, truth := blobs(200, [][]float64{{0, 0}, {100, 100}}, 1, 2)
+	// Scramble: assign points to the wrong cluster half the time.
+	bad := make([]int, len(truth))
+	for i := range bad {
+		if i%2 == 0 {
+			bad[i] = 1 - truth[i]
+		} else {
+			bad[i] = truth[i]
+		}
+	}
+	good, err := Silhouette(p, truth, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := Silhouette(p, bad, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor >= good {
+		t.Errorf("scrambled clustering silhouette %g >= correct %g", poor, good)
+	}
+}
+
+func TestSilhouetteRightKWins(t *testing.T) {
+	// Three true blobs: k=3 k-means should out-score k=2 and k=6.
+	p, _ := blobs(300, [][]float64{{0, 0}, {50, 0}, {0, 50}}, 2, 3)
+	scores := map[int]float64{}
+	for _, k := range []int{2, 3, 6} {
+		km, err := KMeans(p, k, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Silhouette(p, km.Assign, km.K, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[k] = s
+	}
+	if scores[3] <= scores[2] || scores[3] <= scores[6] {
+		t.Errorf("true k=3 not best: %v", scores)
+	}
+}
+
+func TestSilhouetteSampled(t *testing.T) {
+	p, truth := blobs(2000, [][]float64{{0, 0}, {100, 100}}, 1, 4)
+	full, err := Silhouette(p, truth, 2, p.N, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Silhouette(p, truth, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled < full-0.1 || sampled > full+0.1 {
+		t.Errorf("sampled silhouette %g far from full %g", sampled, full)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	p := &Points{Data: []float64{0, 1, 2}, N: 3, Dim: 1}
+	// Single cluster: no separation to measure.
+	s, err := Silhouette(p, []int{0, 0, 0}, 1, 0, 1)
+	if err != nil || s != 0 {
+		t.Errorf("single cluster: s=%g err=%v", s, err)
+	}
+	// Singleton clusters contribute 0.
+	s, err = Silhouette(p, []int{0, 1, 2}, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("all-singletons silhouette = %g", s)
+	}
+	if _, err := Silhouette(nil, nil, 1, 0, 1); err == nil {
+		t.Error("nil points: want error")
+	}
+	if _, err := Silhouette(p, []int{0}, 1, 0, 1); err == nil {
+		t.Error("assignment length mismatch: want error")
+	}
+	if _, err := Silhouette(p, []int{0, 0, 5}, 2, 0, 1); err == nil {
+		t.Error("out-of-range assignment: want error")
+	}
+	if _, err := Silhouette(p, []int{0, 0, 0}, 0, 0, 1); err == nil {
+		t.Error("k=0: want error")
+	}
+}

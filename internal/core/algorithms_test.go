@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// mkIUnit builds an IUnit directly from frequency vectors, for
+// hand-verified arithmetic checks of Algorithms 1 and 2.
+func mkIUnit(pivotValue string, rank int, freq ...[]float64) *IUnit {
+	return &IUnit{PivotValue: pivotValue, Rank: rank, freq: freq}
+}
+
+func TestAlgorithm1HandComputed(t *testing.T) {
+	// Two Compare Attributes. Dimension 1: identical distributions
+	// (cosine 1). Dimension 2: (1,0) vs (0,1) (cosine 0). Sum = 1.
+	a := mkIUnit("x", 1, []float64{3, 3}, []float64{5, 0})
+	b := mkIUnit("y", 1, []float64{6, 6}, []float64{0, 2})
+	s, err := IUnitSimilarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("similarity = %g, want exactly 1", s)
+	}
+
+	// 45-degree case: (1,0) vs (1,1) has cosine 1/sqrt(2).
+	c := mkIUnit("z", 1, []float64{1, 0}, []float64{1, 0})
+	d := mkIUnit("w", 1, []float64{1, 1}, []float64{1, 0})
+	s, err = IUnitSimilarity(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1/math.Sqrt2 + 1
+	if math.Abs(s-want) > 1e-12 {
+		t.Errorf("similarity = %g, want %g", s, want)
+	}
+}
+
+// chainedLists builds two rank lists where similarity is controlled by a
+// shared one-hot dimension: IUnits carrying the same code are similar
+// (cosine 1 >= tau), others dissimilar.
+func tagged(pivot string, rank, code, dims int) *IUnit {
+	f := make([]float64, dims)
+	f[code] = 1
+	return mkIUnit(pivot, rank, f)
+}
+
+func TestAlgorithm2HandComputed(t *testing.T) {
+	const tau = 0.9
+	// T^x = [A, B, C]; T^y = [B, A, C] (adjacent swap plus fixed point).
+	tx := []*IUnit{tagged("x", 1, 0, 4), tagged("x", 2, 1, 4), tagged("x", 3, 2, 4)}
+	ty := []*IUnit{tagged("y", 1, 1, 4), tagged("y", 2, 0, 4), tagged("y", 3, 2, 4)}
+	// Forward: A@1 matches rank2 (|1-2|=1), B@2 matches rank1 (1), C@3
+	// matches rank3 (0) → 2. Backward symmetric → total 4.
+	d, err := AttributeValueDistance(tx, ty, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Errorf("adjacent swap distance = %g, want 4", d)
+	}
+
+	// Unmatched IUnit: T^y = [B, D] where D matches nothing in T^x.
+	ty2 := []*IUnit{tagged("y", 1, 1, 4), tagged("y", 2, 3, 4)}
+	// Forward over tx (len(ty2)+1 = 3 for misses):
+	//   A@1: no match → |1-3| = 2
+	//   B@2: match at rank1 → 1
+	//   C@3: no match → |3-3| = 0
+	// Backward over ty2 (len(tx)+1 = 4 for misses):
+	//   B@1: match at rank2 → 1
+	//   D@2: no match → |2-4| = 2
+	// Total = 6.
+	d, err = AttributeValueDistance(tx, ty2, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 {
+		t.Errorf("partial match distance = %g, want 6", d)
+	}
+
+	// Multiple similar IUnits: the matched rank is the closest one
+	// (argmin |j-i|, Algorithm 2 line 4).
+	// T^y = [A, A'] where both match A@1 in T^x: rank 1 is closer.
+	tyDup := []*IUnit{tagged("y", 1, 0, 4), tagged("y", 2, 0, 4)}
+	txOne := []*IUnit{tagged("x", 1, 0, 4)}
+	// Forward: A@1 matches rank1 → 0.
+	// Backward: A@1 matches rank1 → 0; A'@2 matches rank1 → 1. Total 1.
+	d, err = AttributeValueDistance(txOne, tyDup, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("closest-rank matching distance = %g, want 1", d)
+	}
+
+	// Identical lists: distance 0.
+	d, err = AttributeValueDistance(tx, tx, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("identical lists distance = %g", d)
+	}
+
+	// Completely disjoint lists: every IUnit misses.
+	tz := []*IUnit{tagged("z", 1, 3, 4)}
+	// Forward over tx (miss rank = 2): |1-2|+|2-2|+|3-2| = 2.
+	// Backward over tz (miss rank = 4): |1-4| = 3. Total 5.
+	d, err = AttributeValueDistance(tx, tz, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("disjoint lists distance = %g, want 5", d)
+	}
+}
+
+func TestAlgorithm2RangeAndSymmetryOnSyntheticLists(t *testing.T) {
+	const tau = 0.9
+	dims := 6
+	mkList := func(pivot string, codes ...int) []*IUnit {
+		out := make([]*IUnit, len(codes))
+		for i, c := range codes {
+			out[i] = tagged(pivot, i+1, c, dims)
+		}
+		return out
+	}
+	lists := [][]*IUnit{
+		mkList("a", 0, 1, 2),
+		mkList("b", 2, 1, 0),
+		mkList("c", 3, 4, 5),
+		mkList("d", 0, 1),
+		mkList("e", 5),
+	}
+	for _, x := range lists {
+		for _, y := range lists {
+			dxy, err := AttributeValueDistance(x, y, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dyx, err := AttributeValueDistance(y, x, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dxy != dyx {
+				t.Errorf("distance not symmetric: %g vs %g", dxy, dyx)
+			}
+			if dxy < 0 {
+				t.Errorf("negative distance %g", dxy)
+			}
+			// Upper bound: every item missing in both directions.
+			bound := 0.0
+			for i := range x {
+				bound += math.Abs(float64(i+1) - float64(len(y)+1))
+			}
+			for j := range y {
+				bound += math.Abs(float64(j+1) - float64(len(x)+1))
+			}
+			if dxy > bound+1e-9 {
+				t.Errorf("distance %g exceeds all-miss bound %g", dxy, bound)
+			}
+		}
+	}
+}

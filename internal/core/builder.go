@@ -1,0 +1,475 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dbexplorer/internal/cluster"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/featsel"
+	"dbexplorer/internal/topk"
+)
+
+// Config parameterizes CAD View construction. Zero values take the
+// defaults the paper uses in its examples and experiments.
+type Config struct {
+	// Pivot is the Pivot Attribute (required).
+	Pivot string
+	// PivotValues optionally restricts and orders the pivot rows (the
+	// SQL example's five Makes). Empty means every value present in the
+	// result set, by descending frequency.
+	PivotValues []string
+	// CompareAttrs are Compare Attributes the user selected explicitly
+	// (the CREATE CADVIEW SELECT list); the builder fills the remaining
+	// MaxCompare-N slots automatically.
+	CompareAttrs []string
+	// MaxCompare is M, the total Compare Attribute budget imposed by
+	// screen width (LIMIT COLUMNS; default 5).
+	MaxCompare int
+	// K is the number of IUnits kept per pivot value (IUNITS; default 3).
+	K int
+	// L is the number of candidate IUnits generated before diversified
+	// top-k selection (default ceil(1.5·K), the paper's system tuning
+	// suggestion).
+	L int
+	// Alpha sets the IUnit similarity threshold τ = Alpha·|I|
+	// (default 0.7).
+	Alpha float64
+	// Significance is the chi-square p-value cut for automatically
+	// selected Compare Attributes (default 0.05).
+	Significance float64
+	// Preference scores IUnits for top-k ranking (default ByClusterSize).
+	Preference Preference
+	// Ranker selects Compare Attributes (default featsel.ChiSquare).
+	Ranker featsel.Ranker
+	// Seed makes clustering deterministic.
+	Seed int64
+	// FeatureSampleSize, when > 0, ranks Compare Attributes on at most
+	// that many rows (§6.3 Optimization 1).
+	FeatureSampleSize int
+	// ClusterSampleSize, when > 0, fits cluster centers on at most that
+	// many rows per pivot value (§6.3 Optimization 1).
+	ClusterSampleSize int
+	// GreedyTopK swaps the exact diversified top-k search for the
+	// greedy heuristic the paper warns about — an ablation knob only.
+	GreedyTopK bool
+	// AutoL, when set, chooses the number of generated IUnits per pivot
+	// value by sweeping plausible l values (K .. 2K+2) and keeping the
+	// clustering with the best silhouette — the paper's §2.2.2
+	// alternative to the fixed l = 1.5K rule. L is then the sweep's
+	// upper bound when explicitly set.
+	AutoL bool
+	// Parallel builds the pivot rows concurrently, one goroutine per
+	// pivot value. The result is identical to the sequential build (all
+	// randomness is seeded per pivot value); only wall-clock changes.
+	Parallel bool
+	// Labeling controls cluster label construction.
+	Labeling LabelOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCompare <= 0 {
+		c.MaxCompare = 5
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.L <= 0 {
+		c.L = int(math.Ceil(1.5 * float64(c.K)))
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.7
+	}
+	if c.Significance <= 0 {
+		c.Significance = 0.05
+	}
+	if c.Preference == nil {
+		c.Preference = ByClusterSize
+	}
+	if c.Ranker == nil {
+		c.Ranker = featsel.ChiSquare
+	}
+	return c
+}
+
+// Timings decomposes CAD View construction time the way Figure 8 reports
+// it: Compare Attribute selection, IUnit generation (clustering), and
+// everything else (labeling, ranking, top-k, similarity).
+type Timings struct {
+	CompareSelect time.Duration
+	Cluster       time.Duration
+	Other         time.Duration
+}
+
+// Total returns the end-to-end construction time.
+func (t Timings) Total() time.Duration {
+	return t.CompareSelect + t.Cluster + t.Other
+}
+
+// Build constructs a CAD View over the result set rows of v's table
+// (paper Problem 1). It returns the view together with its construction
+// timing decomposition.
+func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings, error) {
+	var tm Timings
+	cfg = cfg.withDefaults()
+	if cfg.Pivot == "" {
+		return nil, tm, fmt.Errorf("core: no pivot attribute")
+	}
+	pivotCol, err := v.Column(cfg.Pivot)
+	if err != nil {
+		return nil, tm, err
+	}
+	if len(rows) == 0 {
+		return nil, tm, fmt.Errorf("core: empty result set")
+	}
+
+	// Resolve pivot values and their row subsets.
+	pivotValues, rowsByValue, err := resolvePivotValues(v, pivotCol, rows, cfg.PivotValues)
+	if err != nil {
+		return nil, tm, err
+	}
+	rowsV := make(dataset.RowSet, 0, len(rows))
+	for _, val := range pivotValues {
+		rowsV = append(rowsV, rowsByValue[val]...)
+	}
+	sort.Ints(rowsV)
+	if len(rowsV) == 0 {
+		return nil, tm, fmt.Errorf("core: no result rows carry the selected pivot values")
+	}
+
+	// Problem 1.1: Compare Attribute selection.
+	start := time.Now()
+	compareAttrs, err := selectCompareAttrs(v, rowsV, cfg)
+	tm.CompareSelect = time.Since(start)
+	if err != nil {
+		return nil, tm, err
+	}
+	if len(compareAttrs) == 0 {
+		return nil, tm, fmt.Errorf("core: no Compare Attributes available for pivot %q", cfg.Pivot)
+	}
+
+	view := &CADView{
+		Pivot:        cfg.Pivot,
+		CompareAttrs: compareAttrs,
+		K:            cfg.K,
+		Tau:          cfg.Alpha * float64(len(compareAttrs)),
+	}
+
+	// Problems 1.2 and 2 per pivot value: cluster, label, diversify.
+	for _, val := range pivotValues {
+		view.Rows = append(view.Rows, &PivotRow{Value: val, Count: len(rowsByValue[val])})
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, len(pivotValues))
+		times := make([]Timings, len(pivotValues))
+		for vi := range pivotValues {
+			wg.Add(1)
+			go func(vi int) {
+				defer wg.Done()
+				errs[vi] = buildPivotRow(v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &times[vi])
+			}(vi)
+		}
+		wg.Wait()
+		for vi := range pivotValues {
+			if errs[vi] != nil {
+				return nil, tm, errs[vi]
+			}
+			tm.Cluster += times[vi].Cluster
+			tm.Other += times[vi].Other
+		}
+	} else {
+		for vi := range pivotValues {
+			if err := buildPivotRow(v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &tm); err != nil {
+				return nil, tm, err
+			}
+		}
+	}
+	return view, tm, nil
+}
+
+// buildPivotRow runs Problems 1.2 and 2 for one pivot value: encode,
+// cluster (with the fixed-l or auto-l policy), label, score, and keep
+// the diversified top-k. Timing accumulates into tm.
+func buildPivotRow(v *dataview.View, view *CADView, row *PivotRow, rowsVal dataset.RowSet, cfg Config, valIndex int64, tm *Timings) error {
+	if len(rowsVal) == 0 {
+		return nil
+	}
+	startCluster := time.Now()
+	points, _, err := cluster.Encode(v, rowsVal, view.CompareAttrs)
+	if err != nil {
+		return err
+	}
+	km, err := fitClusters(points, cfg, cfg.Seed+valIndex)
+	tm.Cluster += time.Since(startCluster)
+	if err != nil {
+		return err
+	}
+
+	startOther := time.Now()
+	candidates, err := makeIUnits(v, row.Value, rowsVal, km, view.CompareAttrs, cfg)
+	if err != nil {
+		return err
+	}
+	kept, err := diversify(candidates, view.Tau, cfg.K, cfg.GreedyTopK)
+	if err != nil {
+		return err
+	}
+	for rank, iu := range kept {
+		iu.Rank = rank + 1
+	}
+	row.IUnits = kept
+	tm.Other += time.Since(startOther)
+	return nil
+}
+
+// fitClusters produces the candidate-IUnit clustering: either a single
+// k-means run at l = cfg.L, or — with AutoL — the best-silhouette run
+// over the plausible l range [K, max(L, 2K+2)].
+func fitClusters(points *cluster.Points, cfg Config, seed int64) (*cluster.Result, error) {
+	opts := cluster.Options{Seed: seed, SampleSize: cfg.ClusterSampleSize}
+	if !cfg.AutoL {
+		return cluster.KMeans(points, cfg.L, opts)
+	}
+	hi := 2*cfg.K + 2
+	if cfg.L > hi {
+		hi = cfg.L
+	}
+	var best *cluster.Result
+	bestScore := 0.0
+	for l := cfg.K; l <= hi; l++ {
+		km, err := cluster.KMeans(points, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		score, err := cluster.Silhouette(points, km.Assign, km.K, 256, seed)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || score > bestScore {
+			best = km
+			bestScore = score
+		}
+	}
+	return best, nil
+}
+
+// resolvePivotValues returns the pivot rows' display order and each
+// value's row subset. Explicit values are validated against the column
+// domain; the default order is descending result-set frequency.
+func resolvePivotValues(v *dataview.View, pivotCol *dataview.Column, rows dataset.RowSet, explicit []string) ([]string, map[string]dataset.RowSet, error) {
+	byCode := make(map[int]dataset.RowSet)
+	for _, r := range rows {
+		c := pivotCol.Code(r)
+		byCode[c] = append(byCode[c], r)
+	}
+	rowsByValue := make(map[string]dataset.RowSet)
+
+	if len(explicit) > 0 {
+		seen := make(map[string]bool)
+		var values []string
+		for _, val := range explicit {
+			if seen[val] {
+				continue
+			}
+			seen[val] = true
+			code := pivotCol.CodeOf(val)
+			if code < 0 {
+				return nil, nil, fmt.Errorf("core: pivot attribute %q has no value %q", pivotCol.Attr, val)
+			}
+			values = append(values, val)
+			rowsByValue[val] = byCode[code]
+		}
+		return values, rowsByValue, nil
+	}
+
+	type vc struct {
+		val   string
+		count int
+	}
+	var ranked []vc
+	for code, rs := range byCode {
+		ranked = append(ranked, vc{pivotCol.Label(code), len(rs)})
+		rowsByValue[pivotCol.Label(code)] = rs
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].val < ranked[j].val
+	})
+	values := make([]string, len(ranked))
+	for i, r := range ranked {
+		values[i] = r.val
+	}
+	return values, rowsByValue, nil
+}
+
+// selectCompareAttrs applies the paper's Compare Attribute policy:
+// explicitly selected attributes first, then automatically ranked ones
+// that pass the significance threshold, up to MaxCompare total.
+func selectCompareAttrs(v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]string, error) {
+	chosen := make([]string, 0, cfg.MaxCompare)
+	seen := map[string]bool{cfg.Pivot: true}
+	for _, attr := range cfg.CompareAttrs {
+		if attr == cfg.Pivot {
+			return nil, fmt.Errorf("core: pivot attribute %q cannot be a Compare Attribute", attr)
+		}
+		if seen[attr] {
+			continue
+		}
+		if _, err := v.Column(attr); err != nil {
+			return nil, err
+		}
+		seen[attr] = true
+		chosen = append(chosen, attr)
+	}
+	if len(chosen) > cfg.MaxCompare {
+		return nil, fmt.Errorf("core: %d explicit Compare Attributes exceed LIMIT COLUMNS %d", len(chosen), cfg.MaxCompare)
+	}
+	if len(chosen) == cfg.MaxCompare {
+		return chosen, nil
+	}
+
+	var candidates []string
+	for _, col := range v.Columns() {
+		if !seen[col.Attr] {
+			candidates = append(candidates, col.Attr)
+		}
+	}
+	if len(candidates) == 0 {
+		return chosen, nil
+	}
+	rankRows := rowsV
+	if cfg.FeatureSampleSize > 0 && cfg.FeatureSampleSize < len(rankRows) {
+		rankRows = sampleRows(rankRows, cfg.FeatureSampleSize, cfg.Seed)
+	}
+	scores, err := cfg.Ranker(v, rankRows, cfg.Pivot, candidates)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range scores {
+		if len(chosen) == cfg.MaxCompare {
+			break
+		}
+		// Rankers with a significance test (chi-square) are cut at the
+		// configured level; score-only rankers require positive weight.
+		if s.PValue < 1 {
+			if s.PValue > cfg.Significance {
+				continue
+			}
+		} else if s.Stat <= 0 {
+			continue
+		}
+		chosen = append(chosen, s.Attr)
+	}
+	if len(chosen) == 0 {
+		// Nothing passed the relevance cut — e.g. a single pivot value,
+		// where no attribute can contrast classes. The view still needs
+		// attributes to cluster and label on, so fall back to the
+		// ranker's top candidates.
+		for _, s := range scores {
+			if len(chosen) == cfg.MaxCompare {
+				break
+			}
+			chosen = append(chosen, s.Attr)
+		}
+	}
+	return chosen, nil
+}
+
+// sampleRows picks every ceil(n/size)-th row, a deterministic systematic
+// sample that preserves row-order uniformity.
+func sampleRows(rows dataset.RowSet, size int, seed int64) dataset.RowSet {
+	stride := (len(rows) + size - 1) / size
+	if stride < 1 {
+		stride = 1
+	}
+	offset := int(seed) % stride
+	if offset < 0 {
+		offset += stride
+	}
+	out := make(dataset.RowSet, 0, size)
+	for i := offset; i < len(rows) && len(out) < size; i += stride {
+		out = append(out, rows[i])
+	}
+	return out
+}
+
+// makeIUnits converts the clustering of one pivot value's rows into
+// labeled candidate IUnits.
+func makeIUnits(v *dataview.View, pivotValue string, rowsVal dataset.RowSet, km *cluster.Result, compareAttrs []string, cfg Config) ([]*IUnit, error) {
+	members := make([]dataset.RowSet, km.K)
+	for i, a := range km.Assign {
+		members[a] = append(members[a], rowsVal[i])
+	}
+	var out []*IUnit
+	for _, rows := range members {
+		if len(rows) == 0 {
+			continue
+		}
+		labels, freqs, err := buildLabels(v, compareAttrs, rows, cfg.Labeling)
+		if err != nil {
+			return nil, err
+		}
+		iu := &IUnit{
+			PivotValue: pivotValue,
+			Size:       len(rows),
+			Labels:     labels,
+			Rows:       rows,
+			freq:       freqs,
+		}
+		iu.Score = cfg.Preference(v, iu)
+		if iu.Score < 0 {
+			return nil, fmt.Errorf("core: preference returned negative score %g", iu.Score)
+		}
+		out = append(out, iu)
+	}
+	return out, nil
+}
+
+// diversify runs Problem 2: diversified top-k over the candidate IUnits
+// with Algorithm-1 similarity and threshold tau.
+func diversify(candidates []*IUnit, tau float64, k int, greedy bool) ([]*IUnit, error) {
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	scores := make([]float64, len(candidates))
+	for i, iu := range candidates {
+		scores[i] = iu.Score
+	}
+	sims := make([][]float64, len(candidates))
+	for i := range sims {
+		sims[i] = make([]float64, len(candidates))
+	}
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			s, err := IUnitSimilarity(candidates[i], candidates[j])
+			if err != nil {
+				return nil, err
+			}
+			sims[i][j] = s
+			sims[j][i] = s
+		}
+	}
+	conflicts := topk.NewConflicts(len(candidates), func(i, j int) bool {
+		return sims[i][j] >= tau
+	})
+	selector := topk.Exact
+	if greedy {
+		selector = topk.Greedy
+	}
+	sel, err := selector(scores, conflicts, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*IUnit, len(sel))
+	for i, idx := range sel {
+		out[i] = candidates[idx]
+	}
+	return out, nil
+}

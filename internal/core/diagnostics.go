@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"dbexplorer/internal/stats"
+)
+
+// Diagnostics summarizes a CAD View's quality along the axes Problem 2
+// balances: how much of the result set the displayed IUnits cover, how
+// diverse the IUnits within each row are, and how much contrast exists
+// across pivot rows. These are the view-level quality measures §2.2.2
+// alludes to ("evaluating the quality of the resulting CAD View"), used
+// to compare parameter policies (fixed l vs AutoL, exact vs greedy
+// top-k).
+type Diagnostics struct {
+	// Coverage is the fraction of the rows' tuples contained in the
+	// displayed IUnits (the diversified top-k drops candidate clusters,
+	// so coverage < 1 is normal).
+	Coverage float64
+	// WithinRowDiversity is the mean pairwise Algorithm-1
+	// *dissimilarity* between IUnits of the same row, normalized to
+	// [0, 1]. Higher means the k IUnits are less redundant.
+	WithinRowDiversity float64
+	// CrossRowContrast is the mean Algorithm-1 dissimilarity between
+	// same-rank IUnits of different rows, normalized to [0, 1]. Higher
+	// means pivot values are easier to tell apart.
+	CrossRowContrast float64
+	// MeanIUnitSize is the average tuple count of displayed IUnits.
+	MeanIUnitSize float64
+}
+
+// Diagnose computes a view's diagnostics. Views with no IUnits at all
+// are rejected.
+func Diagnose(v *CADView) (Diagnostics, error) {
+	nI := float64(len(v.CompareAttrs))
+	if nI == 0 {
+		return Diagnostics{}, fmt.Errorf("core: view has no Compare Attributes")
+	}
+	var d Diagnostics
+	totalTuples, covered, units := 0, 0, 0
+
+	var withinSum float64
+	withinPairs := 0
+	for _, row := range v.Rows {
+		totalTuples += row.Count
+		for _, iu := range row.IUnits {
+			covered += iu.Size
+			units++
+		}
+		for i := 0; i < len(row.IUnits); i++ {
+			for j := i + 1; j < len(row.IUnits); j++ {
+				s, err := IUnitSimilarity(row.IUnits[i], row.IUnits[j])
+				if err != nil {
+					return Diagnostics{}, err
+				}
+				withinSum += 1 - s/nI
+				withinPairs++
+			}
+		}
+	}
+	if units == 0 {
+		return Diagnostics{}, fmt.Errorf("core: view has no IUnits")
+	}
+	if totalTuples > 0 {
+		d.Coverage = float64(covered) / float64(totalTuples)
+	}
+	d.MeanIUnitSize = float64(covered) / float64(units)
+	if withinPairs > 0 {
+		d.WithinRowDiversity = withinSum / float64(withinPairs)
+	}
+
+	var crossSum float64
+	crossPairs := 0
+	for a := 0; a < len(v.Rows); a++ {
+		for b := a + 1; b < len(v.Rows); b++ {
+			ra, rb := v.Rows[a], v.Rows[b]
+			k := len(ra.IUnits)
+			if len(rb.IUnits) < k {
+				k = len(rb.IUnits)
+			}
+			for r := 0; r < k; r++ {
+				s, err := IUnitSimilarity(ra.IUnits[r], rb.IUnits[r])
+				if err != nil {
+					return Diagnostics{}, err
+				}
+				crossSum += 1 - s/nI
+				crossPairs++
+			}
+		}
+	}
+	if crossPairs > 0 {
+		d.CrossRowContrast = crossSum / float64(crossPairs)
+	}
+	return d, nil
+}
+
+// AttributeValueDistanceKendall is the classical alternative to the
+// paper's Algorithm 2: it matches each IUnit of tx to the rank of its
+// most similar counterpart in ty (len(ty)+1 when none reaches tau) and
+// returns 1 − KendallTau between the original and matched rank
+// sequences, in [0, 2] (0 = identical order). The paper argues no
+// existing metric handles disjoint ranked lists; this adapter makes the
+// comparison concrete for the ablation benches.
+func AttributeValueDistanceKendall(tx, ty []*IUnit, tau float64) (float64, error) {
+	if len(tx) < 2 {
+		// Kendall needs at least two ranks; fall back to Algorithm 2,
+		// normalized to the same scale.
+		d, err := AttributeValueDistance(tx, ty, tau)
+		if err != nil {
+			return 0, err
+		}
+		if d > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	orig := make([]float64, len(tx))
+	matched := make([]float64, len(tx))
+	for i, iu := range tx {
+		orig[i] = float64(i + 1)
+		best := float64(len(ty) + 1)
+		bestGap := -1
+		for j, other := range ty {
+			s, err := IUnitSimilarity(iu, other)
+			if err != nil {
+				return 0, err
+			}
+			if s < tau {
+				continue
+			}
+			gap := abs(i - j)
+			if bestGap < 0 || gap < bestGap {
+				bestGap = gap
+				best = float64(j + 1)
+			}
+		}
+		matched[i] = best
+	}
+	t, err := stats.KendallTau(orig, matched)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - t, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDiagnoseBasics(t *testing.T) {
+	view, _ := buildView(t, Config{Pivot: "Make", K: 3, Seed: 30})
+	d, err := Diagnose(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Coverage <= 0 || d.Coverage > 1 {
+		t.Errorf("coverage = %g", d.Coverage)
+	}
+	if d.WithinRowDiversity < 0 || d.WithinRowDiversity > 1 {
+		t.Errorf("diversity = %g", d.WithinRowDiversity)
+	}
+	if d.CrossRowContrast < 0 || d.CrossRowContrast > 1 {
+		t.Errorf("contrast = %g", d.CrossRowContrast)
+	}
+	if d.MeanIUnitSize <= 0 {
+		t.Errorf("mean size = %g", d.MeanIUnitSize)
+	}
+	// The mini dataset has two sharply different segments per make, so
+	// within-row diversity should be clearly positive.
+	if d.WithinRowDiversity < 0.05 {
+		t.Errorf("diversity = %g, expected clear separation", d.WithinRowDiversity)
+	}
+}
+
+func TestDiagnoseExactBeatsGreedyDiversity(t *testing.T) {
+	// Indirect check of Problem 2's objective: k IUnits kept by the
+	// exact diversified top-k must not be pairwise similar above tau.
+	view, _ := buildView(t, Config{Pivot: "Make", K: 3, Seed: 31})
+	for _, row := range view.Rows {
+		for i := 0; i < len(row.IUnits); i++ {
+			for j := i + 1; j < len(row.IUnits); j++ {
+				s, err := IUnitSimilarity(row.IUnits[i], row.IUnits[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s >= view.Tau {
+					t.Errorf("row %s IUnits %d,%d similar above tau: %g >= %g",
+						row.Value, i+1, j+1, s, view.Tau)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagnoseErrors(t *testing.T) {
+	if _, err := Diagnose(&CADView{}); err == nil {
+		t.Error("empty view: want error")
+	}
+	v := &CADView{CompareAttrs: []string{"A"}, Rows: []*PivotRow{{Value: "x"}}}
+	if _, err := Diagnose(v); err == nil {
+		t.Error("no IUnits: want error")
+	}
+}
+
+func TestAttributeValueDistanceKendall(t *testing.T) {
+	view, _ := buildView(t, Config{Pivot: "Make", K: 3, Seed: 32})
+	alpha := view.Row("Alpha").IUnits
+	beta := view.Row("Beta").IUnits
+	gamma := view.Row("Gamma").IUnits
+
+	self, err := AttributeValueDistanceKendall(alpha, alpha, view.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 0 {
+		t.Errorf("self Kendall distance = %g", self)
+	}
+	dAB, err := AttributeValueDistanceKendall(alpha, beta, view.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAG, err := AttributeValueDistanceKendall(alpha, gamma, view.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAB > dAG {
+		t.Errorf("Kendall: identical makes %g > different makes %g", dAB, dAG)
+	}
+	// Short lists fall back without error.
+	short, err := AttributeValueDistanceKendall(alpha[:1], beta, view.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short != 0 && short != 1 {
+		t.Errorf("fallback distance = %g, want 0 or 1", short)
+	}
+}
+
+func TestKendallAgreesWithAlgorithm2OnOrdering(t *testing.T) {
+	// Both metrics must agree that Beta is closer to Alpha than Gamma.
+	view, _ := buildView(t, Config{Pivot: "Make", K: 3, Seed: 33})
+	alpha := view.Row("Alpha").IUnits
+	beta := view.Row("Beta").IUnits
+	gamma := view.Row("Gamma").IUnits
+	a2AB, _ := AttributeValueDistance(alpha, beta, view.Tau)
+	a2AG, _ := AttributeValueDistance(alpha, gamma, view.Tau)
+	kAB, _ := AttributeValueDistanceKendall(alpha, beta, view.Tau)
+	kAG, _ := AttributeValueDistanceKendall(alpha, gamma, view.Tau)
+	if (a2AB < a2AG) != (kAB <= kAG) {
+		t.Errorf("metrics disagree: Algorithm2 (%g,%g) vs Kendall (%g,%g)", a2AB, a2AG, kAB, kAG)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dbexplorer/internal/dataset"
+)
+
+// The paper expects "any real implementation to have a user-friendly
+// interface layer on top of the query language"; these codecs give such
+// a layer a wire format. The per-IUnit frequency vectors are included so
+// a deserialized view still supports the similarity operations
+// (HIGHLIGHT, REORDER) without access to the original table.
+
+type iunitJSON struct {
+	PivotValue  string         `json:"pivotValue"`
+	Rank        int            `json:"rank"`
+	Size        int            `json:"size"`
+	Score       float64        `json:"score"`
+	Labels      []Label        `json:"labels"`
+	Rows        dataset.RowSet `json:"rows,omitempty"`
+	Frequencies [][]float64    `json:"frequencies"`
+}
+
+type pivotRowJSON struct {
+	Value  string       `json:"value"`
+	Count  int          `json:"count"`
+	IUnits []*iunitJSON `json:"iunits"`
+}
+
+type cadViewJSON struct {
+	Name         string          `json:"name,omitempty"`
+	Pivot        string          `json:"pivot"`
+	CompareAttrs []string        `json:"compareAttrs"`
+	K            int             `json:"k"`
+	Tau          float64         `json:"tau"`
+	Rows         []*pivotRowJSON `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler for CADView.
+func (v *CADView) MarshalJSON() ([]byte, error) {
+	out := &cadViewJSON{
+		Name:         v.Name,
+		Pivot:        v.Pivot,
+		CompareAttrs: v.CompareAttrs,
+		K:            v.K,
+		Tau:          v.Tau,
+	}
+	for _, row := range v.Rows {
+		jr := &pivotRowJSON{Value: row.Value, Count: row.Count}
+		for _, iu := range row.IUnits {
+			jr.IUnits = append(jr.IUnits, &iunitJSON{
+				PivotValue:  iu.PivotValue,
+				Rank:        iu.Rank,
+				Size:        iu.Size,
+				Score:       iu.Score,
+				Labels:      iu.Labels,
+				Rows:        iu.Rows,
+				Frequencies: iu.freq,
+			})
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for CADView.
+func (v *CADView) UnmarshalJSON(data []byte) error {
+	var in cadViewJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: decoding CAD View: %w", err)
+	}
+	if in.Pivot == "" {
+		return fmt.Errorf("core: CAD View JSON missing pivot")
+	}
+	v.Name = in.Name
+	v.Pivot = in.Pivot
+	v.CompareAttrs = in.CompareAttrs
+	v.K = in.K
+	v.Tau = in.Tau
+	v.Rows = nil
+	for _, jr := range in.Rows {
+		row := &PivotRow{Value: jr.Value, Count: jr.Count}
+		for _, ji := range jr.IUnits {
+			if len(ji.Frequencies) != len(in.CompareAttrs) {
+				return fmt.Errorf("core: IUnit (%s, %d) has %d frequency vectors for %d Compare Attributes",
+					ji.PivotValue, ji.Rank, len(ji.Frequencies), len(in.CompareAttrs))
+			}
+			row.IUnits = append(row.IUnits, &IUnit{
+				PivotValue: ji.PivotValue,
+				Rank:       ji.Rank,
+				Size:       ji.Size,
+				Score:      ji.Score,
+				Labels:     ji.Labels,
+				Rows:       ji.Rows,
+				freq:       ji.Frequencies,
+			})
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCADViewJSONRoundTrip(t *testing.T) {
+	view, _ := buildView(t, Config{Pivot: "Make", K: 3, Seed: 40})
+	data, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"pivot":"Make"`) {
+		t.Errorf("json missing pivot: %s", data[:120])
+	}
+	var back CADView
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Structure survives.
+	if Render(&back, nil) != Render(view, nil) {
+		t.Error("round trip changed the rendered view")
+	}
+	// Similarity operations still work on the decoded view (the
+	// frequency vectors travel with it).
+	h1, err := HighlightSimilar(view, "Alpha", 1, view.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HighlightSimilar(&back, "Alpha", 1, back.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.Matches) != len(h2.Matches) {
+		t.Errorf("highlight differs after round trip: %d vs %d", len(h1.Matches), len(h2.Matches))
+	}
+	for i := range h1.Matches {
+		if h1.Matches[i].Ref != h2.Matches[i].Ref {
+			t.Errorf("match %d differs: %+v vs %+v", i, h1.Matches[i], h2.Matches[i])
+		}
+	}
+	_, sims1, err := ReorderRows(view, "Gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sims2, err := ReorderRows(&back, "Gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sims1 {
+		if sims1[i] != sims2[i] {
+			t.Errorf("reorder differs after round trip: %+v vs %+v", sims1[i], sims2[i])
+		}
+	}
+}
+
+func TestCADViewJSONErrors(t *testing.T) {
+	var v CADView
+	if err := json.Unmarshal([]byte(`{"rows": 5}`), &v); err == nil {
+		t.Error("malformed json: want error")
+	}
+	if err := json.Unmarshal([]byte(`{}`), &v); err == nil {
+		t.Error("missing pivot: want error")
+	}
+	// Frequency vectors must align with Compare Attributes.
+	bad := `{"pivot":"P","compareAttrs":["A","B"],"k":1,"tau":1,
+		"rows":[{"value":"x","count":1,
+		"iunits":[{"pivotValue":"x","rank":1,"size":1,"labels":[],"frequencies":[[1]]}]}]}`
+	if err := json.Unmarshal([]byte(bad), &v); err == nil {
+		t.Error("misaligned frequencies: want error")
+	}
+}

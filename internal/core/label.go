@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// LabelOptions controls cluster labeling (§3.1.2): how many
+// representative values an IUnit shows per Compare Attribute and when
+// values are grouped into one bracket because their frequency counts are
+// statistically indistinguishable.
+type LabelOptions struct {
+	// MaxValues bounds the total values displayed per label (the
+	// paper's "max display count"; default 4).
+	MaxValues int
+	// MaxGroups bounds the number of bracketed groups (default 2).
+	MaxGroups int
+	// GroupTolerance is the maximum relative frequency difference for
+	// two values to share a bracket (default 0.2: counts within 20% of
+	// the group leader group together).
+	GroupTolerance float64
+	// MinSupport drops values covering less than this fraction of the
+	// cluster (default 0.15), so rare stragglers don't pollute labels.
+	MinSupport float64
+}
+
+func (o LabelOptions) withDefaults() LabelOptions {
+	if o.MaxValues <= 0 {
+		o.MaxValues = 4
+	}
+	if o.MaxGroups <= 0 {
+		o.MaxGroups = 2
+	}
+	if o.GroupTolerance <= 0 {
+		o.GroupTolerance = 0.2
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.15
+	}
+	return o
+}
+
+// buildLabels summarizes a cluster: for each Compare Attribute it
+// produces the ranked, grouped representative values and the full
+// code-frequency vector that Algorithm 1 similarity consumes.
+func buildLabels(v *dataview.View, compareAttrs []string, rows dataset.RowSet, opt LabelOptions) ([]Label, [][]float64, error) {
+	opt = opt.withDefaults()
+	labels := make([]Label, len(compareAttrs))
+	freqs := make([][]float64, len(compareAttrs))
+	for d, attr := range compareAttrs {
+		col, err := v.Column(attr)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts := make([]int, col.Cardinality())
+		for _, r := range rows {
+			counts[col.Code(r)]++
+		}
+		freq := make([]float64, len(counts))
+		for i, c := range counts {
+			freq[i] = float64(c)
+		}
+		freqs[d] = freq
+		labels[d] = Label{Attr: attr, Groups: groupValues(col, counts, len(rows), opt)}
+	}
+	return labels, freqs, nil
+}
+
+// groupValues ranks values by in-cluster frequency and packs them into
+// bracketed groups of statistically similar counts.
+func groupValues(col *dataview.Column, counts []int, clusterSize int, opt LabelOptions) []LabelGroup {
+	type vc struct {
+		code  int
+		count int
+	}
+	ranked := make([]vc, 0, len(counts))
+	for code, c := range counts {
+		if c > 0 {
+			ranked = append(ranked, vc{code, c})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return col.Label(ranked[i].code) < col.Label(ranked[j].code)
+	})
+
+	minCount := opt.MinSupport * float64(clusterSize)
+	var groups []LabelGroup
+	shown := 0
+	for _, r := range ranked {
+		if shown >= opt.MaxValues {
+			break
+		}
+		// Always show the dominant value; apply the support cut to the
+		// rest so a cluster never renders an empty label.
+		if shown > 0 && float64(r.count) < minCount {
+			break
+		}
+		if len(groups) > 0 {
+			leader := groups[len(groups)-1].Count
+			if float64(leader-r.count) <= opt.GroupTolerance*float64(leader) {
+				g := &groups[len(groups)-1]
+				g.Values = append(g.Values, col.Label(r.code))
+				shown++
+				continue
+			}
+		}
+		if len(groups) >= opt.MaxGroups {
+			break
+		}
+		groups = append(groups, LabelGroup{Values: []string{col.Label(r.code)}, Count: r.count})
+		shown++
+	}
+	return groups
+}

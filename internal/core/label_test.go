@@ -1,0 +1,173 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// labelView builds a tiny one-column view whose code frequencies are
+// fully controlled, to pin down groupValues behavior.
+func labelView(t *testing.T, values []string) *dataview.Column {
+	t.Helper()
+	tbl := dataset.NewTable("t", dataset.Schema{{Name: "A", Kind: dataset.Categorical, Queriable: true}})
+	for _, v := range values {
+		tbl.MustAppendRow(v)
+	}
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := v.Column("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func repeat(v string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func groupsOf(t *testing.T, counts map[string]int, opt LabelOptions) [][]string {
+	t.Helper()
+	var values []string
+	for v, n := range counts {
+		values = append(values, repeat(v, n)...)
+	}
+	col := labelView(t, values)
+	raw := make([]int, col.Cardinality())
+	total := 0
+	for code := 0; code < col.Cardinality(); code++ {
+		raw[code] = counts[col.Label(code)]
+		total += raw[code]
+	}
+	groups := groupValues(col, raw, total, opt.withDefaults())
+	out := make([][]string, len(groups))
+	for i, g := range groups {
+		out[i] = g.Values
+	}
+	return out
+}
+
+func TestGroupValuesSimilarCountsShareBracket(t *testing.T) {
+	// 50/48 are within the 20% tolerance: one bracket. 10 is far off
+	// and below default MinSupport·108 ≈ 16: dropped.
+	got := groupsOf(t, map[string]int{"a": 50, "b": 48, "c": 10}, LabelOptions{})
+	want := [][]string{{"a", "b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestGroupValuesDistinctCountsSeparateBrackets(t *testing.T) {
+	// 60 vs 35: separate brackets (gap > 20%), both above support.
+	got := groupsOf(t, map[string]int{"a": 60, "b": 35}, LabelOptions{})
+	want := [][]string{{"a"}, {"b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestGroupValuesMaxGroupsCap(t *testing.T) {
+	got := groupsOf(t, map[string]int{"a": 60, "b": 40, "c": 25}, LabelOptions{MaxGroups: 2, MinSupport: 0.01})
+	if len(got) > 2 {
+		t.Errorf("groups = %v, want at most 2 brackets", got)
+	}
+}
+
+func TestGroupValuesMaxValuesCap(t *testing.T) {
+	counts := map[string]int{"a": 50, "b": 50, "c": 50, "d": 50, "e": 50}
+	got := groupsOf(t, counts, LabelOptions{MaxValues: 3, GroupTolerance: 0.5, MinSupport: 0.01})
+	totalShown := 0
+	for _, g := range got {
+		totalShown += len(g)
+	}
+	if totalShown != 3 {
+		t.Errorf("showed %d values (%v), want 3", totalShown, got)
+	}
+}
+
+func TestGroupValuesDominantAlwaysShown(t *testing.T) {
+	// Even a fragmented cluster shows its top value.
+	counts := map[string]int{}
+	for _, v := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		counts[v] = 10
+	}
+	counts["a"] = 11
+	got := groupsOf(t, counts, LabelOptions{MinSupport: 0.99})
+	if len(got) == 0 || got[0][0] != "a" {
+		t.Errorf("dominant value not shown: %v", got)
+	}
+}
+
+func TestGroupValuesTieBreaksAlphabetically(t *testing.T) {
+	got := groupsOf(t, map[string]int{"zed": 50, "ape": 50}, LabelOptions{})
+	if len(got) != 1 || got[0][0] != "ape" || got[0][1] != "zed" {
+		t.Errorf("groups = %v, want alphabetical tie-break", got)
+	}
+}
+
+func TestBuildLabelsFrequencies(t *testing.T) {
+	tbl := dataset.NewTable("t", dataset.Schema{
+		{Name: "A", Kind: dataset.Categorical, Queriable: true},
+		{Name: "B", Kind: dataset.Categorical, Queriable: true},
+	})
+	for i := 0; i < 10; i++ {
+		a := "x"
+		if i >= 7 {
+			a = "y"
+		}
+		tbl.MustAppendRow(a, "only")
+	}
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, freqs, err := buildLabels(v, []string{"A", "B"}, dataset.AllRows(10), LabelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || len(freqs) != 2 {
+		t.Fatalf("labels=%d freqs=%d", len(labels), len(freqs))
+	}
+	colA, _ := v.Column("A")
+	if freqs[0][colA.CodeOf("x")] != 7 || freqs[0][colA.CodeOf("y")] != 3 {
+		t.Errorf("freq A = %v", freqs[0])
+	}
+	if labels[1].Groups[0].Values[0] != "only" {
+		t.Errorf("label B = %+v", labels[1])
+	}
+	if _, _, err := buildLabels(v, []string{"Nope"}, dataset.AllRows(10), LabelOptions{}); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+}
+
+func TestSampleRows(t *testing.T) {
+	rows := dataset.AllRows(100)
+	s := sampleRows(rows, 10, 0)
+	if len(s) != 10 {
+		t.Errorf("sample size = %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Error("sample not increasing")
+		}
+	}
+	// Requesting more than available returns everything.
+	s = sampleRows(rows[:5], 10, 0)
+	if len(s) != 5 {
+		t.Errorf("oversample size = %d", len(s))
+	}
+	// Negative seeds behave.
+	s = sampleRows(rows, 10, -7)
+	if len(s) != 10 {
+		t.Errorf("negative seed sample size = %d", len(s))
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IUnitRef addresses one IUnit cell of a CAD View by pivot value and
+// 1-based rank.
+type IUnitRef struct {
+	PivotValue string
+	Rank       int
+}
+
+// Highlight is the result of HIGHLIGHT SIMILAR IUNITS: the reference cell
+// and every cell whose Algorithm-1 similarity meets the threshold.
+type Highlight struct {
+	Ref     IUnitRef
+	Tau     float64
+	Matches []IUnitMatch
+}
+
+// IUnitMatch is one highlighted cell with its similarity score.
+type IUnitMatch struct {
+	Ref        IUnitRef
+	Similarity float64
+}
+
+// HighlightSimilar implements the paper's
+//
+//	HIGHLIGHT SIMILAR IUNITS IN view WHERE SIMILARITY(value, rank) > tau
+//
+// operation: it returns every other IUnit in the view whose similarity to
+// the referenced IUnit exceeds tau, best match first.
+func HighlightSimilar(v *CADView, pivotValue string, rank int, tau float64) (*Highlight, error) {
+	ref := v.IUnit(pivotValue, rank)
+	if ref == nil {
+		return nil, fmt.Errorf("core: view has no IUnit (%s, %d)", pivotValue, rank)
+	}
+	h := &Highlight{Ref: IUnitRef{pivotValue, rank}, Tau: tau}
+	for _, row := range v.Rows {
+		for _, iu := range row.IUnits {
+			if iu == ref {
+				continue
+			}
+			s, err := IUnitSimilarity(ref, iu)
+			if err != nil {
+				return nil, err
+			}
+			if s > tau {
+				h.Matches = append(h.Matches, IUnitMatch{
+					Ref:        IUnitRef{iu.PivotValue, iu.Rank},
+					Similarity: s,
+				})
+			}
+		}
+	}
+	sort.SliceStable(h.Matches, func(i, j int) bool {
+		return h.Matches[i].Similarity > h.Matches[j].Similarity
+	})
+	return h, nil
+}
+
+// RowSimilarity is one pivot row with its Algorithm-2 distance to a
+// reference pivot value (smaller distance = more similar).
+type RowSimilarity struct {
+	PivotValue string
+	Distance   float64
+}
+
+// ReorderRows implements the paper's
+//
+//	REORDER ROWS IN view ORDER BY SIMILARITY(value) DESC
+//
+// operation: it returns a copy of the view whose rows are ordered by
+// decreasing similarity (increasing Algorithm-2 distance) to the
+// reference pivot value, which comes first. The per-row distances are
+// also returned, aligned with the new row order.
+func ReorderRows(v *CADView, pivotValue string) (*CADView, []RowSimilarity, error) {
+	ref := v.Row(pivotValue)
+	if ref == nil {
+		return nil, nil, fmt.Errorf("core: view has no pivot value %q", pivotValue)
+	}
+	sims := make([]RowSimilarity, 0, len(v.Rows))
+	for _, row := range v.Rows {
+		d, err := AttributeValueDistance(ref.IUnits, row.IUnits, v.Tau)
+		if err != nil {
+			return nil, nil, err
+		}
+		sims = append(sims, RowSimilarity{PivotValue: row.Value, Distance: d})
+	}
+	sort.SliceStable(sims, func(i, j int) bool {
+		// The reference row always leads (distance 0 to itself).
+		return sims[i].Distance < sims[j].Distance
+	})
+	out := &CADView{
+		Name:         v.Name,
+		Pivot:        v.Pivot,
+		CompareAttrs: v.CompareAttrs,
+		K:            v.K,
+		Tau:          v.Tau,
+	}
+	for _, s := range sims {
+		out.Rows = append(out.Rows, v.Row(s.PivotValue))
+	}
+	return out, sims, nil
+}

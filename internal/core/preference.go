@@ -1,0 +1,55 @@
+package core
+
+import (
+	"dbexplorer/internal/dataview"
+)
+
+// Preference scores an IUnit for top-k ranking (paper Problem 2). Scores
+// must be non-negative; higher is preferred. The paper's default prefers
+// large clusters; a car shopper might prefer cheap clusters and a taxi
+// fleet manager high-mileage ones — both expressible as preferences.
+type Preference func(v *dataview.View, iu *IUnit) float64
+
+// ByClusterSize is the system default preference: an IUnit summarizing
+// more tuples scores higher.
+func ByClusterSize(_ *dataview.View, iu *IUnit) float64 {
+	return float64(iu.Size)
+}
+
+// ByMeanAscending prefers IUnits whose cluster mean of the named numeric
+// attribute is low (e.g. rank cheap car clusters first). IUnits whose
+// attribute is missing or non-numeric score 0.
+func ByMeanAscending(attr string) Preference {
+	return func(v *dataview.View, iu *IUnit) float64 {
+		m, ok := clusterMean(v, iu, attr)
+		if !ok {
+			return 0
+		}
+		// Monotone decreasing, bounded to (0, 1].
+		return 1 / (1 + m)
+	}
+}
+
+// ByMeanDescending prefers IUnits whose cluster mean of the named numeric
+// attribute is high (the paper's taxi-fleet mileage example).
+func ByMeanDescending(attr string) Preference {
+	return func(v *dataview.View, iu *IUnit) float64 {
+		m, ok := clusterMean(v, iu, attr)
+		if !ok || m < 0 {
+			return 0
+		}
+		return m
+	}
+}
+
+func clusterMean(v *dataview.View, iu *IUnit, attr string) (float64, bool) {
+	col, err := v.Table().NumByName(attr)
+	if err != nil || len(iu.Rows) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, r := range iu.Rows {
+		s += col.Value(r)
+	}
+	return s / float64(len(iu.Rows)), true
+}

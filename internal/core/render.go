@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints the CAD View as a fixed-width text table shaped like the
+// paper's Table 1: one row per pivot value, a Compare Attributes column,
+// and one column per IUnit rank. highlight, when non-nil, marks matched
+// cells with a '*' prefix (the TPFacet interface's highlight effect).
+func Render(v *CADView, highlight *Highlight) string {
+	var b strings.Builder
+	marked := map[IUnitRef]bool{}
+	if highlight != nil {
+		marked[highlight.Ref] = true
+		for _, m := range highlight.Matches {
+			marked[m.Ref] = true
+		}
+	}
+
+	headers := []string{v.Pivot, "Compare Attrs."}
+	for i := 1; i <= v.K; i++ {
+		headers = append(headers, fmt.Sprintf("IUnit %d", i))
+	}
+
+	// Each pivot row renders as len(CompareAttrs) text lines.
+	var rows [][][]string // rows -> columns -> lines
+	for _, pr := range v.Rows {
+		cols := make([][]string, len(headers))
+		cols[0] = []string{fmt.Sprintf("%s (%d)", pr.Value, pr.Count)}
+		for _, attr := range v.CompareAttrs {
+			cols[1] = append(cols[1], attr)
+		}
+		for k := 1; k <= v.K; k++ {
+			var lines []string
+			if k <= len(pr.IUnits) {
+				iu := pr.IUnits[k-1]
+				prefix := ""
+				if marked[IUnitRef{pr.Value, iu.Rank}] {
+					prefix = "*"
+				}
+				for i, attr := range v.CompareAttrs {
+					lbl := iu.Label(attr)
+					line := lbl.String()
+					if i == 0 && prefix != "" {
+						line = prefix + line
+					}
+					lines = append(lines, line)
+				}
+				lines = append(lines, fmt.Sprintf("(%d tuples)", iu.Size))
+			}
+			cols[k+1] = lines
+		}
+		rows = append(rows, cols)
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, cols := range rows {
+		for c, lines := range cols {
+			for _, l := range lines {
+				if len(l) > widths[c] {
+					widths[c] = len(l)
+				}
+			}
+		}
+	}
+
+	writeRule := func() {
+		for _, w := range widths {
+			b.WriteString("+")
+			b.WriteString(strings.Repeat("-", w+2))
+		}
+		b.WriteString("+\n")
+	}
+	writeLine := func(cells []string) {
+		for c, w := range widths {
+			cell := ""
+			if c < len(cells) {
+				cell = cells[c]
+			}
+			fmt.Fprintf(&b, "| %-*s ", w, cell)
+		}
+		b.WriteString("|\n")
+	}
+
+	writeRule()
+	writeLine(headers)
+	writeRule()
+	for _, cols := range rows {
+		height := 0
+		for _, lines := range cols {
+			if len(lines) > height {
+				height = len(lines)
+			}
+		}
+		for h := 0; h < height; h++ {
+			cells := make([]string, len(cols))
+			for c, lines := range cols {
+				if h < len(lines) {
+					cells[c] = lines[h]
+				}
+			}
+			writeLine(cells)
+		}
+		writeRule()
+	}
+	return b.String()
+}

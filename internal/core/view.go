@@ -1,0 +1,149 @@
+// Package core implements the Conditional Attribute Dependency (CAD)
+// View — the paper's primary contribution. A CAD View summarizes a
+// result set "in context": for a user-chosen Pivot Attribute it selects
+// the Compare Attributes that contrast the pivot values most sharply
+// (Problem 1.1, chi-square feature selection), clusters each pivot
+// value's tuples over those attributes into candidate IUnits (Problem
+// 1.2, k-means), labels every cluster with ranked representative values
+// (§3.1.2), and keeps the diversified top-k IUnits per pivot value
+// (Problem 2, div-astar). Algorithms 1 and 2 (IUnit similarity and
+// ranked-list attribute-value similarity) power the HIGHLIGHT SIMILAR
+// IUNITS and REORDER ROWS operations.
+package core
+
+import (
+	"strings"
+
+	"dbexplorer/internal/dataset"
+)
+
+// LabelGroup is one bracketed group of attribute values whose in-cluster
+// frequencies are statistically similar — rendered like
+// "[Suburban 1500 LT, Tahoe LT]" in the paper's Table 1.
+type LabelGroup struct {
+	// Values are the display labels in the group, frequency-ranked.
+	Values []string
+	// Count is the in-cluster frequency of the group's most common value.
+	Count int
+}
+
+// Label summarizes one Compare Attribute within an IUnit: the ranked
+// groups of representative values.
+type Label struct {
+	// Attr is the Compare Attribute name.
+	Attr string
+	// Groups are the displayed value groups, most frequent first.
+	Groups []LabelGroup
+}
+
+// String renders the label as the paper prints it: each group bracketed,
+// groups separated by spaces, e.g. "[V6] [V8]" or "[15K-20K, 20K-25K]".
+func (l Label) String() string {
+	parts := make([]string, len(l.Groups))
+	for i, g := range l.Groups {
+		parts[i] = "[" + strings.Join(g.Values, ", ") + "]"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Values flattens all displayed values across groups, rank order.
+func (l Label) Values() []string {
+	var out []string
+	for _, g := range l.Groups {
+		out = append(out, g.Values...)
+	}
+	return out
+}
+
+// IUnit (Interaction Unit) is one labeled cluster of tuples belonging to
+// a single Pivot Attribute value.
+type IUnit struct {
+	// PivotValue is the pivot attribute value this IUnit belongs to.
+	PivotValue string
+	// Rank is the 1-based position within its row after diversified
+	// top-k selection (IUnit 1 is the most preferred).
+	Rank int
+	// Size is the number of tuples in the underlying cluster.
+	Size int
+	// Score is the preference score used for top-k selection.
+	Score float64
+	// Labels has one entry per Compare Attribute, in the CAD View's
+	// CompareAttrs order.
+	Labels []Label
+	// Rows are the member tuples (row ids into the table).
+	Rows dataset.RowSet
+
+	// freq[d] is the full code-frequency vector of Compare Attribute d
+	// over the cluster's rows; it drives Algorithm 1 similarity.
+	freq [][]float64
+}
+
+// Label returns the label for the named Compare Attribute, or a zero
+// Label if the attribute is not a Compare Attribute of this IUnit.
+func (iu *IUnit) Label(attr string) Label {
+	for _, l := range iu.Labels {
+		if l.Attr == attr {
+			return l
+		}
+	}
+	return Label{}
+}
+
+// PivotRow is one row of the CAD View: a pivot value with its diversified
+// top-k IUnits, most relevant first.
+type PivotRow struct {
+	// Value is the Pivot Attribute value.
+	Value string
+	// Count is the number of result-set tuples carrying this value.
+	Count int
+	// IUnits are the diversified top-k IUnits, rank order.
+	IUnits []*IUnit
+}
+
+// CADView is the tabular summary presented to the user.
+type CADView struct {
+	// Name is the CADVIEW name from CREATE CADVIEW (may be empty when
+	// built directly through the API).
+	Name string
+	// Pivot is the Pivot Attribute.
+	Pivot string
+	// CompareAttrs are the selected Compare Attributes, relevance order.
+	CompareAttrs []string
+	// Rows are the pivot rows, in pivot-value frequency order (or the
+	// user's explicit order when pivot values were listed).
+	Rows []*PivotRow
+	// K is the requested IUnits per row.
+	K int
+	// Tau is the default IUnit similarity threshold α·|I| used by
+	// REORDER ROWS; HIGHLIGHT queries may pass their own threshold.
+	Tau float64
+}
+
+// Row returns the pivot row for value, or nil.
+func (v *CADView) Row(value string) *PivotRow {
+	for _, r := range v.Rows {
+		if r.Value == value {
+			return r
+		}
+	}
+	return nil
+}
+
+// IUnit returns the IUnit at 1-based rank within the given pivot value's
+// row, or nil when the row or rank does not exist.
+func (v *CADView) IUnit(pivotValue string, rank int) *IUnit {
+	r := v.Row(pivotValue)
+	if r == nil || rank < 1 || rank > len(r.IUnits) {
+		return nil
+	}
+	return r.IUnits[rank-1]
+}
+
+// PivotValues returns the row values in display order.
+func (v *CADView) PivotValues() []string {
+	out := make([]string, len(v.Rows))
+	for i, r := range v.Rows {
+		out[i] = r.Value
+	}
+	return out
+}

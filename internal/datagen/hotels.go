@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"dbexplorer/internal/dataset"
+)
+
+// Hotels generates the paper's *introduction* scenario: a big-city hotel
+// booking site. The generative structure plants exactly the facts the
+// intro says an unfamiliar user cannot know without exploration:
+//
+//   - five-star hotels cluster in the Financial District,
+//   - there is a location/price tradeoff (price falls with distance
+//     from the center),
+//   - hostel prices are poorly correlated with those at fancy hotels
+//     (the backpacker's average-price trap).
+type hotelArea struct {
+	name       string
+	priceMult  float64
+	walkBase   float64 // minutes to center
+	popularity float64
+}
+
+var hotelAreas = []hotelArea{
+	{"Financial District", 1.55, 6, 2},
+	{"Downtown", 1.35, 3, 3},
+	{"Old Town", 1.15, 12, 2.5},
+	{"University", 0.85, 22, 1.5},
+	{"Beachfront", 1.25, 30, 1.5},
+	{"Airport", 0.80, 45, 1.5},
+	{"Suburbs", 0.65, 38, 2},
+}
+
+type hotelType struct {
+	name      string
+	starsLow  int
+	starsHigh int
+	basePrice float64 // 3-star equivalent nightly rate
+	// areaBias multiplies area popularity for this type (index-aligned
+	// with hotelAreas); nil means uniform.
+	areaBias []float64
+}
+
+var hotelTypes = []hotelType{
+	// Luxury hotels: 4-5 stars, strongly biased to the Financial
+	// District and Downtown.
+	{"Luxury Hotel", 4, 5, 240, []float64{6, 3, 1, 0.1, 1.5, 0.2, 0.1}},
+	{"Business Hotel", 3, 4, 140, []float64{3, 3, 1, 0.5, 0.5, 2, 1}},
+	{"Boutique Hotel", 3, 5, 180, []float64{1, 2, 4, 1, 2, 0.1, 0.3}},
+	{"Budget Hotel", 2, 3, 75, []float64{0.3, 1, 1.5, 2, 1, 2, 3}},
+	{"Hostel", 1, 2, 28, []float64{0.1, 1, 2, 4, 1.5, 0.5, 2}},
+	{"B&B", 2, 4, 90, []float64{0.1, 0.5, 3, 1.5, 2, 0.3, 3}},
+}
+
+var roomTypes = []string{"Standard", "Deluxe", "Suite", "Dorm"}
+
+// HotelsSchema returns the hotel table's schema.
+func HotelsSchema() dataset.Schema {
+	return dataset.Schema{
+		{Name: "Area", Kind: dataset.Categorical, Queriable: true},
+		{Name: "HotelType", Kind: dataset.Categorical, Queriable: true},
+		{Name: "StarRating", Kind: dataset.Numeric, Queriable: true},
+		{Name: "Price", Kind: dataset.Numeric, Queriable: true},
+		{Name: "GuestScore", Kind: dataset.Numeric, Queriable: true},
+		{Name: "WalkToCenter", Kind: dataset.Numeric, Queriable: true},
+		{Name: "RoomType", Kind: dataset.Categorical, Queriable: true},
+		{Name: "Breakfast", Kind: dataset.Categorical, Queriable: true},
+		{Name: "Pool", Kind: dataset.Categorical, Queriable: true},
+		{Name: "Parking", Kind: dataset.Categorical, Queriable: true},
+	}
+}
+
+// Hotels generates n hotel listings for one synthetic big city.
+func Hotels(n int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := dataset.NewTable("Hotels", HotelsSchema())
+
+	var typeCum []float64
+	typeTotal := 0.0
+	typeWeights := []float64{1.2, 2, 1, 2.5, 1.5, 1.3}
+	for _, w := range typeWeights {
+		typeTotal += w
+		typeCum = append(typeCum, typeTotal)
+	}
+
+	for i := 0; i < n; i++ {
+		ht := &hotelTypes[weightedIndex(rng, typeCum, typeTotal)]
+
+		// Area, biased per hotel type.
+		var areaCum []float64
+		areaTotal := 0.0
+		for ai, area := range hotelAreas {
+			w := area.popularity
+			if ht.areaBias != nil {
+				w *= ht.areaBias[ai]
+			}
+			areaTotal += w
+			areaCum = append(areaCum, areaTotal)
+		}
+		area := &hotelAreas[weightedIndex(rng, areaCum, areaTotal)]
+
+		stars := float64(ht.starsLow + rng.Intn(ht.starsHigh-ht.starsLow+1))
+		walk := math.Max(1, area.walkBase*(0.7+rng.Float64()*0.6))
+
+		// Price: type base, star escalation, area multiplier, and a
+		// proximity premium — the intro's location/price tradeoff.
+		price := ht.basePrice * math.Pow(1.35, stars-3) * area.priceMult
+		price *= 1 + 0.5/math.Sqrt(walk)
+		price *= 1 + rng.NormFloat64()*0.12
+		if price < 12 {
+			price = 12 + rng.Float64()*5
+		}
+
+		score := 5.5 + 0.7*stars + rng.NormFloat64()*0.6
+		if score > 10 {
+			score = 10
+		}
+		if score < 2 {
+			score = 2
+		}
+
+		room := roomTypes[rng.Intn(3)]
+		if ht.name == "Hostel" {
+			room = "Dorm"
+			if rng.Float64() < 0.25 {
+				room = "Standard"
+			}
+		}
+		yn := func(p float64) string {
+			if rng.Float64() < p {
+				return "yes"
+			}
+			return "no"
+		}
+		breakfast := yn(0.3 + 0.1*stars)
+		pool := yn(0.08 * stars * stars / 2)
+		parking := yn(map[string]float64{
+			"Financial District": 0.25, "Downtown": 0.3, "Old Town": 0.35,
+			"University": 0.5, "Beachfront": 0.6, "Airport": 0.9, "Suburbs": 0.85,
+		}[area.name])
+
+		t.MustAppendRow(
+			area.name, ht.name, stars,
+			math.Round(price),
+			math.Round(score*10)/10,
+			math.Round(walk),
+			room, breakfast, pool, parking,
+		)
+	}
+	return t
+}

@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"testing"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/stats"
+)
+
+func TestHotelsShape(t *testing.T) {
+	tbl := Hotels(5000, 1)
+	if tbl.NumRows() != 5000 || tbl.NumCols() != 10 {
+		t.Fatalf("dims = (%d,%d)", tbl.NumRows(), tbl.NumCols())
+	}
+	price, _ := tbl.NumByName("Price")
+	stars, _ := tbl.NumByName("StarRating")
+	score, _ := tbl.NumByName("GuestScore")
+	for r := 0; r < tbl.NumRows(); r++ {
+		if price.Value(r) < 10 || price.Value(r) > 3000 {
+			t.Fatalf("row %d price %g out of range", r, price.Value(r))
+		}
+		if stars.Value(r) < 1 || stars.Value(r) > 5 {
+			t.Fatalf("row %d stars %g", r, stars.Value(r))
+		}
+		if score.Value(r) < 2 || score.Value(r) > 10 {
+			t.Fatalf("row %d score %g", r, score.Value(r))
+		}
+	}
+}
+
+func TestHotelsFiveStarsClusterInFinancialDistrict(t *testing.T) {
+	// The intro's first hidden fact.
+	tbl := Hotels(8000, 2)
+	stars, _ := tbl.NumByName("StarRating")
+	area, _ := tbl.CatByName("Area")
+	counts := map[string]int{}
+	fiveStar := 0
+	for r := 0; r < tbl.NumRows(); r++ {
+		if stars.Value(r) == 5 {
+			fiveStar++
+			counts[area.Value(r)]++
+		}
+	}
+	if fiveStar < 100 {
+		t.Fatalf("only %d five-star hotels", fiveStar)
+	}
+	fd := float64(counts["Financial District"]+counts["Downtown"]) / float64(fiveStar)
+	if fd < 0.5 {
+		t.Errorf("five-star share in FD+Downtown = %.2f, want clustered", fd)
+	}
+	if counts["Financial District"] <= counts["Suburbs"] {
+		t.Errorf("FD %d <= Suburbs %d five-star hotels", counts["Financial District"], counts["Suburbs"])
+	}
+}
+
+func TestHotelsLocationPriceTradeoff(t *testing.T) {
+	// The intro's second hidden fact: price anti-correlates with
+	// distance from the center, controlling for nothing (the raw trend
+	// the CAD View exposes per area).
+	tbl := Hotels(8000, 3)
+	price, _ := tbl.NumByName("Price")
+	walk, _ := tbl.NumByName("WalkToCenter")
+	r, err := stats.Spearman(walk.Values(), price.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.1 {
+		t.Errorf("walk/price Spearman = %.3f, want clearly negative", r)
+	}
+}
+
+func TestHotelsHostelPricesDecoupled(t *testing.T) {
+	// The intro's backpacker: the citywide average price is useless
+	// because hostel prices live on another scale than luxury prices.
+	tbl := Hotels(8000, 4)
+	price, _ := tbl.NumByName("Price")
+	ht, _ := tbl.CatByName("HotelType")
+	var hostel, luxury []float64
+	for r := 0; r < tbl.NumRows(); r++ {
+		switch ht.Value(r) {
+		case "Hostel":
+			hostel = append(hostel, price.Value(r))
+		case "Luxury Hotel":
+			luxury = append(luxury, price.Value(r))
+		}
+	}
+	if len(hostel) < 100 || len(luxury) < 100 {
+		t.Fatalf("hostels %d, luxury %d", len(hostel), len(luxury))
+	}
+	mh, ml := stats.Mean(hostel), stats.Mean(luxury)
+	if ml < 5*mh {
+		t.Errorf("luxury mean %0.f vs hostel mean %.0f: want an order-of-magnitude gap", ml, mh)
+	}
+	// Hostels' own prices sit far below the citywide mean.
+	all := dataset.AllRows(tbl.NumRows())
+	var totals float64
+	for _, r := range all {
+		totals += price.Value(r)
+	}
+	cityMean := totals / float64(len(all))
+	if mh > cityMean/2 {
+		t.Errorf("hostel mean %.0f not far below city mean %.0f", mh, cityMean)
+	}
+}
+
+func TestHotelsDeterministic(t *testing.T) {
+	a, b := Hotels(300, 9), Hotels(300, 9)
+	for r := 0; r < 300; r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			if a.CellString(r, c) != b.CellString(r, c) {
+				t.Fatalf("cell (%d,%d) differs", r, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"dbexplorer/internal/dataset"
+)
+
+// The synthetic Mushroom table reproduces the UCI dataset's shape (8124
+// tuples × 23 categorical attributes) through a latent-subtype generative
+// model: every mushroom belongs to one of six subtypes (three edible,
+// three poisonous), and each subtype fixes characteristic distributions
+// over the informative attributes. This plants exactly the conditional
+// dependencies the paper's user-study tasks probe:
+//
+//   - Bruises is strongly class-linked, and RingType / stalk surfaces
+//     correlate with it — the Simple Classifier task (§6.2.1) has real
+//     high-F1 solutions to find.
+//   - GillColor brown and white are generated with identical subtype
+//     mixtures, making them the most similar pair among
+//     {buff, white, brown, green} (§6.2.2).
+//   - Subtype P1 is identified equivalently by Odor=foul, by
+//     StalkShape=enlarged ∧ SporePrintColor=chocolate, and by
+//     StalkSurfaceAboveRing=silky — the Alternative Search Condition
+//     task (§6.2.3) has genuine alternatives.
+//   - VeilType is constant ("partial"), as in UCI — a degenerate
+//     attribute the pipeline must tolerate.
+
+// weighted is a (value, weight) choice entry.
+type weighted struct {
+	v string
+	w float64
+}
+
+func pick(rng *rand.Rand, choices []weighted) string {
+	var total float64
+	for _, c := range choices {
+		total += c.w
+	}
+	x := rng.Float64() * total
+	for _, c := range choices {
+		x -= c.w
+		if x < 0 {
+			return c.v
+		}
+	}
+	return choices[len(choices)-1].v
+}
+
+// subtypeProfile fixes the informative attributes' distributions for one
+// latent subtype.
+type subtypeProfile struct {
+	name      string
+	class     string
+	prior     float64
+	odor      []weighted
+	sporeCol  []weighted
+	stalkShp  []weighted
+	bruisesT  float64 // P(Bruises = true)
+	gillSizeB float64 // P(GillSize = broad)
+	gillColor []weighted
+	capColor  []weighted
+	stalkSurf []weighted // above-ring surface
+	stalkRoot []weighted
+	habitat   []weighted
+}
+
+var mushroomSubtypes = []subtypeProfile{
+	{
+		name: "E1", class: "edible", prior: 0.25,
+		odor:      []weighted{{"none", 1}},
+		sporeCol:  []weighted{{"brown", 0.55}, {"black", 0.45}},
+		stalkShp:  []weighted{{"tapering", 0.85}, {"enlarged", 0.15}},
+		bruisesT:  0.90,
+		gillSizeB: 0.85,
+		gillColor: []weighted{{"brown", 0.3}, {"white", 0.3}, {"pink", 0.2}, {"gray", 0.2}},
+		capColor:  []weighted{{"brown", 0.4}, {"gray", 0.4}, {"white", 0.2}},
+		stalkSurf: []weighted{{"smooth", 0.85}, {"fibrous", 0.15}},
+		stalkRoot: []weighted{{"bulbous", 0.5}, {"club", 0.3}, {"equal", 0.2}},
+		habitat:   []weighted{{"woods", 0.6}, {"grasses", 0.3}, {"meadows", 0.1}},
+	},
+	{
+		name: "E2", class: "edible", prior: 0.13,
+		odor:      []weighted{{"almond", 0.5}, {"anise", 0.5}},
+		sporeCol:  []weighted{{"brown", 0.4}, {"black", 0.35}, {"purple", 0.25}},
+		stalkShp:  []weighted{{"enlarged", 0.6}, {"tapering", 0.4}},
+		bruisesT:  0.85,
+		gillSizeB: 0.70,
+		gillColor: []weighted{{"brown", 0.25}, {"white", 0.25}, {"pink", 0.3}, {"purple", 0.2}},
+		capColor:  []weighted{{"white", 0.45}, {"yellow", 0.35}, {"brown", 0.1}, {"gray", 0.1}},
+		stalkSurf: []weighted{{"smooth", 0.7}, {"fibrous", 0.3}},
+		stalkRoot: []weighted{{"club", 0.45}, {"rooted", 0.3}, {"bulbous", 0.25}},
+		habitat:   []weighted{{"woods", 0.45}, {"meadows", 0.35}, {"grasses", 0.2}},
+	},
+	{
+		name: "E3", class: "edible", prior: 0.138,
+		odor:      []weighted{{"none", 1}},
+		sporeCol:  []weighted{{"white", 0.55}, {"brown", 0.45}},
+		stalkShp:  []weighted{{"tapering", 0.75}, {"enlarged", 0.25}},
+		bruisesT:  0.30,
+		gillSizeB: 0.50,
+		gillColor: []weighted{{"brown", 0.25}, {"white", 0.25}, {"green", 0.2}, {"pink", 0.3}},
+		capColor:  []weighted{{"brown", 0.4}, {"gray", 0.4}, {"green", 0.2}},
+		stalkSurf: []weighted{{"fibrous", 0.6}, {"smooth", 0.3}, {"scaly", 0.1}},
+		stalkRoot: []weighted{{"equal", 0.6}, {"club", 0.25}, {"bulbous", 0.15}},
+		habitat:   []weighted{{"grasses", 0.5}, {"woods", 0.3}, {"paths", 0.2}},
+	},
+	{
+		name: "P1", class: "poisonous", prior: 0.20,
+		odor:      []weighted{{"foul", 0.97}, {"none", 0.03}},
+		sporeCol:  []weighted{{"chocolate", 0.92}, {"white", 0.08}},
+		stalkShp:  []weighted{{"enlarged", 0.93}, {"tapering", 0.07}},
+		bruisesT:  0.05,
+		gillSizeB: 0.30,
+		gillColor: []weighted{{"buff", 0.6}, {"chocolate", 0.2}, {"brown", 0.1}, {"white", 0.1}},
+		capColor:  []weighted{{"red", 0.4}, {"brown", 0.35}, {"yellow", 0.25}},
+		stalkSurf: []weighted{{"silky", 0.9}, {"smooth", 0.1}},
+		stalkRoot: []weighted{{"bulbous", 0.7}, {"missing", 0.3}},
+		habitat:   []weighted{{"paths", 0.4}, {"urban", 0.3}, {"leaves", 0.3}},
+	},
+	{
+		name: "P2", class: "poisonous", prior: 0.15,
+		odor:      []weighted{{"fishy", 0.5}, {"spicy", 0.5}},
+		sporeCol:  []weighted{{"white", 0.75}, {"chocolate", 0.25}},
+		stalkShp:  []weighted{{"tapering", 0.8}, {"enlarged", 0.2}},
+		bruisesT:  0.20,
+		gillSizeB: 0.50,
+		gillColor: []weighted{{"buff", 0.3}, {"gray", 0.3}, {"brown", 0.2}, {"white", 0.2}},
+		capColor:  []weighted{{"gray", 0.35}, {"brown", 0.35}, {"red", 0.3}},
+		stalkSurf: []weighted{{"smooth", 0.5}, {"scaly", 0.5}},
+		stalkRoot: []weighted{{"equal", 0.5}, {"missing", 0.3}, {"bulbous", 0.2}},
+		habitat:   []weighted{{"leaves", 0.4}, {"woods", 0.35}, {"paths", 0.25}},
+	},
+	{
+		name: "P3", class: "poisonous", prior: 0.132,
+		odor:      []weighted{{"pungent", 0.45}, {"creosote", 0.35}, {"musty", 0.1}, {"none", 0.1}},
+		sporeCol:  []weighted{{"white", 0.5}, {"green", 0.3}, {"black", 0.2}},
+		stalkShp:  []weighted{{"enlarged", 0.45}, {"tapering", 0.55}},
+		bruisesT:  0.40,
+		gillSizeB: 0.40,
+		gillColor: []weighted{{"brown", 0.25}, {"white", 0.25}, {"gray", 0.3}, {"pink", 0.2}},
+		capColor:  []weighted{{"yellow", 0.4}, {"white", 0.3}, {"brown", 0.15}, {"gray", 0.15}},
+		stalkSurf: []weighted{{"scaly", 0.55}, {"fibrous", 0.45}},
+		stalkRoot: []weighted{{"club", 0.4}, {"equal", 0.35}, {"missing", 0.25}},
+		habitat:   []weighted{{"urban", 0.45}, {"grasses", 0.3}, {"leaves", 0.25}},
+	},
+}
+
+// MushroomSchema returns the 23-attribute schema (all categorical, all
+// queriable — the mushroom study used every attribute in the facet
+// panel).
+func MushroomSchema() dataset.Schema {
+	names := []string{
+		"Class", "CapShape", "CapSurface", "CapColor", "Bruises", "Odor",
+		"GillAttachment", "GillSpacing", "GillSize", "GillColor",
+		"StalkShape", "StalkRoot", "StalkSurfaceAboveRing",
+		"StalkSurfaceBelowRing", "StalkColorAboveRing",
+		"StalkColorBelowRing", "VeilType", "VeilColor", "RingNumber",
+		"RingType", "SporePrintColor", "Population", "Habitat",
+	}
+	s := make(dataset.Schema, len(names))
+	for i, n := range names {
+		s[i] = dataset.Attribute{Name: n, Kind: dataset.Categorical, Queriable: true}
+	}
+	return s
+}
+
+// MushroomSize is the UCI dataset's row count.
+const MushroomSize = 8124
+
+// Mushroom generates the synthetic Mushroom table at the UCI scale.
+func Mushroom(seed int64) *dataset.Table {
+	return MushroomN(MushroomSize, seed)
+}
+
+// MushroomN generates n synthetic mushroom records.
+func MushroomN(n int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := dataset.NewTable("Mushroom", MushroomSchema())
+
+	var cumulative []float64
+	var total float64
+	for _, s := range mushroomSubtypes {
+		total += s.prior
+		cumulative = append(cumulative, total)
+	}
+
+	for i := 0; i < n; i++ {
+		st := &mushroomSubtypes[weightedIndex(rng, cumulative, total)]
+
+		bruises := "false"
+		if rng.Float64() < st.bruisesT {
+			bruises = "true"
+		}
+		gillSize := "narrow"
+		if rng.Float64() < st.gillSizeB {
+			gillSize = "broad"
+		}
+		// RingType depends on Bruises directly — the planted signal for
+		// the Simple Classifier task.
+		var ringType string
+		if bruises == "true" {
+			ringType = pick(rng, []weighted{{"pendant", 0.85}, {"flaring", 0.1}, {"evanescent", 0.05}})
+		} else {
+			ringType = pick(rng, []weighted{{"evanescent", 0.6}, {"none", 0.25}, {"large", 0.15}})
+		}
+		// GillSpacing and Population depend on GillSize — the signal for
+		// the matched classifier task.
+		var gillSpacing, population string
+		if gillSize == "broad" {
+			gillSpacing = pick(rng, []weighted{{"close", 0.8}, {"crowded", 0.2}})
+			population = pick(rng, []weighted{{"several", 0.5}, {"solitary", 0.3}, {"scattered", 0.2}})
+		} else {
+			gillSpacing = pick(rng, []weighted{{"crowded", 0.6}, {"close", 0.4}})
+			population = pick(rng, []weighted{{"numerous", 0.5}, {"abundant", 0.3}, {"clustered", 0.2}})
+		}
+
+		capShape := pick(rng, []weighted{{"convex", 0.45}, {"flat", 0.35}, {"bell", 0.1}, {"knobbed", 0.08}, {"conical", 0.02}})
+		capSurface := pick(rng, []weighted{{"scaly", 0.4}, {"smooth", 0.32}, {"fibrous", 0.28}})
+		gillAttachment := pick(rng, []weighted{{"free", 0.97}, {"attached", 0.03}})
+		stalkSurfBelow := pick(rng, append([]weighted{{"smooth", 0.2}}, st.stalkSurf...))
+		stalkColorAbove := pick(rng, []weighted{{"white", 0.55}, {"gray", 0.2}, {"pink", 0.15}, {"buff", 0.1}})
+		stalkColorBelow := pick(rng, []weighted{{"white", 0.55}, {"gray", 0.2}, {"pink", 0.15}, {"buff", 0.1}})
+		veilColor := pick(rng, []weighted{{"white", 0.97}, {"brown", 0.02}, {"orange", 0.01}})
+		ringNumber := pick(rng, []weighted{{"one", 0.9}, {"two", 0.08}, {"none", 0.02}})
+
+		t.MustAppendRow(
+			st.class,
+			capShape,
+			capSurface,
+			pick(rng, st.capColor),
+			bruises,
+			pick(rng, st.odor),
+			gillAttachment,
+			gillSpacing,
+			gillSize,
+			pick(rng, st.gillColor),
+			pick(rng, st.stalkShp),
+			pick(rng, st.stalkRoot),
+			pick(rng, st.stalkSurf),
+			stalkSurfBelow,
+			stalkColorAbove,
+			stalkColorBelow,
+			"partial", // VeilType is constant, as in UCI
+			veilColor,
+			ringNumber,
+			ringType,
+			pick(rng, st.sporeCol),
+			population,
+			pick(rng, st.habitat),
+		)
+	}
+	return t
+}

@@ -1,0 +1,326 @@
+// Package dataset implements the in-memory columnar relational store that
+// DBExplorer runs on. A Table holds dictionary-encoded categorical columns
+// and float64 numeric columns; query evaluation, facet digests, and CAD
+// View construction all operate on a Table plus a RowSet (a selected
+// subset of its rows).
+//
+// The store deliberately favors the access patterns of exploratory
+// search: column scans over a row subset, per-column value counting, and
+// cheap projection. It is not a general-purpose DBMS, but it is a
+// complete, self-contained substrate: tables can be built
+// programmatically, loaded from CSV with type inference, filtered with
+// expressions (package expr), and summarized (package facet).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes the two attribute types DBExplorer understands.
+type Kind int
+
+const (
+	// Categorical attributes hold string values drawn from a finite
+	// domain (Make, Color, odor, ...). They are dictionary encoded.
+	Categorical Kind = iota
+	// Numeric attributes hold float64 values (Price, Mileage, ...).
+	// For CAD View construction they are discretized into bins by
+	// package histogram, per the paper's pre-processing step.
+	Numeric
+)
+
+// String returns "categorical" or "numeric".
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one column of a Table.
+type Attribute struct {
+	// Name is the attribute name used in queries (case-sensitive).
+	Name string
+	// Kind is Categorical or Numeric.
+	Kind Kind
+	// Queriable marks attributes exposed in the faceted query panel.
+	// The paper's Limitation 2 concerns attributes present in the data
+	// but not queriable through the interface; the facet package honors
+	// this flag while the CAD View ignores it (that is the point).
+	Queriable bool
+}
+
+// Schema is an ordered list of attributes.
+type Schema []Attribute
+
+// Index returns the position of the named attribute, or -1.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the attribute names in schema order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s))
+	for i, a := range s {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// CatColumn is a dictionary-encoded categorical column. Codes index into
+// Dict; the dictionary preserves first-seen order.
+type CatColumn struct {
+	Dict  []string
+	codes []int32
+	index map[string]int32
+}
+
+// NewCatColumn returns an empty categorical column.
+func NewCatColumn() *CatColumn {
+	return &CatColumn{index: make(map[string]int32)}
+}
+
+// Append adds one value, interning it in the dictionary.
+func (c *CatColumn) Append(v string) {
+	code, ok := c.index[v]
+	if !ok {
+		code = int32(len(c.Dict))
+		c.Dict = append(c.Dict, v)
+		c.index[v] = code
+	}
+	c.codes = append(c.codes, code)
+}
+
+// Len returns the number of rows stored.
+func (c *CatColumn) Len() int { return len(c.codes) }
+
+// Code returns the dictionary code at row i.
+func (c *CatColumn) Code(i int) int32 { return c.codes[i] }
+
+// Value returns the string value at row i.
+func (c *CatColumn) Value(i int) string { return c.Dict[c.codes[i]] }
+
+// CodeOf returns the dictionary code for value v, or -1 if v never occurs.
+func (c *CatColumn) CodeOf(v string) int32 {
+	if code, ok := c.index[v]; ok {
+		return code
+	}
+	return -1
+}
+
+// Cardinality returns the number of distinct values seen.
+func (c *CatColumn) Cardinality() int { return len(c.Dict) }
+
+// NumColumn is a dense float64 column.
+type NumColumn struct {
+	vals []float64
+}
+
+// NewNumColumn returns an empty numeric column.
+func NewNumColumn() *NumColumn { return &NumColumn{} }
+
+// Append adds one value.
+func (c *NumColumn) Append(v float64) { c.vals = append(c.vals, v) }
+
+// Len returns the number of rows stored.
+func (c *NumColumn) Len() int { return len(c.vals) }
+
+// Value returns the value at row i.
+func (c *NumColumn) Value(i int) float64 { return c.vals[i] }
+
+// Values returns the backing slice; callers must not modify it.
+func (c *NumColumn) Values() []float64 { return c.vals }
+
+// Table is a named relation with columnar storage.
+type Table struct {
+	name   string
+	schema Schema
+	cats   []*CatColumn // indexed by column position; nil for numeric
+	nums   []*NumColumn // indexed by column position; nil for categorical
+	n      int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{
+		name:   name,
+		schema: append(Schema(nil), schema...),
+		cats:   make([]*CatColumn, len(schema)),
+		nums:   make([]*NumColumn, len(schema)),
+	}
+	for i, a := range schema {
+		if a.Kind == Categorical {
+			t.cats[i] = NewCatColumn()
+		} else {
+			t.nums[i] = NewNumColumn()
+		}
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. Callers must not modify it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.n }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.schema) }
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int { return t.schema.Index(name) }
+
+// Cat returns the categorical column at position col, or nil if the
+// column is numeric.
+func (t *Table) Cat(col int) *CatColumn { return t.cats[col] }
+
+// Num returns the numeric column at position col, or nil if the column
+// is categorical.
+func (t *Table) Num(col int) *NumColumn { return t.nums[col] }
+
+// CatByName returns the named categorical column, or an error if the
+// column is missing or numeric.
+func (t *Table) CatByName(name string) (*CatColumn, error) {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("dataset: table %q has no column %q", t.name, name)
+	}
+	if t.cats[i] == nil {
+		return nil, fmt.Errorf("dataset: column %q of table %q is numeric, not categorical", name, t.name)
+	}
+	return t.cats[i], nil
+}
+
+// NumByName returns the named numeric column, or an error if the column
+// is missing or categorical.
+func (t *Table) NumByName(name string) (*NumColumn, error) {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("dataset: table %q has no column %q", t.name, name)
+	}
+	if t.nums[i] == nil {
+		return nil, fmt.Errorf("dataset: column %q of table %q is categorical, not numeric", name, t.name)
+	}
+	return t.nums[i], nil
+}
+
+// AppendRow adds one row. vals must have one entry per column: string for
+// categorical columns, float64 (or int) for numeric columns.
+func (t *Table) AppendRow(vals ...any) error {
+	if len(vals) != len(t.schema) {
+		return fmt.Errorf("dataset: AppendRow got %d values for %d columns", len(vals), len(t.schema))
+	}
+	for i, v := range vals {
+		switch a := t.schema[i]; a.Kind {
+		case Categorical:
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("dataset: column %q wants string, got %T", a.Name, v)
+			}
+			t.cats[i].Append(s)
+		case Numeric:
+			switch x := v.(type) {
+			case float64:
+				t.nums[i].Append(x)
+			case int:
+				t.nums[i].Append(float64(x))
+			default:
+				return fmt.Errorf("dataset: column %q wants float64, got %T", a.Name, v)
+			}
+		}
+	}
+	t.n++
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on error; intended for
+// generators and tests where the schema is statically known.
+func (t *Table) MustAppendRow(vals ...any) {
+	if err := t.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// CellString renders the cell at (row, col) as a string: the dictionary
+// value for categorical columns, %g formatting for numeric columns.
+func (t *Table) CellString(row, col int) string {
+	if c := t.cats[col]; c != nil {
+		return c.Value(row)
+	}
+	return fmt.Sprintf("%g", t.nums[col].Value(row))
+}
+
+// DistinctValues returns the distinct values of a categorical column
+// restricted to rows, ordered by descending frequency (ties broken by
+// dictionary order).
+func (t *Table) DistinctValues(col int, rows RowSet) []string {
+	c := t.cats[col]
+	if c == nil {
+		return nil
+	}
+	counts := t.ValueCounts(col, rows)
+	out := make([]string, 0, len(counts))
+	for _, vc := range counts {
+		out = append(out, vc.Value)
+	}
+	return out
+}
+
+// ValueCount is one (value, frequency) pair of a column over a row set.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// ValueCounts returns per-value frequencies of a categorical column over
+// rows, sorted by descending count then ascending value.
+func (t *Table) ValueCounts(col int, rows RowSet) []ValueCount {
+	c := t.cats[col]
+	if c == nil {
+		return nil
+	}
+	counts := make([]int, c.Cardinality())
+	for _, r := range rows {
+		counts[c.Code(r)]++
+	}
+	out := make([]ValueCount, 0, len(counts))
+	for code, n := range counts {
+		if n > 0 {
+			out = append(out, ValueCount{Value: c.Dict[code], Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// CodeCounts returns frequencies indexed by dictionary code for a
+// categorical column over rows.
+func (t *Table) CodeCounts(col int, rows RowSet) []int {
+	c := t.cats[col]
+	if c == nil {
+		return nil
+	}
+	counts := make([]int, c.Cardinality())
+	for _, r := range rows {
+		counts[c.Code(r)]++
+	}
+	return counts
+}

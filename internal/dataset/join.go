@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NaturalJoin joins two tables on all columns sharing both name and
+// kind, the classic natural join. The paper's CADQL grammar allows
+// "FROM table1, table2, ..."; the engine folds such lists left-to-right
+// through this function. Joining tables with no shared columns is
+// rejected — an unconstrained cross product is never what an
+// exploratory user wants and would explode the result.
+//
+// The output schema is a's columns followed by b's non-shared columns;
+// Queriable flags carry over (a's wins for shared columns).
+func NaturalJoin(a, b *Table) (*Table, error) {
+	if a.NumCols() == 0 || b.NumCols() == 0 {
+		return nil, fmt.Errorf("dataset: cannot join tables without columns")
+	}
+	type sharedCol struct {
+		ai, bi int
+	}
+	var shared []sharedCol
+	bOnly := make([]int, 0, b.NumCols())
+	for bi, battr := range b.Schema() {
+		ai := a.ColIndex(battr.Name)
+		if ai >= 0 {
+			if a.Schema()[ai].Kind != battr.Kind {
+				return nil, fmt.Errorf("dataset: shared column %q has kind %s in %q but %s in %q",
+					battr.Name, a.Schema()[ai].Kind, a.Name(), battr.Kind, b.Name())
+			}
+			shared = append(shared, sharedCol{ai, bi})
+		} else {
+			bOnly = append(bOnly, bi)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("dataset: tables %q and %q share no columns; refusing a cross product", a.Name(), b.Name())
+	}
+
+	schema := append(Schema(nil), a.Schema()...)
+	for _, bi := range bOnly {
+		schema = append(schema, b.Schema()[bi])
+	}
+	out := NewTable(a.Name()+"_"+b.Name(), schema)
+
+	// Hash b's rows by their shared-column key.
+	key := func(t *Table, row int, cols []int) string {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = t.CellString(row, c)
+		}
+		return strings.Join(parts, "\x00")
+	}
+	aCols := make([]int, len(shared))
+	bCols := make([]int, len(shared))
+	for i, s := range shared {
+		aCols[i] = s.ai
+		bCols[i] = s.bi
+	}
+	index := make(map[string][]int)
+	for r := 0; r < b.NumRows(); r++ {
+		k := key(b, r, bCols)
+		index[k] = append(index[k], r)
+	}
+
+	vals := make([]any, out.NumCols())
+	for ra := 0; ra < a.NumRows(); ra++ {
+		matches := index[key(a, ra, aCols)]
+		for _, rb := range matches {
+			i := 0
+			for c := 0; c < a.NumCols(); c++ {
+				vals[i] = cellValue(a, ra, c)
+				i++
+			}
+			for _, bc := range bOnly {
+				vals[i] = cellValue(b, rb, bc)
+				i++
+			}
+			if err := out.AppendRow(vals...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func cellValue(t *Table, row, col int) any {
+	if c := t.Cat(col); c != nil {
+		return c.Value(row)
+	}
+	return t.Num(col).Value(row)
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import "testing"
+
+func makesTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("Listings", Schema{
+		{Name: "Make", Kind: Categorical, Queriable: true},
+		{Name: "Price", Kind: Numeric, Queriable: true},
+	})
+	tbl.MustAppendRow("Ford", 20000.0)
+	tbl.MustAppendRow("Jeep", 30000.0)
+	tbl.MustAppendRow("Ford", 25000.0)
+	tbl.MustAppendRow("Tesla", 60000.0) // no match in the dimension table
+	return tbl
+}
+
+func dimTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("Makers", Schema{
+		{Name: "Make", Kind: Categorical, Queriable: true},
+		{Name: "Country", Kind: Categorical, Queriable: true},
+	})
+	tbl.MustAppendRow("Ford", "USA")
+	tbl.MustAppendRow("Jeep", "USA")
+	tbl.MustAppendRow("Toyota", "Japan") // no match in the fact table
+	return tbl
+}
+
+func TestNaturalJoinBasics(t *testing.T) {
+	joined, err := NaturalJoin(makesTable(t), dimTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumCols() != 3 {
+		t.Fatalf("cols = %d, want 3 (Make, Price, Country)", joined.NumCols())
+	}
+	// Inner-join semantics: Tesla and Toyota drop out; both Fords match.
+	if joined.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", joined.NumRows())
+	}
+	mk, _ := joined.CatByName("Make")
+	country, _ := joined.CatByName("Country")
+	for r := 0; r < joined.NumRows(); r++ {
+		if mk.Value(r) == "Tesla" || mk.Value(r) == "Toyota" {
+			t.Errorf("unmatched row survived: %s", mk.Value(r))
+		}
+		if country.Value(r) != "USA" {
+			t.Errorf("row %d country = %s", r, country.Value(r))
+		}
+	}
+	if joined.Name() != "Listings_Makers" {
+		t.Errorf("joined name = %q", joined.Name())
+	}
+}
+
+func TestNaturalJoinMultiColumn(t *testing.T) {
+	a := NewTable("A", Schema{
+		{Name: "X", Kind: Categorical, Queriable: true},
+		{Name: "Y", Kind: Numeric, Queriable: true},
+		{Name: "P", Kind: Categorical, Queriable: true},
+	})
+	b := NewTable("B", Schema{
+		{Name: "X", Kind: Categorical, Queriable: true},
+		{Name: "Y", Kind: Numeric, Queriable: true},
+		{Name: "Q", Kind: Categorical, Queriable: true},
+	})
+	a.MustAppendRow("x1", 1.0, "p1")
+	a.MustAppendRow("x1", 2.0, "p2")
+	b.MustAppendRow("x1", 1.0, "q1")
+	b.MustAppendRow("x1", 1.0, "q2") // two matches for (x1,1)
+	b.MustAppendRow("x2", 2.0, "q3")
+	joined, err := NaturalJoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (x1,1,p1) matches q1 and q2; (x1,2,p2) matches nothing (x2 differs).
+	if joined.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", joined.NumRows())
+	}
+	q, _ := joined.CatByName("Q")
+	seen := map[string]bool{}
+	for r := 0; r < joined.NumRows(); r++ {
+		seen[q.Value(r)] = true
+	}
+	if !seen["q1"] || !seen["q2"] {
+		t.Errorf("fanout rows missing: %v", seen)
+	}
+}
+
+func TestNaturalJoinErrors(t *testing.T) {
+	a := NewTable("A", Schema{{Name: "X", Kind: Categorical, Queriable: true}})
+	b := NewTable("B", Schema{{Name: "Y", Kind: Categorical, Queriable: true}})
+	a.MustAppendRow("x")
+	b.MustAppendRow("y")
+	if _, err := NaturalJoin(a, b); err == nil {
+		t.Error("no shared columns: want error (cross product refused)")
+	}
+	// Kind mismatch on a shared name.
+	c := NewTable("C", Schema{{Name: "X", Kind: Numeric, Queriable: true}})
+	c.MustAppendRow(1.0)
+	if _, err := NaturalJoin(a, c); err == nil {
+		t.Error("kind mismatch: want error")
+	}
+	empty := NewTable("E", Schema{})
+	if _, err := NaturalJoin(a, empty); err == nil {
+		t.Error("empty schema: want error")
+	}
+}
+
+func TestNaturalJoinQueriableFlags(t *testing.T) {
+	a := NewTable("A", Schema{
+		{Name: "K", Kind: Categorical, Queriable: true},
+		{Name: "Hidden", Kind: Categorical, Queriable: false},
+	})
+	b := NewTable("B", Schema{
+		{Name: "K", Kind: Categorical, Queriable: false}, // a's flag wins
+		{Name: "V", Kind: Numeric, Queriable: true},
+	})
+	a.MustAppendRow("k", "h")
+	b.MustAppendRow("k", 5.0)
+	joined, err := NaturalJoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := joined.Schema()
+	if !s[s.Index("K")].Queriable {
+		t.Error("shared column should keep a's queriable flag")
+	}
+	if s[s.Index("Hidden")].Queriable {
+		t.Error("hidden flag lost")
+	}
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import "sort"
+
+// RowSet is an ordered set of row indices into a Table — the result set R
+// that a user's current selections identify. Row ids are kept sorted
+// ascending and unique.
+type RowSet []int
+
+// AllRows returns the full row set {0, ..., n-1}.
+func AllRows(n int) RowSet {
+	rows := make(RowSet, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// Len returns the number of rows in the set.
+func (r RowSet) Len() int { return len(r) }
+
+// Clone returns a copy of r.
+func (r RowSet) Clone() RowSet {
+	return append(RowSet(nil), r...)
+}
+
+// Contains reports whether row id x is in the set (binary search).
+func (r RowSet) Contains(x int) bool {
+	i := sort.SearchInts(r, x)
+	return i < len(r) && r[i] == x
+}
+
+// Intersect returns the rows present in both r and other.
+func (r RowSet) Intersect(other RowSet) RowSet {
+	out := make(RowSet, 0, min(len(r), len(other)))
+	i, j := 0, 0
+	for i < len(r) && j < len(other) {
+		switch {
+		case r[i] < other[j]:
+			i++
+		case r[i] > other[j]:
+			j++
+		default:
+			out = append(out, r[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the rows present in either r or other.
+func (r RowSet) Union(other RowSet) RowSet {
+	out := make(RowSet, 0, len(r)+len(other))
+	i, j := 0, 0
+	for i < len(r) && j < len(other) {
+		switch {
+		case r[i] < other[j]:
+			out = append(out, r[i])
+			i++
+		case r[i] > other[j]:
+			out = append(out, other[j])
+			j++
+		default:
+			out = append(out, r[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, r[i:]...)
+	out = append(out, other[j:]...)
+	return out
+}
+
+// Minus returns the rows of r not present in other.
+func (r RowSet) Minus(other RowSet) RowSet {
+	out := make(RowSet, 0, len(r))
+	j := 0
+	for _, x := range r {
+		for j < len(other) && other[j] < x {
+			j++
+		}
+		if j < len(other) && other[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Filter returns the rows of r for which keep returns true.
+func (r RowSet) Filter(keep func(row int) bool) RowSet {
+	out := make(RowSet, 0, len(r))
+	for _, x := range r {
+		if keep(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Jaccard returns the Jaccard similarity |r ∩ other| / |r ∪ other|.
+// Two empty sets have similarity 1.
+func (r RowSet) Jaccard(other RowSet) float64 {
+	if len(r) == 0 && len(other) == 0 {
+		return 1
+	}
+	inter := len(r.Intersect(other))
+	union := len(r) + len(other) - inter
+	return float64(inter) / float64(union)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randRowSet converts arbitrary quick-generated ints into a valid RowSet
+// (sorted, unique, non-negative, bounded).
+func randRowSet(raw []uint16) RowSet {
+	seen := make(map[int]bool)
+	for _, v := range raw {
+		seen[int(v)%200] = true
+	}
+	out := make(RowSet, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func toSet(r RowSet) map[int]bool {
+	m := make(map[int]bool, len(r))
+	for _, v := range r {
+		m[v] = true
+	}
+	return m
+}
+
+func isSortedUnique(r RowSet) bool {
+	for i := 1; i < len(r); i++ {
+		if r[i] <= r[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllRows(t *testing.T) {
+	r := AllRows(4)
+	if r.Len() != 4 || r[0] != 0 || r[3] != 3 {
+		t.Errorf("AllRows(4) = %v", r)
+	}
+	if AllRows(0).Len() != 0 {
+		t.Error("AllRows(0) not empty")
+	}
+}
+
+func TestRowSetBasicOps(t *testing.T) {
+	a := RowSet{1, 3, 5, 7}
+	b := RowSet{3, 4, 5}
+	if got := a.Intersect(b); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); len(got) != 5 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Minus(b); len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Errorf("Minus = %v", got)
+	}
+	if !a.Contains(5) || a.Contains(6) {
+		t.Error("Contains wrong")
+	}
+	if got := a.Filter(func(r int) bool { return r > 3 }); len(got) != 2 {
+		t.Errorf("Filter = %v", got)
+	}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] == 99 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := RowSet{1, 2, 3}
+	b := RowSet{2, 3, 4}
+	if got := a.Jaccard(b); got != 0.5 {
+		t.Errorf("Jaccard = %g, want 0.5", got)
+	}
+	if got := (RowSet{}).Jaccard(RowSet{}); got != 1 {
+		t.Errorf("Jaccard of empties = %g, want 1", got)
+	}
+	if got := a.Jaccard(RowSet{}); got != 0 {
+		t.Errorf("Jaccard vs empty = %g, want 0", got)
+	}
+	if got := a.Jaccard(a); got != 1 {
+		t.Errorf("self Jaccard = %g, want 1", got)
+	}
+}
+
+// Property: set operations agree with their map-based definitions and
+// preserve the sorted-unique invariant.
+func TestRowSetOpsProperty(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		a, b := randRowSet(rawA), randRowSet(rawB)
+		inter, union, minus := a.Intersect(b), a.Union(b), a.Minus(b)
+		if !isSortedUnique(inter) || !isSortedUnique(union) || !isSortedUnique(minus) {
+			return false
+		}
+		sa, sb := toSet(a), toSet(b)
+		for _, v := range inter {
+			if !sa[v] || !sb[v] {
+				return false
+			}
+		}
+		for v := range sa {
+			inBoth := sb[v]
+			if inBoth != inter.Contains(v) {
+				return false
+			}
+			if !union.Contains(v) {
+				return false
+			}
+			if minus.Contains(v) == inBoth {
+				return false
+			}
+		}
+		for v := range sb {
+			if !union.Contains(v) {
+				return false
+			}
+		}
+		// |A| + |B| = |A∪B| + |A∩B|
+		return len(a)+len(b) == len(union)+len(inter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Jaccard is symmetric and within [0,1].
+func TestJaccardProperty(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		a, b := randRowSet(rawA), randRowSet(rawB)
+		j1, j2 := a.Jaccard(b), b.Jaccard(a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRowSetIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n, max int) RowSet {
+		seen := map[int]bool{}
+		for len(seen) < n {
+			seen[rng.Intn(max)] = true
+		}
+		out := make(RowSet, 0, n)
+		for v := range seen {
+			out = append(out, v)
+		}
+		sort.Ints(out)
+		return out
+	}
+	x, y := mk(10000, 40000), mk(10000, 40000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersect(y)
+	}
+}

@@ -1,0 +1,147 @@
+// Package dataview provides a discretized, uniformly coded view of a
+// dataset table: every attribute — categorical or numeric — is exposed as
+// small integer codes with human-readable labels. This is the paper's
+// §2.2.1 pre-processing step ("attribute value cardinality reduction is
+// necessary for effective summarization"): numeric attributes are binned
+// with package histogram once at view-construction time, and all
+// downstream machinery (feature selection, clustering, IUnit labeling,
+// facet digests) operates on codes.
+package dataview
+
+import (
+	"fmt"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/histogram"
+)
+
+// DefaultBins is the number of buckets numeric attributes are reduced to
+// when the caller does not specify otherwise.
+const DefaultBins = 5
+
+// Column is one attribute of the coded view.
+type Column struct {
+	// Attr is the attribute name.
+	Attr string
+	// Col is the column position in the underlying table.
+	Col int
+	// Kind records the original attribute type.
+	Kind dataset.Kind
+
+	labels []string
+	cat    *dataset.CatColumn
+	num    *dataset.NumColumn
+	hist   *histogram.Histogram
+}
+
+// Cardinality returns the number of distinct codes.
+func (c *Column) Cardinality() int { return len(c.labels) }
+
+// Code returns the view code of the given table row.
+func (c *Column) Code(row int) int {
+	if c.cat != nil {
+		return int(c.cat.Code(row))
+	}
+	return c.hist.Bin(c.num.Value(row))
+}
+
+// Label returns the display label for a code: the dictionary value for
+// categorical attributes, the bin range (e.g. "15K-20K") for numerics.
+func (c *Column) Label(code int) string { return c.labels[code] }
+
+// Labels returns all code labels in code order; callers must not modify.
+func (c *Column) Labels() []string { return c.labels }
+
+// CodeOf returns the code whose label is exactly lbl, or -1.
+func (c *Column) CodeOf(lbl string) int {
+	for i, l := range c.labels {
+		if l == lbl {
+			return i
+		}
+	}
+	return -1
+}
+
+// Histogram returns the numeric bin histogram, or nil for categorical
+// columns.
+func (c *Column) Histogram() *histogram.Histogram { return c.hist }
+
+// View is a coded projection of a whole table.
+type View struct {
+	table  *dataset.Table
+	cols   []*Column
+	byName map[string]int
+}
+
+// Options configures view construction.
+type Options struct {
+	// Bins is the bucket budget per numeric attribute (default
+	// DefaultBins).
+	Bins int
+	// Method selects the binning algorithm (default histogram.EquiDepth).
+	Method histogram.Method
+}
+
+// New builds a coded view of t. Numeric attributes are binned over the
+// full table (pre-processing is global, per the paper; selections later
+// restrict rows, not bin boundaries, so labels remain stable during
+// exploration).
+func New(t *dataset.Table, opt Options) (*View, error) {
+	if opt.Bins == 0 {
+		opt.Bins = DefaultBins
+	}
+	if opt.Bins < 1 {
+		return nil, fmt.Errorf("dataview: bins must be >= 1, got %d", opt.Bins)
+	}
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("dataview: table %q has no rows", t.Name())
+	}
+	v := &View{table: t, byName: make(map[string]int)}
+	for i, attr := range t.Schema() {
+		col := &Column{Attr: attr.Name, Col: i, Kind: attr.Kind}
+		if cat := t.Cat(i); cat != nil {
+			col.cat = cat
+			col.labels = append([]string(nil), cat.Dict...)
+		} else {
+			num := t.Num(i)
+			h, err := histogram.Build(num.Values(), opt.Bins, opt.Method)
+			if err != nil {
+				return nil, fmt.Errorf("dataview: binning %q: %w", attr.Name, err)
+			}
+			col.num = num
+			col.hist = h
+			col.labels = h.Labels()
+		}
+		v.byName[attr.Name] = len(v.cols)
+		v.cols = append(v.cols, col)
+	}
+	return v, nil
+}
+
+// Table returns the underlying table.
+func (v *View) Table() *dataset.Table { return v.table }
+
+// Columns returns all coded columns in schema order.
+func (v *View) Columns() []*Column { return v.cols }
+
+// Column returns the named coded column, or an error.
+func (v *View) Column(name string) (*Column, error) {
+	i, ok := v.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("dataview: no attribute %q", name)
+	}
+	return v.cols[i], nil
+}
+
+// CodeCounts tallies code frequencies of the named column over rows.
+func (v *View) CodeCounts(name string, rows dataset.RowSet) ([]int, error) {
+	c, err := v.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, c.Cardinality())
+	for _, r := range rows {
+		counts[c.Code(r)]++
+	}
+	return counts, nil
+}

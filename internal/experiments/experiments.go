@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): Table 1's sample CAD View, the six user-study figures
+// (2-7) with their mixed-model statistics, the three performance figures
+// (8-10), and the §6.3 sampling optimization. Each experiment prints the
+// same rows/series the paper reports next to the paper's own numbers, so
+// EXPERIMENTS.md can record paper-vs-measured per experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Seed drives all data generation and simulation.
+	Seed int64
+	// Quick shrinks datasets and repetition counts so the whole battery
+	// runs in seconds (used by tests); the default reproduces the
+	// paper's scales (40K cars, 8124 mushrooms, multi-second sweeps).
+	Quick bool
+	// Sims is the number of repetitions per performance point (the
+	// paper averaged 50). 0 means 5 (or 2 in Quick mode).
+	Sims int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sims == 0 {
+		if c.Quick {
+			c.Sims = 2
+		} else {
+			c.Sims = 5
+		}
+	}
+	return c
+}
+
+// carRows returns the used-car result-set sizes for the performance
+// sweeps.
+func (c Config) carSizes() []int {
+	if c.Quick {
+		return []int{1000, 2000, 4000}
+	}
+	return []int{5000, 10000, 15000, 20000, 25000, 30000, 35000, 40000}
+}
+
+func (c Config) maxCarSize() int {
+	sizes := c.carSizes()
+	return sizes[len(sizes)-1]
+}
+
+func (c Config) mushroomRows() int {
+	if c.Quick {
+		return 2000
+	}
+	return 8124
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the flag value selecting the experiment (e.g. "fig8").
+	ID string
+	// Title summarizes what it reproduces.
+	Title string
+	// Paper states what the paper reports, for side-by-side comparison.
+	Paper string
+	// Run executes the experiment and returns its report.
+	Run func(cfg Config) (string, error)
+}
+
+// All returns every experiment: the paper's tables and figures in paper
+// order, followed by the ablation extensions (DESIGN.md §5).
+func All() []Experiment {
+	exps := []Experiment{
+		table1(),
+		figStudy("fig2", Fig2Title, fig2Paper, renderStudyQuality),
+		figStudy("fig3", Fig3Title, fig3Paper, renderStudyTime),
+		figStudy("fig4", Fig4Title, fig4Paper, renderStudyQuality),
+		figStudy("fig5", Fig5Title, fig5Paper, renderStudyTime),
+		figStudy("fig6", Fig6Title, fig6Paper, renderStudyQuality),
+		figStudy("fig7", Fig7Title, fig7Paper, renderStudyTime),
+		fig8(),
+		fig9(),
+		fig10(),
+		opt1(),
+	}
+	return append(exps, ablations()...)
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// RunAll executes every experiment and concatenates the reports.
+func RunAll(cfg Config) (string, error) {
+	var b strings.Builder
+	for _, e := range All() {
+		out, err := e.Run(cfg)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		b.WriteString(header(e))
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func header(e Experiment) string {
+	var b strings.Builder
+	line := strings.Repeat("=", 72)
+	fmt.Fprintf(&b, "%s\n%s — %s\n", line, strings.ToUpper(e.ID), e.Title)
+	fmt.Fprintf(&b, "Paper: %s\n%s\n", e.Paper, line)
+	return b.String()
+}

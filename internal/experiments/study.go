@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/simuser"
+)
+
+// Figure titles and the paper's reported numbers (§6.2), kept as
+// constants so the reports and EXPERIMENTS.md stay in sync.
+const (
+	Fig2Title = "Simple Classifier — F1 score per user"
+	Fig3Title = "Simple Classifier — completion time per user"
+	Fig4Title = "Most Similar Attribute Value Pair — chosen pair's rank per user"
+	Fig5Title = "Most Similar Attribute Value Pair — completion time per user"
+	Fig6Title = "Alternative Search Condition — retrieval error per user"
+	Fig7Title = "Alternative Search Condition — completion time per user"
+
+	fig2Paper = "TPFacet raises F1 by 0.078±0.0285 (χ²(1)=5.572, p=0.018); lower variance with TPFacet"
+	fig3Paper = "TPFacet lowers time by 5.44±1.56 min (χ²(1)=8.54, p=0.003)"
+	fig4Paper = "no significant quality difference; all 8 users found the correct pair on the easy task"
+	fig5Paper = "TPFacet lowers time by 6.00±1.23 min (χ²(1)=12.04, p=0.0005); ~4x faster for most users"
+	fig6Paper = "TPFacet lowers retrieval error by 0.329±0.172 (χ²(1)=3.28, p=0.07); ~5x lower error"
+	fig7Paper = "TPFacet lowers time by 2.00±1.14 min (χ²(1)=2.58, p=0.108); 1.5-2x faster"
+)
+
+// figKind maps a figure id to the study task behind it.
+func figKind(id string) simuser.TaskKind {
+	switch id {
+	case "fig2", "fig3":
+		return simuser.Classifier
+	case "fig4", "fig5":
+		return simuser.SimilarPair
+	default:
+		return simuser.AltCond
+	}
+}
+
+type studyRenderer func(res *simuser.StudyResult) string
+
+func figStudy(id, title, paper string, render studyRenderer) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Paper: paper,
+		Run: func(cfg Config) (string, error) {
+			cfg = cfg.withDefaults()
+			res, err := runStudy(cfg, figKind(id))
+			if err != nil {
+				return "", err
+			}
+			return render(res), nil
+		},
+	}
+}
+
+func runStudy(cfg Config, kind simuser.TaskKind) (*simuser.StudyResult, error) {
+	tbl := datagen.MushroomN(cfg.mushroomRows(), cfg.Seed)
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		return nil, err
+	}
+	users := simuser.NewUsers(8, cfg.Seed+2)
+	return simuser.RunStudy(v, kind, users, cfg.Seed+3)
+}
+
+// qualityName labels the quality metric per task.
+func qualityName(kind simuser.TaskKind) string {
+	switch kind {
+	case simuser.Classifier:
+		return "F1 score"
+	case simuser.SimilarPair:
+		return "pair rank (1 = best)"
+	default:
+		return "retrieval error"
+	}
+}
+
+func renderStudyQuality(res *simuser.StudyResult) string {
+	return renderStudy(res, qualityName(res.Kind), func(o *simuser.Outcome) float64 { return o.Quality }, res.Quality)
+}
+
+func renderStudyTime(res *simuser.StudyResult) string {
+	return renderStudy(res, "time (min)", func(o *simuser.Outcome) float64 { return o.Minutes }, res.Time)
+}
+
+func renderStudy(res *simuser.StudyResult, metric string, dep func(*simuser.Outcome) float64, an simuser.Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Task: %s on synthetic Mushroom; 8 simulated users, counterbalanced task pair\n", res.Kind)
+	fmt.Fprintf(&b, "Metric: %s\n\n", metric)
+	fmt.Fprintf(&b, "%-5s %-10s %-10s  %s\n", "User", "Solr", "TPFacet", "(task variant on Solr / TPFacet)")
+	for uid := 1; uid <= 8; uid++ {
+		s := res.OutcomeFor(uid, simuser.Solr)
+		tp := res.OutcomeFor(uid, simuser.TPFacet)
+		if s == nil || tp == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "U%-4d %-10.3f %-10.3f  (%s / %s)\n", uid, dep(s), dep(tp), s.Variant, tp.Variant)
+	}
+	solrMean := mean(res, simuser.Solr, dep)
+	tpMean := mean(res, simuser.TPFacet, dep)
+	fmt.Fprintf(&b, "\nMeans: Solr %.3f, TPFacet %.3f", solrMean, tpMean)
+	if tpMean > 0 && metric == "time (min)" {
+		fmt.Fprintf(&b, " (TPFacet %.1fx faster)", solrMean/tpMean)
+	}
+	fmt.Fprintf(&b, "\nMixed model (display fixed, user random): effect %+.3f ± %.3f, χ²(1)=%.3f, p=%.4f\n",
+		an.Effect, an.EffectSE, an.LRT.Chi2, an.LRT.PValue)
+	return b.String()
+}
+
+func mean(res *simuser.StudyResult, iface simuser.Interface, dep func(*simuser.Outcome) float64) float64 {
+	var s float64
+	n := 0
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Iface == iface {
+			s += dep(&res.Outcomes[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,430 @@
+// Package facet implements faceted navigation (paper §5): the summary
+// digest and filter model of a Solr-style baseline interface, and the
+// TPFacet two-phased interface that integrates the CAD View. The §6 user
+// study compares exactly these two systems.
+package facet
+
+import (
+	"fmt"
+	"sort"
+
+	"dbexplorer/internal/core"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/stats"
+)
+
+// ValueCount is one (value label, tuple count) entry of an attribute's
+// facet summary.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// AttrSummary is one attribute's entry in the summary digest: every value
+// appearing in the selected items with its tuple count.
+type AttrSummary struct {
+	Attr   string
+	Values []ValueCount
+}
+
+// Digest is the faceted interface's query-panel summary: all attribute
+// values appearing in the current result set, grouped by attribute, with
+// tuple counts — what a Solr facet response shows.
+type Digest struct {
+	Attrs []AttrSummary
+}
+
+// Attr returns the named attribute's summary, or nil.
+func (d *Digest) Attr(name string) *AttrSummary {
+	for i := range d.Attrs {
+		if d.Attrs[i].Attr == name {
+			return &d.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// Count returns the tuple count of a value under an attribute, or 0.
+func (d *Digest) Count(attr, value string) int {
+	a := d.Attr(attr)
+	if a == nil {
+		return 0
+	}
+	for _, vc := range a.Values {
+		if vc.Value == value {
+			return vc.Count
+		}
+	}
+	return 0
+}
+
+// Summarize builds the digest of rows over the view's attributes. When
+// queriableOnly is set, non-queriable attributes are omitted — this is
+// the paper's Limitation 2: the query panel hides them even though the
+// data contains them.
+func Summarize(v *dataview.View, rows dataset.RowSet, queriableOnly bool) *Digest {
+	d := &Digest{}
+	schema := v.Table().Schema()
+	for _, col := range v.Columns() {
+		if queriableOnly && !schema[col.Col].Queriable {
+			continue
+		}
+		counts := make([]int, col.Cardinality())
+		for _, r := range rows {
+			counts[col.Code(r)]++
+		}
+		summary := AttrSummary{Attr: col.Attr}
+		for code, c := range counts {
+			if c > 0 {
+				summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
+			}
+		}
+		sort.Slice(summary.Values, func(i, j int) bool {
+			if summary.Values[i].Count != summary.Values[j].Count {
+				return summary.Values[i].Count > summary.Values[j].Count
+			}
+			return summary.Values[i].Value < summary.Values[j].Value
+		})
+		d.Attrs = append(d.Attrs, summary)
+	}
+	return d
+}
+
+// DigestSimilarity compares two digests: for each attribute present in
+// either digest it takes the cosine similarity of the two value-count
+// vectors (aligned by value label, missing values as zero) and returns
+// the mean over attributes. This is the measure the user study hands to
+// baseline subjects for "compare the summary digests" tasks and the
+// retrieval-error metric of §6.2.3.
+func DigestSimilarity(a, b *Digest) float64 {
+	names := map[string]bool{}
+	for _, s := range a.Attrs {
+		names[s.Attr] = true
+	}
+	for _, s := range b.Attrs {
+		names[s.Attr] = true
+	}
+	if len(names) == 0 {
+		return 1
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	var total float64
+	for _, name := range ordered {
+		va, vb := valueVector(a.Attr(name)), valueVector(b.Attr(name))
+		keys := map[string]bool{}
+		for k := range va {
+			keys[k] = true
+		}
+		for k := range vb {
+			keys[k] = true
+		}
+		orderedKeys := make([]string, 0, len(keys))
+		for k := range keys {
+			orderedKeys = append(orderedKeys, k)
+		}
+		sort.Strings(orderedKeys)
+		x := make([]float64, len(orderedKeys))
+		y := make([]float64, len(orderedKeys))
+		for i, k := range orderedKeys {
+			x[i] = va[k]
+			y[i] = vb[k]
+		}
+		total += stats.CosineSimilarity(x, y)
+	}
+	return total / float64(len(ordered))
+}
+
+func valueVector(s *AttrSummary) map[string]float64 {
+	out := map[string]float64{}
+	if s == nil {
+		return out
+	}
+	for _, vc := range s.Values {
+		out[vc.Value] = float64(vc.Count)
+	}
+	return out
+}
+
+// Session is a faceted-navigation session over a base result set: the
+// user selects attribute values (multiple values of one attribute are
+// OR-ed; attributes are AND-ed, the standard faceted model) and reads
+// the digest of whatever remains. This is the Solr-style baseline of the
+// user study.
+type Session struct {
+	view     *dataview.View
+	base     dataset.RowSet
+	selected map[string]map[int]bool // attr -> selected codes
+	order    []string                // selection order for rendering
+}
+
+// NewSession starts a session over the given base result set.
+func NewSession(v *dataview.View, base dataset.RowSet) *Session {
+	return &Session{
+		view:     v,
+		base:     base.Clone(),
+		selected: make(map[string]map[int]bool),
+	}
+}
+
+// View returns the session's data view.
+func (s *Session) View() *dataview.View { return s.view }
+
+// Select adds a value filter on a queriable attribute. Selecting a
+// second value of the same attribute widens that attribute's filter
+// (OR), as in every faceted interface.
+func (s *Session) Select(attr, value string) error {
+	col, err := s.view.Column(attr)
+	if err != nil {
+		return err
+	}
+	if !s.view.Table().Schema()[col.Col].Queriable {
+		return fmt.Errorf("facet: attribute %q is not queriable through this interface", attr)
+	}
+	code := col.CodeOf(value)
+	if code < 0 {
+		return fmt.Errorf("facet: attribute %q has no value %q", attr, value)
+	}
+	if s.selected[attr] == nil {
+		s.selected[attr] = make(map[int]bool)
+		s.order = append(s.order, attr)
+	}
+	s.selected[attr][code] = true
+	return nil
+}
+
+// Deselect removes one value filter; removing the last value of an
+// attribute clears that attribute entirely.
+func (s *Session) Deselect(attr, value string) error {
+	col, err := s.view.Column(attr)
+	if err != nil {
+		return err
+	}
+	codes, ok := s.selected[attr]
+	if !ok {
+		return fmt.Errorf("facet: attribute %q has no active filters", attr)
+	}
+	code := col.CodeOf(value)
+	if code < 0 || !codes[code] {
+		return fmt.Errorf("facet: value %q of %q is not selected", value, attr)
+	}
+	delete(codes, code)
+	if len(codes) == 0 {
+		s.clearAttr(attr)
+	}
+	return nil
+}
+
+// ClearAttr removes all filters on one attribute.
+func (s *Session) ClearAttr(attr string) {
+	if _, ok := s.selected[attr]; ok {
+		s.clearAttr(attr)
+	}
+}
+
+func (s *Session) clearAttr(attr string) {
+	delete(s.selected, attr)
+	for i, a := range s.order {
+		if a == attr {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Reset removes every filter.
+func (s *Session) Reset() {
+	s.selected = make(map[string]map[int]bool)
+	s.order = nil
+}
+
+// Selections returns the active filters as attribute -> selected value
+// labels, in selection order.
+func (s *Session) Selections() []struct {
+	Attr   string
+	Values []string
+} {
+	var out []struct {
+		Attr   string
+		Values []string
+	}
+	for _, attr := range s.order {
+		col, _ := s.view.Column(attr)
+		var vals []string
+		for code := 0; code < col.Cardinality(); code++ {
+			if s.selected[attr][code] {
+				vals = append(vals, col.Label(code))
+			}
+		}
+		out = append(out, struct {
+			Attr   string
+			Values []string
+		}{attr, vals})
+	}
+	return out
+}
+
+// Rows evaluates the filter stack over the base result set.
+func (s *Session) Rows() dataset.RowSet {
+	rows := s.base
+	if len(s.selected) == 0 {
+		return rows.Clone()
+	}
+	out := make(dataset.RowSet, 0, len(rows))
+	cols := make(map[string]*dataview.Column, len(s.selected))
+	for attr := range s.selected {
+		cols[attr], _ = s.view.Column(attr)
+	}
+	for _, r := range rows {
+		keep := true
+		for attr, codes := range s.selected {
+			if !codes[cols[attr].Code(r)] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns the current result-set size.
+func (s *Session) Count() int { return len(s.Rows()) }
+
+// Digest returns the queriable-attribute summary of the current result
+// set — the baseline interface's whole view of the data.
+func (s *Session) Digest() *Digest {
+	return Summarize(s.view, s.Rows(), true)
+}
+
+// PanelDigest returns the multi-select facet panel counts that
+// e-commerce interfaces (and Solr's tag/exclude faceting) display: for
+// each attribute, value counts are computed with that attribute's *own*
+// filters excluded, so a user who selected Make=Ford still sees how many
+// Jeeps would match their other filters. Attributes without filters get
+// the plain digest counts.
+func (s *Session) PanelDigest() *Digest {
+	d := &Digest{}
+	schema := s.view.Table().Schema()
+	for _, col := range s.view.Columns() {
+		if !schema[col.Col].Queriable {
+			continue
+		}
+		rows := s.rowsExcluding(col.Attr)
+		counts := make([]int, col.Cardinality())
+		for _, r := range rows {
+			counts[col.Code(r)]++
+		}
+		summary := AttrSummary{Attr: col.Attr}
+		for code, c := range counts {
+			if c > 0 {
+				summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
+			}
+		}
+		sort.Slice(summary.Values, func(i, j int) bool {
+			if summary.Values[i].Count != summary.Values[j].Count {
+				return summary.Values[i].Count > summary.Values[j].Count
+			}
+			return summary.Values[i].Value < summary.Values[j].Value
+		})
+		d.Attrs = append(d.Attrs, summary)
+	}
+	return d
+}
+
+// rowsExcluding evaluates the filter stack with one attribute's filters
+// dropped.
+func (s *Session) rowsExcluding(attr string) dataset.RowSet {
+	if len(s.selected) == 0 || (len(s.selected) == 1 && s.selected[attr] != nil) {
+		return s.base
+	}
+	cols := make(map[string]*dataview.Column, len(s.selected))
+	for a := range s.selected {
+		if a == attr {
+			continue
+		}
+		cols[a], _ = s.view.Column(a)
+	}
+	out := make(dataset.RowSet, 0, len(s.base))
+	for _, r := range s.base {
+		keep := true
+		for a, codes := range s.selected {
+			if a == attr {
+				continue
+			}
+			if !codes[cols[a].Code(r)] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TPFacet is the paper's two-phased faceted interface: the same filter
+// model as Session plus the CAD View phase. At any moment the user sees
+// either the results panel (digest) or the CAD View; BuildCADView
+// renders the latter for the current result set.
+type TPFacet struct {
+	*Session
+}
+
+// NewTPFacet starts a TPFacet session.
+func NewTPFacet(v *dataview.View, base dataset.RowSet) *TPFacet {
+	return &TPFacet{Session: NewSession(v, base)}
+}
+
+// BuildCADView computes the CAD View of the current result set for the
+// given pivot. Unlike filters, the pivot may be any attribute — the CAD
+// View is how non-queriable attributes become visible (Limitation 2).
+func (t *TPFacet) BuildCADView(cfg core.Config) (*core.CADView, error) {
+	view, _, err := core.Build(t.view, t.Rows(), cfg)
+	return view, err
+}
+
+// Phase names the two TPFacet phases of §5.
+type Phase int
+
+const (
+	// PhaseResults shows the result panel / digest — right when the
+	// result set is small enough to browse.
+	PhaseResults Phase = iota
+	// PhaseQueryRevision shows the CAD View — right when the result set
+	// is too large to browse tuple by tuple.
+	PhaseQueryRevision
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == PhaseResults {
+		return "results"
+	}
+	return "query-revision"
+}
+
+// DefaultBrowseLimit is the result size above which SuggestPhase steers
+// the user to the CAD View.
+const DefaultBrowseLimit = 50
+
+// SuggestPhase implements §5's "a system that intelligently chooses a
+// default view, based on the size of query results": small results go to
+// the result panel, large ones to the CAD View. limit 0 uses
+// DefaultBrowseLimit.
+func (t *TPFacet) SuggestPhase(limit int) Phase {
+	if limit <= 0 {
+		limit = DefaultBrowseLimit
+	}
+	if t.Count() <= limit {
+		return PhaseResults
+	}
+	return PhaseQueryRevision
+}

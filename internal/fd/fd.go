@@ -1,0 +1,229 @@
+// Package fd discovers attribute interactions in the forms the paper's
+// related work catalogs (§7): functional dependencies, approximate
+// ("soft") functional dependencies, and correlated attribute pairs in
+// the style of CORDS (Ilyas et al. [16]). These interaction reports are
+// another data summary exploratory users can read alongside the CAD
+// View ("Model determines Make"; "Engine correlates with FuelEconomy").
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/stats"
+)
+
+// Dependency is one discovered X → Y dependency.
+type Dependency struct {
+	// Determinant and Dependent name the attributes: Determinant → Dependent.
+	Determinant, Dependent string
+	// Error is the g3 measure: the minimum fraction of rows that must
+	// be removed for the dependency to hold exactly. 0 means an exact
+	// functional dependency.
+	Error float64
+}
+
+// Exact reports whether the dependency holds with no violating rows.
+func (d Dependency) Exact() bool { return d.Error == 0 }
+
+// String renders "X -> Y (g3=...)".
+func (d Dependency) String() string {
+	if d.Exact() {
+		return fmt.Sprintf("%s -> %s", d.Determinant, d.Dependent)
+	}
+	return fmt.Sprintf("%s -> %s (g3=%.4f)", d.Determinant, d.Dependent, d.Error)
+}
+
+// G3 computes the g3 error of X → Y over rows: for each X value keep the
+// most common Y value and count everything else as violations.
+func G3(v *dataview.View, rows dataset.RowSet, x, y string) (float64, error) {
+	cx, err := v.Column(x)
+	if err != nil {
+		return 0, err
+	}
+	cy, err := v.Column(y)
+	if err != nil {
+		return 0, err
+	}
+	if x == y {
+		return 0, fmt.Errorf("fd: determinant and dependent are both %q", x)
+	}
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("fd: empty row set")
+	}
+	counts := make([][]int, cx.Cardinality())
+	for _, r := range rows {
+		xc := cx.Code(r)
+		if counts[xc] == nil {
+			counts[xc] = make([]int, cy.Cardinality())
+		}
+		counts[xc][cy.Code(r)]++
+	}
+	kept := 0
+	for _, row := range counts {
+		best := 0
+		for _, c := range row {
+			if c > best {
+				best = c
+			}
+		}
+		kept += best
+	}
+	return 1 - float64(kept)/float64(len(rows)), nil
+}
+
+// Options configures discovery.
+type Options struct {
+	// MaxError is the g3 threshold below which a dependency is reported
+	// (default 0.05; 0 keeps the default, use Exact for strictly exact
+	// FDs).
+	MaxError float64
+	// Exact restricts the report to exact dependencies (g3 = 0).
+	Exact bool
+	// MinDeterminantCard skips trivial determinants whose cardinality
+	// is below this (default 2): a constant column "determines"
+	// everything vacuously only when cardinality 1 — and a key column
+	// determines everything trivially, so determinants with cardinality
+	// greater than MaxDeterminantFraction·|rows| are skipped too.
+	MinDeterminantCard int
+	// MaxDeterminantFraction bounds determinant cardinality relative to
+	// the row count (default 0.5) to exclude near-key attributes.
+	MaxDeterminantFraction float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxError <= 0 {
+		o.MaxError = 0.05
+	}
+	if o.MinDeterminantCard <= 0 {
+		o.MinDeterminantCard = 2
+	}
+	if o.MaxDeterminantFraction <= 0 {
+		o.MaxDeterminantFraction = 0.5
+	}
+	return o
+}
+
+// Discover finds single-attribute (approximate) functional dependencies
+// X → Y among the given attributes over rows, sorted by ascending error
+// then by name.
+func Discover(v *dataview.View, rows dataset.RowSet, attrs []string, opt Options) ([]Dependency, error) {
+	opt = opt.withDefaults()
+	if len(attrs) < 2 {
+		return nil, fmt.Errorf("fd: need at least 2 attributes, got %d", len(attrs))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("fd: empty row set")
+	}
+	// Pre-validate and pre-compute live cardinalities.
+	liveCard := make(map[string]int, len(attrs))
+	for _, a := range attrs {
+		col, err := v.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[int]bool{}
+		for _, r := range rows {
+			seen[col.Code(r)] = true
+		}
+		liveCard[a] = len(seen)
+	}
+	var out []Dependency
+	for _, x := range attrs {
+		if liveCard[x] < opt.MinDeterminantCard {
+			continue
+		}
+		if float64(liveCard[x]) > opt.MaxDeterminantFraction*float64(len(rows)) {
+			continue
+		}
+		for _, y := range attrs {
+			if x == y || liveCard[y] < 2 {
+				continue
+			}
+			g3, err := G3(v, rows, x, y)
+			if err != nil {
+				return nil, err
+			}
+			if opt.Exact && g3 != 0 {
+				continue
+			}
+			if g3 <= opt.MaxError {
+				out = append(out, Dependency{Determinant: x, Dependent: y, Error: g3})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Error != out[j].Error {
+			return out[i].Error < out[j].Error
+		}
+		if out[i].Determinant != out[j].Determinant {
+			return out[i].Determinant < out[j].Determinant
+		}
+		return out[i].Dependent < out[j].Dependent
+	})
+	return out, nil
+}
+
+// Correlation is a CORDS-style correlated attribute pair.
+type Correlation struct {
+	A, B string
+	// CramerV is the chi-square effect size in [0, 1].
+	CramerV float64
+	// PValue is the chi-square independence test significance.
+	PValue float64
+}
+
+// Correlations finds attribute pairs whose chi-square test rejects
+// independence at the given significance with at least the given effect
+// size (defaults 0.01 / 0.1), sorted by descending effect size. This is
+// the sampling-free core of CORDS.
+func Correlations(v *dataview.View, rows dataset.RowSet, attrs []string, significance, minEffect float64) ([]Correlation, error) {
+	if significance <= 0 {
+		significance = 0.01
+	}
+	if minEffect <= 0 {
+		minEffect = 0.1
+	}
+	if len(attrs) < 2 {
+		return nil, fmt.Errorf("fd: need at least 2 attributes, got %d", len(attrs))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("fd: empty row set")
+	}
+	cols := make([]*dataview.Column, len(attrs))
+	for i, a := range attrs {
+		c, err := v.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	var out []Correlation
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			ct := stats.NewContingencyTable(cols[i].Cardinality(), cols[j].Cardinality())
+			for _, r := range rows {
+				ct.Add(cols[i].Code(r), cols[j].Code(r))
+			}
+			res, err := stats.ChiSquare(ct)
+			if err != nil {
+				return nil, err
+			}
+			if res.PValue <= significance && res.CramerV >= minEffect {
+				out = append(out, Correlation{A: attrs[i], B: attrs[j], CramerV: res.CramerV, PValue: res.PValue})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CramerV != out[j].CramerV {
+			return out[i].CramerV > out[j].CramerV
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}

@@ -1,0 +1,288 @@
+// Package featsel ranks attributes by how much contrast they induce
+// between the values of a class attribute — the paper's Problem 1.1
+// (Compare Attribute selection). The primary ranker is the chi-square
+// statistic the paper uses (§3.1.1, via Weka's ChiSquare); mutual
+// information and ReliefF (cited as [18]) are provided as ablations.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/stats"
+)
+
+// Score is one attribute's relevance to the class attribute.
+type Score struct {
+	// Attr is the candidate attribute name.
+	Attr string
+	// Stat is the ranking statistic (chi-square X², mutual information
+	// in nats, or ReliefF weight, depending on the ranker).
+	Stat float64
+	// PValue is the chi-square significance (1 for rankers without a
+	// significance test).
+	PValue float64
+}
+
+// Ranker orders candidate attributes by relevance to a class attribute
+// over a row subset.
+type Ranker func(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error)
+
+// classCodes extracts the class code of each row, remapped densely so
+// only classes present in rows occupy contingency-table columns.
+func classCodes(v *dataview.View, rows dataset.RowSet, classAttr string) ([]int, int, error) {
+	cc, err := v.Column(classAttr)
+	if err != nil {
+		return nil, 0, err
+	}
+	remap := make([]int, cc.Cardinality())
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := 0
+	codes := make([]int, len(rows))
+	for i, r := range rows {
+		c := cc.Code(r)
+		if remap[c] < 0 {
+			remap[c] = next
+			next++
+		}
+		codes[i] = remap[c]
+	}
+	return codes, next, nil
+}
+
+func validateCandidates(v *dataview.View, classAttr string, candidates []string) error {
+	for _, name := range candidates {
+		if name == classAttr {
+			return fmt.Errorf("featsel: candidate %q is the class attribute", name)
+		}
+		if _, err := v.Column(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChiSquare ranks candidates by the chi-square statistic of their
+// contingency table against the class attribute, descending. PValue
+// carries each attribute's significance so callers can apply the paper's
+// threshold-relevance cut.
+func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
+	if err := validateCandidates(v, classAttr, candidates); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("featsel: empty row set")
+	}
+	cls, nClasses, err := classCodes(v, rows, classAttr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Score, 0, len(candidates))
+	for _, name := range candidates {
+		col, err := v.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		ct := stats.NewContingencyTable(col.Cardinality(), nClasses)
+		for i, r := range rows {
+			ct.Add(col.Code(r), cls[i])
+		}
+		res, err := stats.ChiSquare(ct)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: attribute %q: %w", name, err)
+		}
+		out = append(out, Score{Attr: name, Stat: res.Stat, PValue: res.PValue})
+	}
+	sortScores(out)
+	return out, nil
+}
+
+// MutualInformation ranks candidates by I(X; class) in nats, descending.
+func MutualInformation(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
+	if err := validateCandidates(v, classAttr, candidates); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("featsel: empty row set")
+	}
+	cls, nClasses, err := classCodes(v, rows, classAttr)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(rows))
+	out := make([]Score, 0, len(candidates))
+	for _, name := range candidates {
+		col, err := v.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		joint := make([][]float64, col.Cardinality())
+		for i := range joint {
+			joint[i] = make([]float64, nClasses)
+		}
+		px := make([]float64, col.Cardinality())
+		py := make([]float64, nClasses)
+		for i, r := range rows {
+			x := col.Code(r)
+			joint[x][cls[i]]++
+			px[x]++
+			py[cls[i]]++
+		}
+		var mi float64
+		for x := range joint {
+			if px[x] == 0 {
+				continue
+			}
+			for y := range joint[x] {
+				if joint[x][y] == 0 || py[y] == 0 {
+					continue
+				}
+				pxy := joint[x][y] / n
+				mi += pxy * math.Log(pxy*n*n/(px[x]*py[y]))
+			}
+		}
+		out = append(out, Score{Attr: name, Stat: mi, PValue: 1})
+	}
+	sortScores(out)
+	return out, nil
+}
+
+// ReliefFOptions configures the ReliefF ranker.
+type ReliefFOptions struct {
+	// Samples is the number of instances m to sample (default: all rows,
+	// capped at 500).
+	Samples int
+	// Neighbors is k, the nearest hits/misses per class (default 5).
+	Neighbors int
+	// Seed drives instance sampling.
+	Seed int64
+}
+
+// ReliefF ranks candidates with the multi-class ReliefF weight
+// (Kononenko 1994) using Hamming distance over the coded attributes.
+// Positive weights mean the attribute separates classes better than
+// chance.
+func ReliefF(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string, opt ReliefFOptions) ([]Score, error) {
+	if err := validateCandidates(v, classAttr, candidates); err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("featsel: ReliefF needs at least 2 rows, got %d", len(rows))
+	}
+	if opt.Neighbors <= 0 {
+		opt.Neighbors = 5
+	}
+	if opt.Samples <= 0 {
+		opt.Samples = len(rows)
+		if opt.Samples > 500 {
+			opt.Samples = 500
+		}
+	}
+	cls, nClasses, err := classCodes(v, rows, classAttr)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*dataview.Column, len(candidates))
+	for i, name := range candidates {
+		cols[i], _ = v.Column(name)
+	}
+	// Pre-extract codes: codes[i][a] for row index i, attribute a.
+	codes := make([][]int, len(rows))
+	for i, r := range rows {
+		codes[i] = make([]int, len(cols))
+		for a, c := range cols {
+			codes[i][a] = c.Code(r)
+		}
+	}
+	// Class priors.
+	prior := make([]float64, nClasses)
+	for _, c := range cls {
+		prior[c]++
+	}
+	for i := range prior {
+		prior[i] /= float64(len(rows))
+	}
+
+	dist := func(i, j int) int {
+		d := 0
+		for a := range cols {
+			if codes[i][a] != codes[j][a] {
+				d++
+			}
+		}
+		return d
+	}
+
+	weights := make([]float64, len(cols))
+	rng := rand.New(rand.NewSource(opt.Seed))
+	perm := rng.Perm(len(rows))
+	m := opt.Samples
+	if m > len(rows) {
+		m = len(rows)
+	}
+
+	type neighbor struct {
+		idx int
+		d   int
+	}
+	for s := 0; s < m; s++ {
+		i := perm[s]
+		// Nearest k neighbors per class.
+		byClass := make([][]neighbor, nClasses)
+		for j := range rows {
+			if j == i {
+				continue
+			}
+			byClass[cls[j]] = append(byClass[cls[j]], neighbor{j, dist(i, j)})
+		}
+		for c := range byClass {
+			ns := byClass[c]
+			sort.Slice(ns, func(a, b int) bool { return ns[a].d < ns[b].d })
+			if len(ns) > opt.Neighbors {
+				byClass[c] = ns[:opt.Neighbors]
+			}
+		}
+		for a := range cols {
+			// Hits: same class.
+			hits := byClass[cls[i]]
+			for _, h := range hits {
+				if codes[i][a] != codes[h.idx][a] {
+					weights[a] -= 1 / (float64(m) * float64(len(hits)))
+				}
+			}
+			// Misses: each other class weighted by prior.
+			for c, ns := range byClass {
+				if c == cls[i] || len(ns) == 0 {
+					continue
+				}
+				w := prior[c] / (1 - prior[cls[i]])
+				for _, ms := range ns {
+					if codes[i][a] != codes[ms.idx][a] {
+						weights[a] += w / (float64(m) * float64(len(ns)))
+					}
+				}
+			}
+		}
+	}
+	out := make([]Score, len(cols))
+	for a := range cols {
+		out[a] = Score{Attr: candidates[a], Stat: weights[a], PValue: 1}
+	}
+	sortScores(out)
+	return out, nil
+}
+
+func sortScores(s []Score) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Stat != s[j].Stat {
+			return s[i].Stat > s[j].Stat
+		}
+		return s[i].Attr < s[j].Attr
+	})
+}

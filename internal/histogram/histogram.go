@@ -1,0 +1,305 @@
+// Package histogram implements the numeric-attribute binning DBExplorer
+// uses as a pre-processing step: attribute value cardinality reduction
+// for effective summarization (paper §2.2.1, following histogram
+// construction techniques of Jagadish & Suel [17]).
+//
+// Three constructions are provided: equi-width, equi-depth (the default
+// used by the CAD View builder), and V-optimal (minimum within-bucket
+// sum of squared error, computed by dynamic programming).
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Method selects a histogram construction algorithm.
+type Method int
+
+const (
+	// EquiWidth splits the value range into equal-width buckets.
+	EquiWidth Method = iota
+	// EquiDepth splits the sorted values into buckets of (nearly)
+	// equal row count. This is the CAD View default.
+	EquiDepth
+	// VOptimal minimizes the within-bucket sum of squared error via
+	// dynamic programming over the distinct sorted values.
+	VOptimal
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case EquiWidth:
+		return "equi-width"
+	case EquiDepth:
+		return "equi-depth"
+	case VOptimal:
+		return "v-optimal"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Histogram is a set of B contiguous buckets over a numeric domain.
+// Edges has B+1 entries; bucket i covers [Edges[i], Edges[i+1]), with the
+// final bucket closed on the right. Counts records how many of the
+// construction values fell in each bucket.
+type Histogram struct {
+	Edges  []float64
+	Counts []int
+}
+
+// Build constructs a histogram over values with at most bins buckets.
+// Fewer buckets are returned when the data has fewer distinct values.
+// values may be in any order and is not modified.
+func Build(values []float64, bins int, method Method) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("histogram: bins must be >= 1, got %d", bins)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("histogram: no values")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	var h *Histogram
+	switch method {
+	case EquiWidth:
+		h = buildEquiWidth(sorted, bins)
+	case EquiDepth:
+		h = buildEquiDepth(sorted, bins)
+	case VOptimal:
+		h = buildVOptimal(sorted, bins)
+	default:
+		return nil, fmt.Errorf("histogram: unknown method %v", method)
+	}
+	h.fillCounts(sorted)
+	return h, nil
+}
+
+// NumBins returns the number of buckets.
+func (h *Histogram) NumBins() int { return len(h.Edges) - 1 }
+
+// Bin returns the bucket index for v, clamping values outside the
+// constructed domain to the first or last bucket.
+func (h *Histogram) Bin(v float64) int {
+	n := h.NumBins()
+	if v < h.Edges[0] {
+		return 0
+	}
+	if v >= h.Edges[n] {
+		return n - 1
+	}
+	// Find the last edge <= v.
+	i := sort.SearchFloat64s(h.Edges, v)
+	if i < len(h.Edges) && h.Edges[i] == v {
+		if i == n {
+			return n - 1
+		}
+		return i
+	}
+	return i - 1
+}
+
+// Label renders bucket i as a human-readable range such as "15K-20K" or
+// "2011-2012", matching the labels the paper prints in Table 1.
+func (h *Histogram) Label(i int) string {
+	return fmt.Sprintf("%s-%s", FormatNumber(h.Edges[i]), FormatNumber(h.Edges[i+1]))
+}
+
+// Labels returns all bucket labels in order.
+func (h *Histogram) Labels() []string {
+	out := make([]string, h.NumBins())
+	for i := range out {
+		out[i] = h.Label(i)
+	}
+	return out
+}
+
+// FormatNumber renders a bin edge compactly, matching the paper's Table
+// 1 labels: magnitudes of 10000 and up use a K suffix (20000 -> "20K",
+// 22240 -> "22.2K"), integers print without decimals, other values with
+// two.
+func FormatNumber(v float64) string {
+	if v >= 10000 || v <= -10000 {
+		k := v / 1000
+		if k == math.Trunc(k) {
+			return fmt.Sprintf("%dK", int64(k))
+		}
+		return fmt.Sprintf("%.1fK", k)
+	}
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func (h *Histogram) fillCounts(sorted []float64) {
+	h.Counts = make([]int, h.NumBins())
+	for _, v := range sorted {
+		h.Counts[h.Bin(v)]++
+	}
+}
+
+func buildEquiWidth(sorted []float64, bins int) *Histogram {
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		return &Histogram{Edges: []float64{lo, hi}}
+	}
+	width := (hi - lo) / float64(bins)
+	edges := make([]float64, bins+1)
+	for i := 0; i <= bins; i++ {
+		edges[i] = lo + width*float64(i)
+	}
+	edges[bins] = hi
+	return &Histogram{Edges: edges}
+}
+
+func buildEquiDepth(sorted []float64, bins int) *Histogram {
+	n := len(sorted)
+	edges := []float64{sorted[0]}
+	for b := 1; b < bins; b++ {
+		idx := b * n / bins
+		cut := sorted[idx]
+		if cut > edges[len(edges)-1] {
+			edges = append(edges, cut)
+		}
+	}
+	if hi := sorted[n-1]; hi > edges[len(edges)-1] {
+		edges = append(edges, hi)
+	} else {
+		// Single distinct value: make a degenerate one-bucket range.
+		edges = append(edges, edges[len(edges)-1])
+	}
+	return &Histogram{Edges: edges}
+}
+
+// buildVOptimal computes the minimum-SSE partition of the distinct sorted
+// values into at most bins buckets by dynamic programming (Jagadish &
+// Suel). The DP runs over distinct values weighted by multiplicity; when
+// the number of distinct values exceeds maxDistinctForDP they are first
+// reduced to that many equi-depth micro-buckets so the DP stays
+// interactive on 40K-row columns.
+func buildVOptimal(sorted []float64, bins int) *Histogram {
+	const maxDistinctForDP = 512
+
+	// Collapse to (value, count) pairs.
+	type vc struct {
+		v float64
+		c int
+	}
+	var distinct []vc
+	for _, v := range sorted {
+		if len(distinct) > 0 && distinct[len(distinct)-1].v == v {
+			distinct[len(distinct)-1].c++
+		} else {
+			distinct = append(distinct, vc{v, 1})
+		}
+	}
+	if len(distinct) > maxDistinctForDP {
+		// Pre-quantize with equi-depth micro-buckets, keeping weights.
+		micro := buildEquiDepth(sorted, maxDistinctForDP)
+		micro.fillCounts(sorted)
+		reduced := make([]vc, 0, micro.NumBins())
+		for i := 0; i < micro.NumBins(); i++ {
+			if micro.Counts[i] > 0 {
+				mid := (micro.Edges[i] + micro.Edges[i+1]) / 2
+				reduced = append(reduced, vc{mid, micro.Counts[i]})
+			}
+		}
+		distinct = reduced
+	}
+	m := len(distinct)
+	if bins >= m {
+		// One bucket per distinct value.
+		edges := make([]float64, 0, m+1)
+		for _, d := range distinct {
+			edges = append(edges, d.v)
+		}
+		edges = append(edges, sorted[len(sorted)-1])
+		if len(edges) < 2 {
+			edges = append(edges, edges[0])
+		}
+		return &Histogram{Edges: edges}
+	}
+
+	// Weighted prefix sums for O(1) SSE of any range [i, j).
+	pw := make([]float64, m+1)  // sum of weights
+	ps := make([]float64, m+1)  // sum of w*v
+	ps2 := make([]float64, m+1) // sum of w*v^2
+	for i, d := range distinct {
+		w := float64(d.c)
+		pw[i+1] = pw[i] + w
+		ps[i+1] = ps[i] + w*d.v
+		ps2[i+1] = ps2[i] + w*d.v*d.v
+	}
+	sse := func(i, j int) float64 {
+		w := pw[j] - pw[i]
+		if w == 0 {
+			return 0
+		}
+		s := ps[j] - ps[i]
+		s2 := ps2[j] - ps2[i]
+		e := s2 - s*s/w
+		if e < 0 {
+			return 0 // numeric guard
+		}
+		return e
+	}
+
+	// dp[b][j] = min SSE of first j distinct values using b buckets.
+	const inf = math.MaxFloat64
+	dp := make([][]float64, bins+1)
+	cut := make([][]int, bins+1)
+	for b := range dp {
+		dp[b] = make([]float64, m+1)
+		cut[b] = make([]int, m+1)
+		for j := range dp[b] {
+			dp[b][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for b := 1; b <= bins; b++ {
+		for j := b; j <= m; j++ {
+			for i := b - 1; i < j; i++ {
+				if dp[b-1][i] == inf {
+					continue
+				}
+				cost := dp[b-1][i] + sse(i, j)
+				if cost < dp[b][j] {
+					dp[b][j] = cost
+					cut[b][j] = i
+				}
+			}
+		}
+	}
+
+	// Recover cut points.
+	cuts := make([]int, 0, bins-1)
+	j := m
+	for b := bins; b > 1; b-- {
+		j = cut[b][j]
+		cuts = append(cuts, j)
+	}
+	sort.Ints(cuts)
+
+	edges := make([]float64, 0, bins+1)
+	edges = append(edges, distinct[0].v)
+	for _, c := range cuts {
+		edges = append(edges, distinct[c].v)
+	}
+	edges = append(edges, sorted[len(sorted)-1])
+	// Deduplicate (possible with repeated cut values).
+	dedup := edges[:1]
+	for _, e := range edges[1:] {
+		if e > dedup[len(dedup)-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	if len(dedup) < 2 {
+		dedup = append(dedup, dedup[0])
+	}
+	return &Histogram{Edges: dedup}
+}

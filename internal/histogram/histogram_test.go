@@ -1,0 +1,294 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMethodString(t *testing.T) {
+	if EquiWidth.String() != "equi-width" || EquiDepth.String() != "equi-depth" || VOptimal.String() != "v-optimal" {
+		t.Error("method names wrong")
+	}
+	if Method(7).String() != "Method(7)" {
+		t.Error("unknown method name wrong")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 3, EquiWidth); err == nil {
+		t.Error("empty values: want error")
+	}
+	if _, err := Build([]float64{1}, 0, EquiWidth); err == nil {
+		t.Error("zero bins: want error")
+	}
+	if _, err := Build([]float64{1}, 3, Method(9)); err == nil {
+		t.Error("bad method: want error")
+	}
+}
+
+func TestEquiWidthBasics(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h, err := Build(vals, 5, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() != 5 {
+		t.Fatalf("bins = %d", h.NumBins())
+	}
+	if h.Edges[0] != 0 || h.Edges[5] != 10 {
+		t.Errorf("edges = %v", h.Edges)
+	}
+	for i := 1; i < 5; i++ {
+		if w := h.Edges[i+1] - h.Edges[i]; math.Abs(w-2) > 1e-9 {
+			t.Errorf("bucket %d width = %g", i, w)
+		}
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(vals) {
+		t.Errorf("counts sum to %d, want %d", total, len(vals))
+	}
+}
+
+func TestEquiDepthBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*100 + 500
+	}
+	h, err := Build(vals, 5, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() != 5 {
+		t.Fatalf("bins = %d", h.NumBins())
+	}
+	for i, c := range h.Counts {
+		if c < 150 || c > 250 {
+			t.Errorf("bucket %d has %d values; equi-depth should be near 200", i, c)
+		}
+	}
+}
+
+func TestEquiDepthSkewedDuplicates(t *testing.T) {
+	// 90% of mass at one value: equi-depth must not emit duplicate edges.
+	vals := make([]float64, 100)
+	for i := range vals {
+		if i < 90 {
+			vals[i] = 5
+		} else {
+			vals[i] = float64(i)
+		}
+	}
+	h, err := Build(vals, 10, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(h.Edges); i++ {
+		if h.Edges[i] < h.Edges[i-1] {
+			t.Fatalf("edges not sorted: %v", h.Edges)
+		}
+	}
+}
+
+func TestSingleDistinctValue(t *testing.T) {
+	for _, m := range []Method{EquiWidth, EquiDepth, VOptimal} {
+		h, err := Build([]float64{3, 3, 3}, 4, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if h.Bin(3) != 0 {
+			t.Errorf("%v: Bin(3) = %d", m, h.Bin(3))
+		}
+		if h.Counts[h.Bin(3)] != 3 {
+			t.Errorf("%v: count = %d", m, h.Counts[h.Bin(3)])
+		}
+	}
+}
+
+func TestBinClamping(t *testing.T) {
+	h, err := Build([]float64{0, 10}, 2, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bin(-5) != 0 {
+		t.Errorf("Bin(-5) = %d", h.Bin(-5))
+	}
+	if h.Bin(99) != h.NumBins()-1 {
+		t.Errorf("Bin(99) = %d", h.Bin(99))
+	}
+	if h.Bin(10) != h.NumBins()-1 {
+		t.Errorf("Bin(max) = %d", h.Bin(10))
+	}
+	if h.Bin(0) != 0 {
+		t.Errorf("Bin(min) = %d", h.Bin(0))
+	}
+	if h.Bin(5) != 1 {
+		t.Errorf("Bin(5) = %d, edges %v", h.Bin(5), h.Edges)
+	}
+}
+
+func TestVOptimalBeatsEquiWidthOnClusters(t *testing.T) {
+	// Two tight clusters far apart: V-optimal should place a boundary
+	// between them and achieve (near) zero SSE with 2 buckets.
+	var vals []float64
+	for i := 0; i < 50; i++ {
+		vals = append(vals, 10)
+		vals = append(vals, 1000)
+	}
+	h, err := Build(vals, 2, VOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bin(10) == h.Bin(1000) {
+		t.Errorf("v-optimal failed to separate clusters: edges %v", h.Edges)
+	}
+}
+
+func TestVOptimalThreeClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var vals []float64
+	for _, center := range []float64{0, 100, 200} {
+		for i := 0; i < 40; i++ {
+			vals = append(vals, center+rng.Float64())
+		}
+	}
+	h, err := Build(vals, 3, VOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() != 3 {
+		t.Fatalf("bins = %d, edges = %v", h.NumBins(), h.Edges)
+	}
+	if h.Bin(0.5) == h.Bin(100.5) || h.Bin(100.5) == h.Bin(200.5) {
+		t.Errorf("clusters not separated: edges %v", h.Edges)
+	}
+	for _, c := range h.Counts {
+		if c != 40 {
+			t.Errorf("cluster split unevenly: counts %v", h.Counts)
+		}
+	}
+}
+
+func TestVOptimalLargeCardinalityReduction(t *testing.T) {
+	// More distinct values than maxDistinctForDP exercises the
+	// pre-quantization path.
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e6
+	}
+	h, err := Build(vals, 8, VOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() < 2 || h.NumBins() > 8 {
+		t.Errorf("bins = %d", h.NumBins())
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(vals) {
+		t.Errorf("counts sum to %d", total)
+	}
+}
+
+func TestVOptimalMoreBinsThanValues(t *testing.T) {
+	h, err := Build([]float64{1, 2, 3}, 10, VOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() > 3 {
+		t.Errorf("bins = %d for 3 distinct values", h.NumBins())
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{20000, "20K"},
+		{15000, "15K"},
+		{-15000, "-15K"},
+		{22240, "22.2K"},
+		{-22240, "-22.2K"},
+		{2011, "2011"},
+		{0, "0"},
+		{999, "999"},
+		{2.5, "2.50"},
+		{1000, "1000"}, // below the 10K threshold stays literal
+	}
+	for _, c := range cases {
+		if got := FormatNumber(c.v); got != c.want {
+			t.Errorf("FormatNumber(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	h, err := Build([]float64{10000, 20000, 30000}, 2, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := h.Labels()
+	if len(labels) != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[0] != "10K-20K" {
+		t.Errorf("label[0] = %q", labels[0])
+	}
+}
+
+// Property: every histogram method yields sorted edges, bins covering
+// all values, and counts summing to len(values).
+func TestHistogramInvariantsProperty(t *testing.T) {
+	for _, method := range []Method{EquiWidth, EquiDepth, VOptimal} {
+		method := method
+		f := func(raw []int16, binsRaw uint8) bool {
+			if len(raw) == 0 {
+				return true
+			}
+			bins := int(binsRaw)%10 + 1
+			vals := make([]float64, len(raw))
+			for i, v := range raw {
+				vals[i] = float64(v)
+			}
+			h, err := Build(vals, bins, method)
+			if err != nil {
+				return false
+			}
+			for i := 1; i < len(h.Edges); i++ {
+				if h.Edges[i] < h.Edges[i-1] {
+					return false
+				}
+			}
+			if h.NumBins() > bins && method != EquiWidth {
+				// v-optimal/equi-depth may return fewer, never more.
+				return false
+			}
+			total := 0
+			for _, c := range h.Counts {
+				total += c
+			}
+			if total != len(vals) {
+				return false
+			}
+			for _, v := range vals {
+				b := h.Bin(v)
+				if b < 0 || b >= h.NumBins() {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%v: %v", method, err)
+		}
+	}
+}

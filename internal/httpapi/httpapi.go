@@ -1,0 +1,258 @@
+// Package httpapi exposes DBExplorer over HTTP, the way the paper's own
+// implementation worked (§6.1: queries come from the faceted interface,
+// the backend computes the CAD View and similarity scores, and "the
+// resulting CAD View and similarity information" return as HTML and
+// JavaScript). The API is JSON; a small embedded web page provides the
+// TPFacet interaction model in a browser. cmd/serve wires it to a
+// dataset.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"dbexplorer/internal/core"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/facet"
+)
+
+// Server serves one dataset. CAD Views built through the API are cached
+// under ids so highlight/reorder can reference them.
+type Server struct {
+	view *dataview.View
+	base dataset.RowSet
+	seed int64
+
+	mu     sync.Mutex
+	nextID int
+	cads   map[string]*core.CADView
+}
+
+// NewServer creates a server over the full table.
+func NewServer(v *dataview.View, seed int64) *Server {
+	return &Server{
+		view: v,
+		base: dataset.AllRows(v.Table().NumRows()),
+		seed: seed,
+		cads: make(map[string]*core.CADView),
+	}
+}
+
+// Handler returns the HTTP handler: the JSON API under /api/ and the
+// embedded UI at /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/schema", s.handleSchema)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/cad", s.handleCAD)
+	mux.HandleFunc("POST /api/highlight", s.handleHighlight)
+	mux.HandleFunc("POST /api/reorder", s.handleReorder)
+	mux.HandleFunc("GET /", s.handleIndex)
+	return mux
+}
+
+// Filter is one attribute's selected values (facet semantics: values of
+// one attribute OR, attributes AND).
+type Filter struct {
+	Attr   string   `json:"attr"`
+	Values []string `json:"values"`
+}
+
+// schemaAttr describes one attribute to the UI.
+type schemaAttr struct {
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"`
+	Queriable bool     `json:"queriable"`
+	Values    []string `json:"values"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	schema := s.view.Table().Schema()
+	out := make([]schemaAttr, 0, len(schema))
+	for _, col := range s.view.Columns() {
+		a := schemaAttr{
+			Name:      col.Attr,
+			Kind:      schema[col.Col].Kind.String(),
+			Queriable: schema[col.Col].Queriable,
+		}
+		if col.Cardinality() <= 64 {
+			a.Values = col.Labels()
+		}
+		out = append(out, a)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table": s.view.Table().Name(),
+		"rows":  s.view.Table().NumRows(),
+		"attrs": out,
+	})
+}
+
+type queryRequest struct {
+	Filters []Filter `json:"filters"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sess, err := s.session(req.Filters)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":  sess.Count(),
+		"digest": sess.Digest(),
+		"panel":  sess.PanelDigest(),
+		"phase":  (&facet.TPFacet{Session: sess}).SuggestPhase(0).String(),
+	})
+}
+
+type cadRequest struct {
+	Filters      []Filter `json:"filters"`
+	Pivot        string   `json:"pivot"`
+	PivotValues  []string `json:"pivotValues,omitempty"`
+	CompareAttrs []string `json:"compareAttrs,omitempty"`
+	K            int      `json:"k,omitempty"`
+	MaxCompare   int      `json:"maxCompare,omitempty"`
+}
+
+func (s *Server) handleCAD(w http.ResponseWriter, r *http.Request) {
+	var req cadRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sess, err := s.session(req.Filters)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, _, err := core.Build(s.view, sess.Rows(), core.Config{
+		Pivot:        req.Pivot,
+		PivotValues:  req.PivotValues,
+		CompareAttrs: req.CompareAttrs,
+		K:            req.K,
+		MaxCompare:   req.MaxCompare,
+		Seed:         s.seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "cad-" + strconv.Itoa(s.nextID)
+	view.Name = id
+	s.cads[id] = view
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "view": view, "text": core.Render(view, nil)})
+}
+
+type highlightRequest struct {
+	ID         string  `json:"id"`
+	PivotValue string  `json:"pivotValue"`
+	Rank       int     `json:"rank"`
+	Tau        float64 `json:"tau,omitempty"`
+}
+
+func (s *Server) handleHighlight(w http.ResponseWriter, r *http.Request) {
+	var req highlightRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	view, ok := s.cachedView(req.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown CAD view %q", req.ID))
+		return
+	}
+	tau := req.Tau
+	if tau == 0 {
+		tau = view.Tau
+	}
+	h, err := core.HighlightSimilar(view, req.PivotValue, req.Rank, tau)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"highlight": h, "text": core.Render(view, h)})
+}
+
+type reorderRequest struct {
+	ID         string `json:"id"`
+	PivotValue string `json:"pivotValue"`
+}
+
+func (s *Server) handleReorder(w http.ResponseWriter, r *http.Request) {
+	var req reorderRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	view, ok := s.cachedView(req.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown CAD view %q", req.ID))
+		return
+	}
+	reordered, sims, err := core.ReorderRows(view, req.PivotValue)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	reordered.Name = req.ID
+	s.cads[req.ID] = reordered
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"view":         reordered,
+		"similarities": sims,
+		"text":         core.Render(reordered, nil),
+	})
+}
+
+func (s *Server) cachedView(id string) (*core.CADView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.cads[id]
+	return v, ok
+}
+
+// session builds a facet session with the request's filters applied.
+func (s *Server) session(filters []Filter) (*facet.Session, error) {
+	sess := facet.NewSession(s.view, s.base)
+	for _, f := range filters {
+		for _, val := range f.Values {
+			if err := sess.Select(f.Attr, val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sess, nil
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than log via the default
+		// error path.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,302 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataview"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tbl := datagen.UsedCars(3000, 1)
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(v, 1).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { res.Body.Close() })
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return res, out
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv := testServer(t)
+	res, err := http.Get(srv.URL + "/api/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var out struct {
+		Table string `json:"table"`
+		Rows  int    `json:"rows"`
+		Attrs []struct {
+			Name      string   `json:"name"`
+			Kind      string   `json:"kind"`
+			Queriable bool     `json:"queriable"`
+			Values    []string `json:"values"`
+		} `json:"attrs"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Table != "UsedCars" || out.Rows != 3000 || len(out.Attrs) != 11 {
+		t.Errorf("schema = %+v", out)
+	}
+	for _, a := range out.Attrs {
+		if a.Name == "Engine" && a.Queriable {
+			t.Error("Engine should be non-queriable")
+		}
+		if a.Name == "Make" && len(a.Values) == 0 {
+			t.Error("Make values missing")
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	res, out := post(t, srv, "/api/query", map[string]any{
+		"filters": []map[string]any{{"attr": "BodyType", "values": []string{"SUV"}}},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", res.StatusCode, out["error"])
+	}
+	var count int
+	if err := json.Unmarshal(out["count"], &count); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 || count == 3000 {
+		t.Errorf("filtered count = %d", count)
+	}
+	if _, ok := out["digest"]; !ok {
+		t.Error("digest missing")
+	}
+	if _, ok := out["panel"]; !ok {
+		t.Error("panel missing")
+	}
+	var phase string
+	if err := json.Unmarshal(out["phase"], &phase); err != nil || phase != "query-revision" {
+		t.Errorf("phase = %q", phase)
+	}
+	// Filter errors become 400s.
+	res, out = post(t, srv, "/api/query", map[string]any{
+		"filters": []map[string]any{{"attr": "Nope", "values": []string{"x"}}},
+	})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown attr status = %d", res.StatusCode)
+	}
+	if len(out["error"]) == 0 {
+		t.Error("error body missing")
+	}
+	// Non-queriable attribute rejected as a filter.
+	res, _ = post(t, srv, "/api/query", map[string]any{
+		"filters": []map[string]any{{"attr": "Engine", "values": []string{"V8"}}},
+	})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("hidden attr filter status = %d", res.StatusCode)
+	}
+}
+
+func TestCADHighlightReorderFlow(t *testing.T) {
+	srv := testServer(t)
+	res, out := post(t, srv, "/api/cad", map[string]any{
+		"filters": []map[string]any{{"attr": "BodyType", "values": []string{"SUV"}}},
+		"pivot":   "Make",
+		"k":       2,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("cad status = %d: %s", res.StatusCode, out["error"])
+	}
+	var id string
+	if err := json.Unmarshal(out["id"], &id); err != nil || id == "" {
+		t.Fatalf("id = %q", id)
+	}
+	var text string
+	if err := json.Unmarshal(out["text"], &text); err != nil || !strings.Contains(text, "IUnit 1") {
+		t.Errorf("text rendering missing: %q", text[:80])
+	}
+	var view struct {
+		Rows []struct {
+			Value string `json:"value"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(out["view"], &view); err != nil || len(view.Rows) == 0 {
+		t.Fatalf("view decode: %v", err)
+	}
+	first := view.Rows[0].Value
+
+	// Highlight against the cached view.
+	res, out = post(t, srv, "/api/highlight", map[string]any{
+		"id": id, "pivotValue": first, "rank": 1,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("highlight status = %d: %s", res.StatusCode, out["error"])
+	}
+	if _, ok := out["highlight"]; !ok {
+		t.Error("highlight payload missing")
+	}
+
+	// Reorder: reference row moves to the front and the cache updates.
+	res, out = post(t, srv, "/api/reorder", map[string]any{
+		"id": id, "pivotValue": view.Rows[len(view.Rows)-1].Value,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("reorder status = %d: %s", res.StatusCode, out["error"])
+	}
+	var reordered struct {
+		Rows []struct {
+			Value string `json:"value"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(out["view"], &reordered); err != nil {
+		t.Fatal(err)
+	}
+	if reordered.Rows[0].Value != view.Rows[len(view.Rows)-1].Value {
+		t.Errorf("reorder did not move reference first: %v", reordered.Rows)
+	}
+
+	// Error paths.
+	res, _ = post(t, srv, "/api/highlight", map[string]any{"id": "nope", "pivotValue": first, "rank": 1})
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status = %d", res.StatusCode)
+	}
+	res, _ = post(t, srv, "/api/highlight", map[string]any{"id": id, "pivotValue": "Nope", "rank": 1})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown pivot value status = %d", res.StatusCode)
+	}
+	res, _ = post(t, srv, "/api/reorder", map[string]any{"id": "nope", "pivotValue": first})
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("reorder unknown id status = %d", res.StatusCode)
+	}
+	res, _ = post(t, srv, "/api/cad", map[string]any{"pivot": "Nope"})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("cad unknown pivot status = %d", res.StatusCode)
+	}
+}
+
+func TestBadRequestBodies(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{"/api/query", "/api/cad", "/api/highlight", "/api/reorder"} {
+		res, err := http.Post(srv.URL+path, "application/json", strings.NewReader("not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with garbage body: status %d", path, res.StatusCode)
+		}
+		// Unknown fields are rejected too.
+		res, err = http.Post(srv.URL+path, "application/json", strings.NewReader(`{"bogus": 1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with unknown field: status %d", path, res.StatusCode)
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	srv := testServer(t)
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			body, _ := json.Marshal(map[string]any{"pivot": "Make", "k": 2})
+			res, err := http.Post(srv.URL+"/api/cad", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("worker %d: status %d", w, res.StatusCode)
+				return
+			}
+			var out struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			// Follow up with a reorder against the fresh view.
+			body, _ = json.Marshal(map[string]any{"id": out.ID, "pivotValue": "Ford"})
+			res2, err := http.Post(srv.URL+"/api/reorder", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			res2.Body.Close()
+			if res2.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("worker %d reorder: status %d", w, res2.StatusCode)
+				return
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := testServer(t)
+	res, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"DBExplorer", "/api/schema", "/api/cad", "reorder"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	res2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", res2.StatusCode)
+	}
+}

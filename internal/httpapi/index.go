@@ -1,0 +1,144 @@
+package httpapi
+
+import "net/http"
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// indexHTML is the embedded TPFacet web page: the query panel (filters +
+// digest) on the left, and the toggled results/CAD-View area on the
+// right, with click-to-highlight and click-to-reorder.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>DBExplorer — TPFacet</title>
+<style>
+  body { font-family: sans-serif; margin: 0; display: flex; height: 100vh; }
+  #panel { width: 320px; overflow-y: auto; border-right: 1px solid #ccc; padding: 12px; }
+  #main { flex: 1; overflow: auto; padding: 12px; }
+  h1 { font-size: 16px; margin: 0 0 8px; }
+  h2 { font-size: 13px; margin: 12px 0 4px; text-transform: uppercase; color: #555; }
+  .val { cursor: pointer; display: block; font-size: 13px; padding: 1px 4px; }
+  .val:hover { background: #eef; }
+  .val.on { background: #cdf; font-weight: bold; }
+  .count { color: #888; float: right; }
+  pre { font-size: 11px; line-height: 1.3; }
+  button, input { font-size: 13px; margin: 2px; }
+  #status { color: #060; font-size: 13px; margin: 6px 0; }
+</style>
+</head>
+<body>
+<div id="panel">
+  <h1>DBExplorer</h1>
+  <div id="status"></div>
+  <div>
+    Pivot: <select id="pivot"></select>
+    <button onclick="buildCad()">CAD View</button>
+    <button onclick="clearFilters()">Clear filters</button>
+  </div>
+  <div id="facets"></div>
+</div>
+<div id="main">
+  <h2>CAD View</h2>
+  <div>Click a pivot value below to REORDER; enter "value,rank" to HIGHLIGHT:
+    <input id="hl" placeholder="Chevrolet,1" size="14"><button onclick="highlight()">highlight</button>
+  </div>
+  <div id="rowlinks"></div>
+  <pre id="cad">(build a CAD View)</pre>
+</div>
+<script>
+let filters = {};   // attr -> Set(values)
+let cadId = null;
+let schema = null;
+
+function filterList() {
+  return Object.entries(filters)
+    .filter(([a, s]) => s.size > 0)
+    .map(([a, s]) => ({attr: a, values: [...s]}));
+}
+async function api(path, body) {
+  const res = await fetch(path, body === undefined ? {} :
+    {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify(body)});
+  const data = await res.json();
+  if (!res.ok) throw new Error(data.error || res.statusText);
+  return data;
+}
+async function loadSchema() {
+  schema = await api('/api/schema');
+  const pivot = document.getElementById('pivot');
+  for (const a of schema.attrs) {
+    const o = document.createElement('option');
+    o.value = o.textContent = a.name;
+    pivot.appendChild(o);
+  }
+  await refresh();
+}
+async function refresh() {
+  const q = await api('/api/query', {filters: filterList()});
+  document.getElementById('status').textContent =
+    q.count + ' tuples selected — suggested phase: ' + q.phase;
+  const box = document.getElementById('facets');
+  box.innerHTML = '';
+  for (const attr of q.panel.Attrs || []) {
+    const h = document.createElement('h2');
+    h.textContent = attr.Attr;
+    box.appendChild(h);
+    for (const vc of (attr.Values || []).slice(0, 12)) {
+      const d = document.createElement('span');
+      d.className = 'val' + (filters[attr.Attr]?.has(vc.Value) ? ' on' : '');
+      d.innerHTML = vc.Value + '<span class="count">' + vc.Count + '</span>';
+      d.onclick = () => toggle(attr.Attr, vc.Value);
+      box.appendChild(d);
+    }
+  }
+}
+async function toggle(attr, value) {
+  filters[attr] = filters[attr] || new Set();
+  filters[attr].has(value) ? filters[attr].delete(value) : filters[attr].add(value);
+  await refresh();
+}
+async function clearFilters() { filters = {}; await refresh(); }
+async function buildCad() {
+  const pivot = document.getElementById('pivot').value;
+  try {
+    const res = await api('/api/cad', {filters: filterList(), pivot: pivot});
+    cadId = res.id;
+    showCad(res.text, res.view);
+  } catch (e) { alert(e.message); }
+}
+function showCad(text, view) {
+  document.getElementById('cad').textContent = text;
+  const links = document.getElementById('rowlinks');
+  links.innerHTML = 'Reorder by: ';
+  for (const row of view.rows || []) {
+    const b = document.createElement('button');
+    b.textContent = row.value;
+    b.onclick = () => reorder(row.value);
+    links.appendChild(b);
+  }
+}
+async function reorder(value) {
+  try {
+    const res = await api('/api/reorder', {id: cadId, pivotValue: value});
+    showCad(res.text, res.view);
+  } catch (e) { alert(e.message); }
+}
+async function highlight() {
+  const [value, rank] = document.getElementById('hl').value.split(',');
+  try {
+    const res = await api('/api/highlight', {id: cadId, pivotValue: value.trim(), rank: parseInt(rank, 10)});
+    document.getElementById('cad').textContent = res.text;
+  } catch (e) { alert(e.message); }
+}
+loadSchema();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,277 @@
+package simuser
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dbexplorer/internal/core"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/facet"
+	"dbexplorer/internal/stats"
+)
+
+// ClassifierTask is §6.2.1: build a simple classifier — at most two
+// attribute values maximizing F1 for the target class.
+type ClassifierTask struct {
+	ClassAttr   string
+	TargetValue string
+	// Variant labels the matched-pair task for reporting.
+	Variant string
+}
+
+// selectionRows evaluates a selection with faceted semantics over base.
+func selectionRows(v *dataview.View, base dataset.RowSet, sel selection) dataset.RowSet {
+	byAttr := map[string][]string{}
+	for _, r := range sel {
+		byAttr[r.Attr] = append(byAttr[r.Attr], r.Value)
+	}
+	rows := base
+	for attr, values := range byAttr {
+		col, err := v.Column(attr)
+		if err != nil {
+			return nil
+		}
+		want := map[int]bool{}
+		for _, val := range values {
+			want[col.CodeOf(val)] = true
+		}
+		rows = rows.Filter(func(r int) bool { return want[col.Code(r)] })
+	}
+	return rows
+}
+
+// classifierF1 computes the true F1 of a selection against the target
+// class over base.
+func classifierF1(v *dataview.View, base dataset.RowSet, sel selection, classCol *dataview.Column, targetCode int) float64 {
+	predicted := selectionRows(v, base, sel)
+	tp, fp := 0, 0
+	for _, r := range predicted {
+		if classCol.Code(r) == targetCode {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	targetTotal := 0
+	for _, r := range base {
+		if classCol.Code(r) == targetCode {
+			targetTotal++
+		}
+	}
+	return stats.F1Score(tp, fp, targetTotal-tp)
+}
+
+// RunClassifier executes the classifier task for one user on one
+// interface.
+func RunClassifier(v *dataview.View, task ClassifierTask, u User, iface Interface, seed int64) (Outcome, error) {
+	if err := checkUser(u); err != nil {
+		return Outcome{}, err
+	}
+	classCol, err := v.Column(task.ClassAttr)
+	if err != nil {
+		return Outcome{}, err
+	}
+	targetCode := classCol.CodeOf(task.TargetValue)
+	if targetCode < 0 {
+		return Outcome{}, fmt.Errorf("simuser: class %q has no value %q", task.ClassAttr, task.TargetValue)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(u.ID)<<8 ^ int64(iface)))
+	base := dataset.AllRows(v.Table().NumRows())
+	cl := &clock{speed: u.Speed, rng: rng}
+
+	var candidates []valueRef
+	var estNoise float64
+	switch iface {
+	case Solr:
+		candidates = solrClassifierCandidates(v, task, base, u, rng, cl)
+		estNoise = 0.05 * (1.1 - u.Diligence)
+	case TPFacet:
+		candidates, err = tpfacetClassifierCandidates(v, task, base, u, cl)
+		if err != nil {
+			return Outcome{}, err
+		}
+		estNoise = 0.02 * (1.1 - u.Diligence)
+	}
+
+	trueF1 := func(sel selection) float64 {
+		return classifierF1(v, base, sel, classCol, targetCode)
+	}
+
+	// Phase 1: single-value trials. Each trial is an apply / read the
+	// class counts / remove cycle on the live interface.
+	nSingle := len(candidates)
+	budget := map[Interface]int{
+		Solr:    int(math.Round(12 + 16*u.Diligence)),
+		TPFacet: int(math.Round(3 + 3*u.Diligence)),
+	}[iface]
+	if nSingle > budget {
+		nSingle = budget
+	}
+	// Hit-and-trial cycles on the baseline need a full decision step
+	// each time (which value next?); reading contrasts off the CAD View
+	// halves that.
+	trialThink := costThink
+	if iface == TPFacet {
+		trialThink = costThink * 0.5
+	}
+	type scored struct {
+		sel selection
+		est float64
+	}
+	var tried []scored
+	for _, c := range candidates[:nSingle] {
+		cl.spend(costApplyFilter + costReadCount + costRemoveFilter + trialThink)
+		sel := selection{c}
+		tried = append(tried, scored{sel, trueF1(sel) + rng.NormFloat64()*estNoise})
+	}
+	sort.Slice(tried, func(i, j int) bool { return tried[i].est > tried[j].est })
+
+	// Phase 2: pair trials combining the best singles.
+	nTop := 3
+	if nTop > len(tried) {
+		nTop = len(tried)
+	}
+	nPair := map[Interface]int{
+		Solr:    int(math.Round(4 + 8*u.Diligence)),
+		TPFacet: int(math.Round(2 + 2*u.Diligence)),
+	}[iface]
+	var pairTried []scored
+	for i := 0; i < nTop && len(pairTried) < nPair; i++ {
+		for j := 0; j < len(tried) && len(pairTried) < nPair; j++ {
+			if j == i {
+				continue
+			}
+			a, b := tried[i].sel[0], tried[j].sel[0]
+			if a == b {
+				continue
+			}
+			cl.spend(2*costApplyFilter + costReadCount + 2*costRemoveFilter + trialThink)
+			sel := selection{a, b}
+			pairTried = append(pairTried, scored{sel, trueF1(sel) + rng.NormFloat64()*estNoise})
+		}
+	}
+	tried = append(tried, pairTried...)
+	sort.Slice(tried, func(i, j int) bool { return tried[i].est > tried[j].est })
+
+	cl.spend(2 * costThink) // final decision
+	if len(tried) == 0 {
+		return Outcome{}, fmt.Errorf("simuser: no classifier candidates tried")
+	}
+	best := tried[0].sel
+	return Outcome{
+		UserID:  u.ID,
+		Iface:   iface,
+		Variant: task.Variant,
+		Quality: trueF1(best),
+		Minutes: cl.minutes(),
+		Ops:     cl.ops,
+		Answer:  best.String(),
+	}, nil
+}
+
+// solrClassifierCandidates orders the value pool the only way the
+// baseline digest affords: by displayed tuple count, with per-user
+// perceptual noise. Discriminativeness is invisible until a value is
+// actually tried.
+func solrClassifierCandidates(v *dataview.View, task ClassifierTask, base dataset.RowSet, u User, rng *rand.Rand, cl *clock) []valueRef {
+	d := facet.Summarize(v, base, true)
+	// Scanning the whole digest costs real time.
+	for _, a := range d.Attrs {
+		n := len(a.Values)
+		if n > 8 {
+			n = 8
+		}
+		cl.spend(float64(n) * costScanValue)
+	}
+	pool := allValues(v, map[string]bool{task.ClassAttr: true})
+	noise := 0.5 * (1.3 - u.Diligence)
+	type ranked struct {
+		ref   valueRef
+		score float64
+	}
+	var rs []ranked
+	for _, ref := range pool {
+		count := d.Count(ref.Attr, ref.Value)
+		if count == 0 {
+			continue
+		}
+		rs = append(rs, ranked{ref, float64(count) * math.Exp(rng.NormFloat64()*noise)})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
+	out := make([]valueRef, len(rs))
+	for i, r := range rs {
+		out[i] = r.ref
+	}
+	return out
+}
+
+// tpfacetClassifierCandidates builds the real CAD View pivoted on the
+// class attribute and reads candidates off it: values displayed in the
+// target row's IUnit labels but not in the other rows' — exactly the
+// contrast the interface renders.
+func tpfacetClassifierCandidates(v *dataview.View, task ClassifierTask, base dataset.RowSet, u User, cl *clock) ([]valueRef, error) {
+	view, _, err := core.Build(v, base, core.Config{
+		Pivot: task.ClassAttr,
+		K:     3,
+		Seed:  int64(u.ID),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.spend(costBuildCADView + float64(len(view.Rows))*costReadCADRow)
+
+	displayed := func(row *core.PivotRow) map[valueRef]int {
+		counts := map[valueRef]int{}
+		if row == nil {
+			return counts
+		}
+		for _, iu := range row.IUnits {
+			for _, l := range iu.Labels {
+				for gi, g := range l.Groups {
+					for _, val := range g.Values {
+						// Earlier groups are more prominent.
+						counts[valueRef{l.Attr, val}] += iu.Size / (gi + 1)
+					}
+				}
+			}
+		}
+		return counts
+	}
+	target := displayed(view.Row(task.TargetValue))
+	var others map[valueRef]int
+	for _, row := range view.Rows {
+		if row.Value == task.TargetValue {
+			continue
+		}
+		others = displayed(row)
+		break
+	}
+	type ranked struct {
+		ref   valueRef
+		score float64
+	}
+	var rs []ranked
+	for ref, w := range target {
+		if _, shared := others[ref]; shared {
+			continue
+		}
+		rs = append(rs, ranked{ref, float64(w)})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].ref.String() < rs[j].ref.String()
+	})
+	out := make([]valueRef, len(rs))
+	for i, r := range rs {
+		out[i] = r.ref
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("simuser: CAD view showed no contrasting values for %s", task.ClassAttr)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package simuser
+
+import (
+	"testing"
+
+	"dbexplorer/internal/dataset"
+)
+
+func TestClockAccounting(t *testing.T) {
+	c := &clock{speed: 2}
+	c.spend(30)
+	c.spend(30)
+	if c.ops != 2 {
+		t.Errorf("ops = %d", c.ops)
+	}
+	if c.minutes() != 2 {
+		t.Errorf("minutes = %g, want 2 (speed doubles time)", c.minutes())
+	}
+	fast := &clock{speed: 0.5}
+	fast.spend(60)
+	if fast.minutes() != 0.5 {
+		t.Errorf("fast minutes = %g", fast.minutes())
+	}
+}
+
+func TestCheckUser(t *testing.T) {
+	good := User{ID: 1, Speed: 1, Diligence: 0.8}
+	if err := checkUser(good); err != nil {
+		t.Errorf("good user rejected: %v", err)
+	}
+	bad := []User{
+		{},
+		{ID: 1, Speed: 0, Diligence: 0.5},
+		{ID: 1, Speed: 1, Diligence: 0},
+		{ID: 1, Speed: 1, Diligence: 1.5},
+	}
+	for _, u := range bad {
+		if err := checkUser(u); err == nil {
+			t.Errorf("bad user accepted: %+v", u)
+		}
+	}
+}
+
+func TestValueRefAndSelectionStrings(t *testing.T) {
+	r := valueRef{"Odor", "foul"}
+	if r.String() != "Odor=foul" {
+		t.Errorf("valueRef = %q", r.String())
+	}
+	s := selection{r, {"Bruises", "false"}}
+	if s.String() != "Odor=foul & Bruises=false" {
+		t.Errorf("selection = %q", s.String())
+	}
+	if (selection{}).String() != "(empty)" {
+		t.Error("empty selection string")
+	}
+}
+
+func TestAllValues(t *testing.T) {
+	v := mushroomView(t)
+	vals := allValues(v, map[string]bool{"Class": true})
+	if len(vals) == 0 {
+		t.Fatal("no values")
+	}
+	for _, r := range vals {
+		if r.Attr == "Class" {
+			t.Fatal("excluded attribute leaked")
+		}
+	}
+	// Every queriable attribute except Class contributes.
+	attrs := map[string]bool{}
+	for _, r := range vals {
+		attrs[r.Attr] = true
+	}
+	if len(attrs) != 22 {
+		t.Errorf("attributes covered = %d, want 22", len(attrs))
+	}
+}
+
+func TestRetrievalErrorProperties(t *testing.T) {
+	v := mushroomView(t)
+	base := dataset.AllRows(v.Table().NumRows())
+	target := selectionRows(v, base, selection{{Attr: "Odor", Value: "foul"}})
+	if e := retrievalError(v, target, target); e > 1e-9 {
+		t.Errorf("self retrieval error = %g", e)
+	}
+	other := selectionRows(v, base, selection{{Attr: "Odor", Value: "almond"}})
+	if e := retrievalError(v, target, other); e <= 0 {
+		t.Errorf("disjoint sets error = %g, want positive", e)
+	}
+	near := selectionRows(v, base, selection{{Attr: "StalkSurfaceAboveRing", Value: "silky"}})
+	eNear := retrievalError(v, target, near)
+	eFar := retrievalError(v, target, other)
+	if eNear >= eFar {
+		t.Errorf("planted surrogate error %g >= unrelated error %g", eNear, eFar)
+	}
+}
+
+func TestPairGroundTruth(t *testing.T) {
+	v := mushroomView(t)
+	base := dataset.AllRows(v.Table().NumRows())
+	task := SimilarPairTask{Attr: "GillColor", Values: []string{"buff", "white", "brown", "green"}}
+	pairs, sims, err := pairGroundTruth(v, base, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 6 || len(sims) != 6 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	top := pairs[0]
+	if !(top.A == "white" && top.B == "brown") && !(top.A == "brown" && top.B == "white") {
+		t.Errorf("top pair = %v, want brown/white", top)
+	}
+	for i := 1; i < len(sims); i++ {
+		if sims[i] > sims[i-1] {
+			t.Error("similarities not sorted")
+		}
+	}
+	if rankOf(pairs, top) != 1 {
+		t.Error("rankOf top != 1")
+	}
+	if rankOf(pairs, pair{"white", "brown"}) != rankOf(pairs, pair{"brown", "white"}) {
+		t.Error("rankOf not symmetric")
+	}
+	if rankOf(pairs, pair{"nope", "nope2"}) != 7 {
+		t.Error("unknown pair should rank len+1")
+	}
+	if _, _, err := pairGroundTruth(v, base, SimilarPairTask{Attr: "GillColor", Values: []string{"buff", "nope"}}); err == nil {
+		t.Error("unknown value: want error")
+	}
+	if _, _, err := pairGroundTruth(v, base, SimilarPairTask{Attr: "Nope", Values: []string{"a", "b"}}); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+}
+
+func TestSolrSlowerButDiligenceHelps(t *testing.T) {
+	// Higher diligence means more trials: more time, at least as good
+	// quality in expectation. Check time monotonicity on one seed.
+	v := mushroomView(t)
+	task := ClassifierTask{ClassAttr: "Bruises", TargetValue: "true", Variant: "t"}
+	lazy := User{ID: 1, Speed: 1, Diligence: 0.55}
+	keen := User{ID: 1, Speed: 1, Diligence: 1.0}
+	oLazy, err := RunClassifier(v, task, lazy, Solr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oKeen, err := RunClassifier(v, task, keen, Solr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oKeen.Minutes <= oLazy.Minutes {
+		t.Errorf("diligent user not slower: %.1f <= %.1f", oKeen.Minutes, oLazy.Minutes)
+	}
+	if oKeen.Ops <= oLazy.Ops {
+		t.Errorf("diligent user did fewer ops: %d <= %d", oKeen.Ops, oLazy.Ops)
+	}
+}

@@ -1,0 +1,170 @@
+// Package simuser replicates the paper's §6.2 user study with simulated
+// subjects (DESIGN.md substitution 3). Each of the eight users is an
+// agent that performs the three exploration tasks through one of two
+// interfaces — the Solr-style faceted baseline or TPFacet with the CAD
+// View — by issuing interface operations with realistic time costs.
+//
+// The interfaces differ in what information one operation exposes, and
+// that asymmetry (not hard-coded outcomes) produces the paper's result:
+// a Solr user learns one filtered digest per apply/read/remove cycle and
+// must order their search by what the digest shows (value counts), while
+// a TPFacet user reads contrast-ranked Compare Attributes and IUnit
+// labels directly, so their candidate list starts with the
+// discriminative values. Quality metrics (F1, similarity rank, retrieval
+// error) are computed for real on the dataset from the selections each
+// agent actually makes.
+package simuser
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbexplorer/internal/dataview"
+)
+
+// Interface identifies the search interface a task run uses.
+type Interface int
+
+const (
+	// Solr is the faceted baseline (digest + filters only).
+	Solr Interface = iota
+	// TPFacet is the two-phased faceted interface with the CAD View.
+	TPFacet
+)
+
+// String returns "Solr" or "TPFacet".
+func (i Interface) String() string {
+	if i == Solr {
+		return "Solr"
+	}
+	return "TPFacet"
+}
+
+// Operation time costs, in seconds. Calibrated so task completion times
+// land on the paper's minute scale (Solr roughly 6-16 minutes per task,
+// TPFacet roughly 2-5).
+const (
+	costApplyFilter   = 3.0
+	costRemoveFilter  = 2.0
+	costReadCount     = 2.0
+	costScanValue     = 0.35 // per digest value skimmed
+	costCompareDigest = 60.0 // manually comparing two summary digests
+	costRecordDigest  = 15.0 // noting down one digest for later comparison
+	costBuildCADView  = 4.0  // request + render
+	costReadCADRow    = 12.0 // absorbing one pivot row's IUnits
+	costClick         = 3.0  // highlight or reorder click
+	costObserve       = 5.0  // taking in a highlight/reorder effect
+	costThink         = 6.0  // one decision step
+)
+
+// User is one simulated subject. Speed scales all operation times
+// (slower users > 1); Diligence in (0, 1] scales how much of the search
+// space the user is willing to examine and how carefully they estimate.
+type User struct {
+	ID        int
+	Speed     float64
+	Diligence float64
+}
+
+// NewUsers draws n subjects with seeded per-user speed and diligence,
+// mirroring the study's eight graduate students (IDs are 1-based, U1-U8).
+func NewUsers(n int, seed int64) []User {
+	rng := rand.New(rand.NewSource(seed))
+	users := make([]User, n)
+	for i := range users {
+		users[i] = User{
+			ID:        i + 1,
+			Speed:     0.8 + rng.Float64()*0.5,
+			Diligence: 0.55 + rng.Float64()*0.45,
+		}
+	}
+	return users
+}
+
+// clock accumulates a task run's interface operations and wall time.
+// Each operation's duration carries human jitter (±15% lognormal-ish)
+// when an rng is attached.
+type clock struct {
+	seconds float64
+	ops     int
+	speed   float64
+	rng     *rand.Rand
+}
+
+func (c *clock) spend(sec float64) {
+	jitter := 1.0
+	if c.rng != nil {
+		jitter = 1 + 0.15*c.rng.NormFloat64()
+		if jitter < 0.4 {
+			jitter = 0.4
+		}
+	}
+	c.seconds += sec * c.speed * jitter
+	c.ops++
+}
+
+// minutes returns accumulated time in minutes.
+func (c *clock) minutes() float64 { return c.seconds / 60 }
+
+// Outcome is one (user, interface) cell of a study figure.
+type Outcome struct {
+	UserID  int
+	Iface   Interface
+	Variant string // which task of the matched pair the user performed
+	// Quality is the task's metric: F1 for the classifier task, chosen
+	// pair's ground-truth rank for the similar-pair task, retrieval
+	// error for the alternative-condition task.
+	Quality float64
+	Minutes float64
+	Ops     int
+	// Answer describes what the user submitted, for inspection.
+	Answer string
+}
+
+// valueRef names one attribute value.
+type valueRef struct {
+	Attr  string
+	Value string
+}
+
+func (v valueRef) String() string { return v.Attr + "=" + v.Value }
+
+// selection is a user's submitted set of at most two attribute values;
+// faceted semantics apply (same attribute ORs, different attributes AND).
+type selection []valueRef
+
+func (s selection) String() string {
+	out := ""
+	for i, v := range s {
+		if i > 0 {
+			out += " & "
+		}
+		out += v.String()
+	}
+	if out == "" {
+		return "(empty)"
+	}
+	return out
+}
+
+// allValues enumerates every (attribute, value) pair of the view except
+// the excluded attributes, in schema order.
+func allValues(v *dataview.View, exclude map[string]bool) []valueRef {
+	var out []valueRef
+	for _, col := range v.Columns() {
+		if exclude[col.Attr] {
+			continue
+		}
+		for code := 0; code < col.Cardinality(); code++ {
+			out = append(out, valueRef{Attr: col.Attr, Value: col.Label(code)})
+		}
+	}
+	return out
+}
+
+func checkUser(u User) error {
+	if u.Speed <= 0 || u.Diligence <= 0 || u.Diligence > 1 {
+		return fmt.Errorf("simuser: bad user parameters %+v", u)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package simuser
+
+import (
+	"sync"
+	"testing"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// mushroomView is shared across tests: generating 8124 rows once keeps
+// the suite fast.
+var (
+	mvOnce sync.Once
+	mv     *dataview.View
+)
+
+func mushroomView(t *testing.T) *dataview.View {
+	t.Helper()
+	mvOnce.Do(func() {
+		tbl := datagen.MushroomN(4000, 77)
+		v, err := dataview.New(tbl, dataview.Options{})
+		if err != nil {
+			panic(err)
+		}
+		mv = v
+	})
+	return mv
+}
+
+func TestInterfaceString(t *testing.T) {
+	if Solr.String() != "Solr" || TPFacet.String() != "TPFacet" {
+		t.Error("interface names")
+	}
+	if Classifier.String() == "" || SimilarPair.String() == "" || AltCond.String() == "" || TaskKind(9).String() == "" {
+		t.Error("task kind names")
+	}
+}
+
+func TestNewUsers(t *testing.T) {
+	users := NewUsers(8, 1)
+	if len(users) != 8 {
+		t.Fatalf("users = %d", len(users))
+	}
+	for i, u := range users {
+		if u.ID != i+1 {
+			t.Errorf("user %d has ID %d", i, u.ID)
+		}
+		if err := checkUser(u); err != nil {
+			t.Errorf("user %d invalid: %v", i, err)
+		}
+	}
+	again := NewUsers(8, 1)
+	for i := range users {
+		if users[i] != again[i] {
+			t.Error("NewUsers not deterministic")
+		}
+	}
+}
+
+func TestSelectionRows(t *testing.T) {
+	v := mushroomView(t)
+	base := dataset.AllRows(v.Table().NumRows())
+	// Same attribute ORs.
+	or := selectionRows(v, base, selection{
+		{Attr: "Odor", Value: "almond"},
+		{Attr: "Odor", Value: "anise"},
+	})
+	a := selectionRows(v, base, selection{{Attr: "Odor", Value: "almond"}})
+	b := selectionRows(v, base, selection{{Attr: "Odor", Value: "anise"}})
+	if len(or) != len(a)+len(b) {
+		t.Errorf("OR semantics: %d != %d + %d", len(or), len(a), len(b))
+	}
+	// Different attributes AND.
+	and := selectionRows(v, base, selection{
+		{Attr: "Odor", Value: "foul"},
+		{Attr: "Bruises", Value: "false"},
+	})
+	f := selectionRows(v, base, selection{{Attr: "Odor", Value: "foul"}})
+	if len(and) > len(f) {
+		t.Errorf("AND semantics: %d > %d", len(and), len(f))
+	}
+	if len(selectionRows(v, base, nil)) != len(base) {
+		t.Error("empty selection should keep everything")
+	}
+}
+
+func TestRunClassifierBothInterfaces(t *testing.T) {
+	v := mushroomView(t)
+	task := ClassifierTask{ClassAttr: "Bruises", TargetValue: "true", Variant: "A"}
+	u := User{ID: 1, Speed: 1, Diligence: 0.8}
+	for _, iface := range []Interface{Solr, TPFacet} {
+		o, err := RunClassifier(v, task, u, iface, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", iface, err)
+		}
+		if o.Quality < 0 || o.Quality > 1 {
+			t.Errorf("%v: F1 = %g", iface, o.Quality)
+		}
+		if o.Minutes <= 0 || o.Ops == 0 || o.Answer == "" {
+			t.Errorf("%v: outcome incomplete: %+v", iface, o)
+		}
+		if o.Quality < 0.3 {
+			t.Errorf("%v: implausibly bad classifier F1 %g (%s)", iface, o.Quality, o.Answer)
+		}
+	}
+}
+
+func TestRunClassifierErrors(t *testing.T) {
+	v := mushroomView(t)
+	u := User{ID: 1, Speed: 1, Diligence: 0.8}
+	if _, err := RunClassifier(v, ClassifierTask{ClassAttr: "Nope", TargetValue: "x"}, u, Solr, 1); err == nil {
+		t.Error("unknown class attr: want error")
+	}
+	if _, err := RunClassifier(v, ClassifierTask{ClassAttr: "Bruises", TargetValue: "nope"}, u, Solr, 1); err == nil {
+		t.Error("unknown target value: want error")
+	}
+	if _, err := RunClassifier(v, ClassifierTask{ClassAttr: "Bruises", TargetValue: "true"}, User{}, Solr, 1); err == nil {
+		t.Error("invalid user: want error")
+	}
+}
+
+func TestRunSimilarPairBothInterfaces(t *testing.T) {
+	v := mushroomView(t)
+	task := SimilarPairTask{Attr: "GillColor", Values: []string{"buff", "white", "brown", "green"}, Variant: "A"}
+	u := User{ID: 2, Speed: 1, Diligence: 0.9}
+	for _, iface := range []Interface{Solr, TPFacet} {
+		o, err := RunSimilarPair(v, task, u, iface, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", iface, err)
+		}
+		if o.Quality < 1 || o.Quality > 6 {
+			t.Errorf("%v: rank = %g", iface, o.Quality)
+		}
+		if o.Quality > 2 {
+			t.Errorf("%v: planted brown/white pair missed badly: rank %g answer %s", iface, o.Quality, o.Answer)
+		}
+	}
+}
+
+func TestRunSimilarPairErrors(t *testing.T) {
+	v := mushroomView(t)
+	u := User{ID: 1, Speed: 1, Diligence: 0.8}
+	if _, err := RunSimilarPair(v, SimilarPairTask{Attr: "GillColor", Values: []string{"a", "b"}}, u, Solr, 1); err == nil {
+		t.Error("wrong value count: want error")
+	}
+	if _, err := RunSimilarPair(v, SimilarPairTask{Attr: "GillColor", Values: []string{"buff", "white", "brown", "nope"}}, u, Solr, 1); err == nil {
+		t.Error("unknown value: want error")
+	}
+	if _, err := RunSimilarPair(v, SimilarPairTask{Attr: "Nope", Values: []string{"a", "b", "c", "d"}}, u, Solr, 1); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+}
+
+func TestRunAltCondBothInterfaces(t *testing.T) {
+	v := mushroomView(t)
+	task := AltCondTask{Given: []struct{ Attr, Value string }{
+		{"StalkShape", "enlarged"}, {"SporePrintColor", "chocolate"},
+	}, Variant: "B"}
+	u := User{ID: 3, Speed: 1, Diligence: 0.9}
+	for _, iface := range []Interface{Solr, TPFacet} {
+		o, err := RunAltCond(v, task, u, iface, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", iface, err)
+		}
+		if o.Quality < 0 {
+			t.Errorf("%v: negative retrieval error %g", iface, o.Quality)
+		}
+		// The answer must not reuse given values.
+		if o.Answer == "StalkShape=enlarged" || o.Answer == "SporePrintColor=chocolate" {
+			t.Errorf("%v: reused a given value: %s", iface, o.Answer)
+		}
+	}
+}
+
+func TestRunAltCondErrors(t *testing.T) {
+	v := mushroomView(t)
+	u := User{ID: 1, Speed: 1, Diligence: 0.8}
+	if _, err := RunAltCond(v, AltCondTask{}, u, Solr, 1); err == nil {
+		t.Error("no given conditions: want error")
+	}
+	impossible := AltCondTask{Given: []struct{ Attr, Value string }{
+		{"Odor", "almond"}, {"Odor", "foul"},
+	}}
+	// almond and foul never co-occur with AND semantics... they are the
+	// same attribute so they OR; use cross-attribute contradiction.
+	_ = impossible
+	contradiction := AltCondTask{Given: []struct{ Attr, Value string }{
+		{"Odor", "almond"}, {"SporePrintColor", "chocolate"},
+	}}
+	if _, err := RunAltCond(v, contradiction, u, Solr, 1); err == nil {
+		t.Log("contradictory condition unexpectedly matched rows (acceptable if data allows)")
+	}
+}
+
+func TestRunStudyProtocol(t *testing.T) {
+	v := mushroomView(t)
+	users := NewUsers(8, 3)
+	res, err := RunStudy(v, Classifier, users, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 16 {
+		t.Fatalf("outcomes = %d, want 16", len(res.Outcomes))
+	}
+	// Every user appears once per interface.
+	for _, u := range users {
+		for _, iface := range []Interface{Solr, TPFacet} {
+			if res.OutcomeFor(u.ID, iface) == nil {
+				t.Errorf("missing outcome for U%d on %v", u.ID, iface)
+			}
+		}
+	}
+	// Counterbalancing: group 1 does task A on TPFacet, group 2 on Solr.
+	o1 := res.OutcomeFor(1, TPFacet)
+	o5 := res.OutcomeFor(5, Solr)
+	if o1.Variant != o5.Variant {
+		t.Errorf("counterbalancing broken: U1/TPFacet did %q, U5/Solr did %q", o1.Variant, o5.Variant)
+	}
+	if res.OutcomeFor(99, Solr) != nil {
+		t.Error("lookup of unknown user should be nil")
+	}
+	// Analyses are populated.
+	if res.Quality.LRT.DF != 1 || res.Time.LRT.DF != 1 {
+		t.Error("analysis df wrong")
+	}
+	if res.MeanMinutes(Solr) <= 0 || res.MeanMinutes(TPFacet) <= 0 {
+		t.Error("mean minutes not positive")
+	}
+}
+
+func TestRunStudyHeadlineShapes(t *testing.T) {
+	// The paper's headline: TPFacet is substantially faster on every
+	// task and at least as accurate. These shapes must emerge from the
+	// interface asymmetry.
+	v := mushroomView(t)
+	users := NewUsers(8, 3)
+
+	cls, err := RunStudy(v, Classifier, users, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := cls.MeanMinutes(Solr) / cls.MeanMinutes(TPFacet); ratio < 1.8 {
+		t.Errorf("classifier speedup = %.2fx, want >= 1.8x (Solr %.1f min, TPFacet %.1f min)",
+			ratio, cls.MeanMinutes(Solr), cls.MeanMinutes(TPFacet))
+	}
+	if cls.MeanQuality(TPFacet) < cls.MeanQuality(Solr) {
+		t.Errorf("TPFacet F1 %.3f below Solr %.3f", cls.MeanQuality(TPFacet), cls.MeanQuality(Solr))
+	}
+
+	sim, err := RunStudy(v, SimilarPair, users, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := sim.MeanMinutes(Solr) / sim.MeanMinutes(TPFacet); ratio < 2 {
+		t.Errorf("similar-pair speedup = %.2fx, want >= 2x", ratio)
+	}
+
+	alt, err := RunStudy(v, AltCond, users, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := alt.MeanMinutes(Solr) / alt.MeanMinutes(TPFacet); ratio < 1.3 {
+		t.Errorf("alt-condition speedup = %.2fx, want >= 1.3x", ratio)
+	}
+	if alt.MeanQuality(TPFacet) > alt.MeanQuality(Solr) {
+		t.Errorf("TPFacet retrieval error %.3f above Solr %.3f",
+			alt.MeanQuality(TPFacet), alt.MeanQuality(Solr))
+	}
+}
+
+func TestRunStudyErrors(t *testing.T) {
+	v := mushroomView(t)
+	if _, err := RunStudy(v, Classifier, NewUsers(3, 1), 1); err == nil {
+		t.Error("odd user count: want error")
+	}
+	if _, err := RunStudy(v, Classifier, nil, 1); err == nil {
+		t.Error("no users: want error")
+	}
+	if _, err := RunStudy(v, TaskKind(9), NewUsers(2, 1), 1); err == nil {
+		t.Error("unknown task kind: want error")
+	}
+}
+
+func TestRunStudyDeterministic(t *testing.T) {
+	v := mushroomView(t)
+	users := NewUsers(8, 3)
+	r1, err := RunStudy(v, SimilarPair, users, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunStudy(v, SimilarPair, users, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Outcomes {
+		if r1.Outcomes[i] != r2.Outcomes[i] {
+			t.Fatalf("outcome %d differs between same-seed runs", i)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package simuser
+
+import (
+	"fmt"
+
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/stats"
+)
+
+// TaskKind identifies one of the study's three task types.
+type TaskKind int
+
+const (
+	// Classifier is the Simple Classifier task (Figures 2-3).
+	Classifier TaskKind = iota
+	// SimilarPair is the Most Similar Attribute Value Pair task
+	// (Figures 4-5).
+	SimilarPair
+	// AltCond is the Alternative Search Condition task (Figures 6-7).
+	AltCond
+)
+
+// String names the task kind.
+func (k TaskKind) String() string {
+	switch k {
+	case Classifier:
+		return "Simple Classifier"
+	case SimilarPair:
+		return "Most Similar Attribute Value Pair"
+	case AltCond:
+		return "Alternative Search Condition"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// Analysis is the paper's linear mixed model result for one dependent
+// variable: interface as fixed effect, user as random effect, compared
+// against the null model by likelihood ratio (§6.2).
+type Analysis struct {
+	LRT stats.LRTResult
+	// Effect is the fixed-effect estimate of TPFacet relative to Solr
+	// (e.g. minutes saved, F1 gained), with its standard error.
+	Effect, EffectSE float64
+}
+
+// StudyResult is one task's complete study: 16 outcomes (8 users × 2
+// interfaces) plus the quality and time analyses.
+type StudyResult struct {
+	Kind     TaskKind
+	Outcomes []Outcome
+	Quality  Analysis
+	Time     Analysis
+}
+
+// OutcomeFor returns the outcome of one user on one interface, or nil.
+func (r *StudyResult) OutcomeFor(userID int, iface Interface) *Outcome {
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if o.UserID == userID && o.Iface == iface {
+			return o
+		}
+	}
+	return nil
+}
+
+// MeanQuality returns the mean quality per interface.
+func (r *StudyResult) MeanQuality(iface Interface) float64 {
+	return r.mean(iface, func(o *Outcome) float64 { return o.Quality })
+}
+
+// MeanMinutes returns the mean completion time per interface.
+func (r *StudyResult) MeanMinutes(iface Interface) float64 {
+	return r.mean(iface, func(o *Outcome) float64 { return o.Minutes })
+}
+
+func (r *StudyResult) mean(iface Interface, f func(*Outcome) float64) float64 {
+	var s float64
+	n := 0
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Iface == iface {
+			s += f(&r.Outcomes[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// runTask runs one task variant for one user on one interface.
+type runTask func(v *dataview.View, u User, iface Interface, seed int64) (Outcome, error)
+
+// RunStudy executes the full §6.2 protocol for one task kind on the
+// Mushroom view: eight users in two groups, a matched task pair (A, B),
+// group 1 doing A on TPFacet and B on Solr, group 2 the reverse, then
+// the mixed-model analyses.
+func RunStudy(v *dataview.View, kind TaskKind, users []User, seed int64) (*StudyResult, error) {
+	if len(users) == 0 || len(users)%2 != 0 {
+		return nil, fmt.Errorf("simuser: need an even number of users, got %d", len(users))
+	}
+	taskA, taskB, err := taskPair(kind)
+	if err != nil {
+		return nil, err
+	}
+	res := &StudyResult{Kind: kind}
+	half := len(users) / 2
+	for i, u := range users {
+		group1 := i < half
+		var aIface, bIface Interface
+		if group1 {
+			aIface, bIface = TPFacet, Solr
+		} else {
+			aIface, bIface = Solr, TPFacet
+		}
+		oa, err := taskA(v, u, aIface, seed)
+		if err != nil {
+			return nil, fmt.Errorf("simuser: user U%d task A: %w", u.ID, err)
+		}
+		ob, err := taskB(v, u, bIface, seed)
+		if err != nil {
+			return nil, fmt.Errorf("simuser: user U%d task B: %w", u.ID, err)
+		}
+		res.Outcomes = append(res.Outcomes, oa, ob)
+	}
+	res.Quality, err = analyze(res.Outcomes, func(o *Outcome) float64 { return o.Quality })
+	if err != nil {
+		return nil, err
+	}
+	res.Time, err = analyze(res.Outcomes, func(o *Outcome) float64 { return o.Minutes })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// taskPair returns the matched task pair for a kind. The pairs are
+// designed on the synthetic Mushroom data to mirror the paper's tasks,
+// including the deliberate difficulty asymmetry of the
+// alternative-condition pair.
+func taskPair(kind TaskKind) (runTask, runTask, error) {
+	switch kind {
+	case Classifier:
+		a := ClassifierTask{ClassAttr: "Bruises", TargetValue: "true", Variant: "Bruises=true"}
+		b := ClassifierTask{ClassAttr: "GillSize", TargetValue: "broad", Variant: "GillSize=broad"}
+		return wrapClassifier(a), wrapClassifier(b), nil
+	case SimilarPair:
+		a := SimilarPairTask{Attr: "GillColor", Values: []string{"buff", "white", "brown", "green"}, Variant: "GillColor"}
+		b := SimilarPairTask{Attr: "CapColor", Values: []string{"red", "yellow", "brown", "gray"}, Variant: "CapColor"}
+		return wrapSimilarPair(a), wrapSimilarPair(b), nil
+	case AltCond:
+		// Task A is the harder one (the given single value must be
+		// replaced by a two-value combination); task B is the paper's
+		// sample, solvable with a single alternative value.
+		a := AltCondTask{Given: []struct{ Attr, Value string }{
+			{"Odor", "foul"},
+		}, Variant: "Odor=foul"}
+		b := AltCondTask{Given: []struct{ Attr, Value string }{
+			{"StalkShape", "enlarged"}, {"SporePrintColor", "chocolate"},
+		}, Variant: "StalkShape+SporePrint"}
+		return wrapAltCond(a), wrapAltCond(b), nil
+	default:
+		return nil, nil, fmt.Errorf("simuser: unknown task kind %d", int(kind))
+	}
+}
+
+func wrapClassifier(t ClassifierTask) runTask {
+	return func(v *dataview.View, u User, iface Interface, seed int64) (Outcome, error) {
+		return RunClassifier(v, t, u, iface, seed)
+	}
+}
+
+func wrapSimilarPair(t SimilarPairTask) runTask {
+	return func(v *dataview.View, u User, iface Interface, seed int64) (Outcome, error) {
+		return RunSimilarPair(v, t, u, iface, seed)
+	}
+}
+
+func wrapAltCond(t AltCondTask) runTask {
+	return func(v *dataview.View, u User, iface Interface, seed int64) (Outcome, error) {
+		return RunAltCond(v, t, u, iface, seed)
+	}
+}
+
+// analyze fits the paper's mixed model: dependent variable ~ interface
+// (fixed) + user (random), with a likelihood-ratio test against the
+// interface-free null model.
+func analyze(outcomes []Outcome, dep func(*Outcome) float64) (Analysis, error) {
+	var y []float64
+	var xFull, xNull [][]float64
+	var groups []int
+	for i := range outcomes {
+		o := &outcomes[i]
+		treat := 0.0
+		if o.Iface == TPFacet {
+			treat = 1
+		}
+		y = append(y, dep(o))
+		xFull = append(xFull, []float64{1, treat})
+		xNull = append(xNull, []float64{1})
+		groups = append(groups, o.UserID)
+	}
+	lrt, err := stats.LikelihoodRatioTest(y, xFull, xNull, groups)
+	if err != nil {
+		return Analysis{}, err
+	}
+	return Analysis{
+		LRT:      lrt,
+		Effect:   lrt.Full.Beta[1],
+		EffectSE: lrt.Full.SE[1],
+	}, nil
+}

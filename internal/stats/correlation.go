@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation of two
+// equal-length samples, in [-1, 1]. Constant inputs yield 0.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson needs equal lengths, got %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs at least 2 observations, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// samples: Pearson on fractional ranks, robust to monotone transforms.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Spearman needs equal lengths, got %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: Spearman needs at least 2 observations, got %d", len(x))
+	}
+	return Pearson(fractionalRanks(x), fractionalRanks(y))
+}
+
+// fractionalRanks converts values to 1-based ranks with ties averaged.
+func fractionalRanks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// KendallTau returns the Kendall tau-a rank correlation of two
+// equal-length samples: (concordant − discordant) / (n choose 2).
+// Used as the classical alternative to the paper's Algorithm-2
+// ranked-list distance.
+func KendallTau(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: KendallTau needs equal lengths, got %d and %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, fmt.Errorf("stats: KendallTau needs at least 2 observations, got %d", n)
+	}
+	var concordant, discordant int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sign(x[i] - x[j])
+			dy := sign(y[i] - y[j])
+			switch dx * dy {
+			case 1:
+				concordant++
+			case -1:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "perfect linear", r, 1, 1e-12)
+
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	approx(t, "perfect negative", r, -1, 1e-12)
+
+	constant := []float64{3, 3, 3, 3, 3}
+	r, _ = Pearson(x, constant)
+	approx(t, "constant input", r, 0, 1e-12)
+
+	if _, err := Pearson(x, y[:3]); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("too short: want error")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone non-linear relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	s, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "monotone Spearman", s, 1, 1e-12)
+	p, _ := Pearson(x, y)
+	if p >= 1-1e-9 {
+		t.Errorf("Pearson on cubic = %g, expected < 1", p)
+	}
+	// Ties average correctly.
+	s, err = Spearman([]float64{1, 1, 2}, []float64{3, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "tied Spearman", s, 1, 1e-12)
+	if _, err := Spearman(x, y[:2]); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Spearman(nil, nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	tau, err := KendallTau(x, []float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "identical order", tau, 1, 1e-12)
+	tau, _ = KendallTau(x, []float64{40, 30, 20, 10})
+	approx(t, "reversed", tau, -1, 1e-12)
+	// One adjacent swap: 5 of 6 pairs concordant -> (5-1)/6.
+	tau, _ = KendallTau(x, []float64{1, 3, 2, 4})
+	approx(t, "one swap", tau, 4.0/6, 1e-12)
+	if _, err := KendallTau(x, x[:2]); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Error("too short: want error")
+	}
+}
+
+// Property: all three correlations are symmetric, bounded by 1 in
+// absolute value, and invariant to positive affine transforms.
+func TestCorrelationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed uint32, scaleRaw uint8) bool {
+		n := 10
+		r := rand.New(rand.NewSource(int64(seed)))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		scale := float64(scaleRaw%9) + 1
+		shift := rng.NormFloat64()
+		xs := make([]float64, n)
+		for i := range x {
+			xs[i] = scale*x[i] + shift
+		}
+		for _, corr := range []func(a, b []float64) (float64, error){Pearson, Spearman, KendallTau} {
+			ab, err1 := corr(x, y)
+			ba, err2 := corr(y, x)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if abs(ab-ba) > 1e-9 || abs(ab) > 1+1e-9 {
+				return false
+			}
+			transformed, err := corr(xs, y)
+			if err != nil || abs(transformed-ab) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

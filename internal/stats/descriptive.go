@@ -1,0 +1,79 @@
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs, or 0 when fewer
+// than two observations are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CosineSimilarity returns the cosine of the angle between vectors a and
+// b, in [0, 1] for non-negative vectors such as value-frequency counts.
+// Two all-zero vectors are defined as identical (similarity 1); a zero
+// vector against a non-zero one has similarity 0. Vectors must have equal
+// length (extra entries in the longer vector are treated as zeros).
+func CosineSimilarity(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// F1Score returns the harmonic mean of precision and recall given true
+// positive, false positive, and false negative counts. It is the quality
+// measure of the paper's Simple Classifier task (§6.2.1). Returns 0 when
+// the classifier retrieves nothing relevant.
+func F1Score(tp, fp, fn int) float64 {
+	if tp == 0 {
+		return 0
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,105 @@
+// Package stats provides the statistical substrate DBExplorer needs:
+// chi-square statistics and p-values (for Compare Attribute selection,
+// §3.1.1), cosine similarity (for IUnit similarity, Algorithm 1),
+// descriptive statistics, and a random-intercept linear mixed model with
+// likelihood-ratio tests (for the §6.2 user-study analysis).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a), computed by series expansion for x < a+1 and
+// by continued fraction otherwise (Numerical Recipes gser/gcf).
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 {
+		return 0, fmt.Errorf("stats: GammaP needs a > 0, got %g", a)
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("stats: GammaP needs x >= 0, got %g", x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaSeries(a, x), nil
+	}
+	return 1 - gammaContinuedFraction(a, x), nil
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) (float64, error) {
+	p, err := GammaP(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+const (
+	gammaMaxIter = 500
+	gammaEps     = 3e-14
+)
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquarePValue returns P(X >= stat) for X ~ chi-square with df degrees
+// of freedom — the survival function used to threshold Compare Attribute
+// relevance and to report likelihood-ratio test significance.
+func ChiSquarePValue(stat float64, df int) (float64, error) {
+	if df < 1 {
+		return 0, fmt.Errorf("stats: chi-square needs df >= 1, got %d", df)
+	}
+	if stat < 0 {
+		return 0, fmt.Errorf("stats: chi-square statistic must be >= 0, got %g", stat)
+	}
+	if stat == 0 {
+		return 1, nil
+	}
+	return GammaQ(float64(df)/2, stat/2)
+}

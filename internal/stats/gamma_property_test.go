@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: P(a,x) + Q(a,x) = 1, both in [0,1].
+func TestGammaComplementProperty(t *testing.T) {
+	f := func(aRaw, xRaw uint16) bool {
+		a := float64(aRaw%500)/10 + 0.1 // (0.1, 50.1)
+		x := float64(xRaw%1000) / 10    // [0, 100)
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if p < -1e-12 || p > 1+1e-12 || q < -1e-12 || q > 1+1e-12 {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: P(a, x) is non-decreasing in x and non-increasing in a.
+func TestGammaMonotonicityProperty(t *testing.T) {
+	f := func(aRaw, xRaw, dRaw uint16) bool {
+		a := float64(aRaw%300)/10 + 0.1
+		x := float64(xRaw%500) / 10
+		d := float64(dRaw%100)/10 + 0.1
+		p1, err1 := GammaP(a, x)
+		p2, err2 := GammaP(a, x+d)
+		p3, err3 := GammaP(a+d, x)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return p2 >= p1-1e-9 && p3 <= p1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chi-square survival function is decreasing in the
+// statistic and increasing in df.
+func TestChiSquarePValueMonotonicityProperty(t *testing.T) {
+	f := func(statRaw uint16, dfRaw uint8) bool {
+		stat := float64(statRaw%400) / 10
+		df := int(dfRaw%20) + 1
+		p1, err1 := ChiSquarePValue(stat, df)
+		p2, err2 := ChiSquarePValue(stat+1, df)
+		p3, err3 := ChiSquarePValue(stat, df+1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return p2 <= p1+1e-9 && p3 >= p1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chi-square of a contingency table is invariant under row
+// and column swaps.
+func TestChiSquareSymmetryProperty(t *testing.T) {
+	f := func(cells [6]uint8) bool {
+		ct := NewContingencyTable(2, 3)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				ct.Counts[i][j] = int(cells[i*3+j]) + 1
+			}
+		}
+		r1, err := ChiSquare(ct)
+		if err != nil {
+			return false
+		}
+		// Swap the two rows.
+		swapped := NewContingencyTable(2, 3)
+		swapped.Counts[0], swapped.Counts[1] = ct.Counts[1], ct.Counts[0]
+		r2, err := ChiSquare(swapped)
+		if err != nil {
+			return false
+		}
+		// Transpose.
+		tr := NewContingencyTable(3, 2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				tr.Counts[j][i] = ct.Counts[i][j]
+			}
+		}
+		r3, err := ChiSquare(tr)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r1.Stat-r2.Stat) < 1e-9 && math.Abs(r1.Stat-r3.Stat) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LMMResult is a fitted random-intercept linear mixed model
+//
+//	y = X·beta + u[group] + e,   u ~ N(0, SigmaU²),  e ~ N(0, SigmaE²)
+//
+// fitted by maximum likelihood (ML, not REML, so nested models can be
+// compared with a likelihood-ratio test as the paper does in §6.2).
+type LMMResult struct {
+	Beta   []float64 // fixed-effect estimates, one per column of X
+	SE     []float64 // standard errors of Beta
+	SigmaU float64   // random-intercept standard deviation
+	SigmaE float64   // residual standard deviation
+	LogLik float64   // maximized log-likelihood
+	N      int       // number of observations
+}
+
+// LRTResult is a likelihood-ratio comparison of two nested mixed models
+// (the paper's "ANOVA" of null vs full model).
+type LRTResult struct {
+	Chi2   float64 // 2·(logLik_full − logLik_null)
+	DF     int     // difference in fixed-effect parameters
+	PValue float64
+	Full   LMMResult
+	Null   LMMResult
+}
+
+// FitLMM fits the random-intercept model by profiling the variance ratio
+// λ = SigmaU²/SigmaE². X is row-major with one row per observation;
+// groups assigns each observation to a random-effect level (user id).
+func FitLMM(y []float64, x [][]float64, groups []int) (LMMResult, error) {
+	n := len(y)
+	if n == 0 {
+		return LMMResult{}, fmt.Errorf("stats: FitLMM needs observations")
+	}
+	if len(x) != n || len(groups) != n {
+		return LMMResult{}, fmt.Errorf("stats: FitLMM dimension mismatch: len(y)=%d len(x)=%d len(groups)=%d", n, len(x), len(groups))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return LMMResult{}, fmt.Errorf("stats: FitLMM needs at least one fixed-effect column")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return LMMResult{}, fmt.Errorf("stats: FitLMM ragged design matrix at row %d", i)
+		}
+	}
+	if p > n {
+		return LMMResult{}, fmt.Errorf("stats: more fixed effects (%d) than observations (%d)", p, n)
+	}
+
+	byGroup := groupIndices(groups)
+
+	// Profile log-likelihood at a given lambda; returns fit or error for
+	// singular designs.
+	profile := func(lambda float64) (LMMResult, error) {
+		return fitAtLambda(y, x, byGroup, lambda)
+	}
+
+	// Golden-section search on u = log(lambda) plus the exact boundary
+	// lambda = 0. The profile is unimodal in practice for this model.
+	best, err := profile(0)
+	if err != nil {
+		return LMMResult{}, err
+	}
+	lo, hi := -12.0, 12.0
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, errC := profileLogLik(profile, c)
+	fd, errD := profileLogLik(profile, d)
+	if errC != nil || errD != nil {
+		return LMMResult{}, fmt.Errorf("stats: FitLMM profile failed: %v %v", errC, errD)
+	}
+	for i := 0; i < 100 && b-a > 1e-8; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc, err = profileLogLik(profile, c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd, err = profileLogLik(profile, d)
+		}
+		if err != nil {
+			return LMMResult{}, err
+		}
+	}
+	opt, err := profile(math.Exp((a + b) / 2))
+	if err != nil {
+		return LMMResult{}, err
+	}
+	if opt.LogLik > best.LogLik {
+		best = opt
+	}
+	return best, nil
+}
+
+func profileLogLik(profile func(float64) (LMMResult, error), u float64) (float64, error) {
+	r, err := profile(math.Exp(u))
+	if err != nil {
+		return 0, err
+	}
+	return r.LogLik, nil
+}
+
+func groupIndices(groups []int) [][]int {
+	labels := append([]int(nil), groups...)
+	sort.Ints(labels)
+	labels = uniqueInts(labels)
+	pos := make(map[int]int, len(labels))
+	for i, g := range labels {
+		pos[g] = i
+	}
+	out := make([][]int, len(labels))
+	for i, g := range groups {
+		j := pos[g]
+		out[j] = append(out[j], i)
+	}
+	return out
+}
+
+func uniqueInts(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fitAtLambda computes the GLS fit and ML log-likelihood for a fixed
+// variance ratio lambda, exploiting the block structure of
+// V = I + lambda·J within each group: V⁻¹ = I − (lambda/(1+m·lambda))·J
+// and log|V| = log(1 + m·lambda) for a group of size m.
+func fitAtLambda(y []float64, x [][]float64, byGroup [][]int, lambda float64) (LMMResult, error) {
+	n := len(y)
+	p := len(x[0])
+
+	a := make([][]float64, p) // XᵀV⁻¹X
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p) // XᵀV⁻¹y
+	var yy float64          // yᵀV⁻¹y
+	logDetV := 0.0
+
+	for _, idx := range byGroup {
+		m := float64(len(idx))
+		shrink := lambda / (1 + m*lambda)
+		logDetV += math.Log(1 + m*lambda)
+		sx := make([]float64, p)
+		var sy float64
+		for _, i := range idx {
+			for j := 0; j < p; j++ {
+				sx[j] += x[i][j]
+				b[j] += x[i][j] * y[i]
+				for k := j; k < p; k++ {
+					a[j][k] += x[i][j] * x[i][k]
+				}
+			}
+			sy += y[i]
+			yy += y[i] * y[i]
+		}
+		for j := 0; j < p; j++ {
+			b[j] -= shrink * sx[j] * sy
+			for k := j; k < p; k++ {
+				a[j][k] -= shrink * sx[j] * sx[k]
+			}
+		}
+		yy -= shrink * sy * sy
+	}
+	for j := 0; j < p; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+
+	ainv, err := invertMatrix(a)
+	if err != nil {
+		return LMMResult{}, fmt.Errorf("stats: singular design: %w", err)
+	}
+	beta := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for k := 0; k < p; k++ {
+			beta[j] += ainv[j][k] * b[k]
+		}
+	}
+	// GLS residual sum of squares: yᵀV⁻¹y − βᵀ XᵀV⁻¹y.
+	rss := yy
+	for j := 0; j < p; j++ {
+		rss -= beta[j] * b[j]
+	}
+	if rss < 1e-12 {
+		rss = 1e-12 // guard against perfect fits
+	}
+	sigmaE2 := rss / float64(n)
+	logLik := -0.5 * (float64(n)*math.Log(2*math.Pi*sigmaE2) + logDetV + float64(n))
+
+	se := make([]float64, p)
+	for j := 0; j < p; j++ {
+		se[j] = math.Sqrt(sigmaE2 * ainv[j][j])
+	}
+	return LMMResult{
+		Beta:   beta,
+		SE:     se,
+		SigmaU: math.Sqrt(lambda * sigmaE2),
+		SigmaE: math.Sqrt(sigmaE2),
+		LogLik: logLik,
+		N:      n,
+	}, nil
+}
+
+// invertMatrix inverts a small dense matrix by Gauss-Jordan elimination
+// with partial pivoting.
+func invertMatrix(m [][]float64) ([][]float64, error) {
+	p := len(m)
+	aug := make([][]float64, p)
+	for i := range aug {
+		aug[i] = make([]float64, 2*p)
+		copy(aug[i], m[i])
+		aug[i][p+i] = 1
+	}
+	for col := 0; col < p; col++ {
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("matrix is singular at column %d", col)
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := 1 / aug[col][col]
+		for j := 0; j < 2*p; j++ {
+			aug[col][j] *= inv
+		}
+		for r := 0; r < p; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*p; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	out := make([][]float64, p)
+	for i := range out {
+		out[i] = aug[i][p:]
+	}
+	return out, nil
+}
+
+// LikelihoodRatioTest fits the full and null fixed-effect designs with
+// the same random-intercept grouping and compares them, reproducing the
+// paper's reported χ²(1) and p values. xNull must be a column subset of
+// xFull (nested models).
+func LikelihoodRatioTest(y []float64, xFull, xNull [][]float64, groups []int) (LRTResult, error) {
+	full, err := FitLMM(y, xFull, groups)
+	if err != nil {
+		return LRTResult{}, fmt.Errorf("stats: full model: %w", err)
+	}
+	null, err := FitLMM(y, xNull, groups)
+	if err != nil {
+		return LRTResult{}, fmt.Errorf("stats: null model: %w", err)
+	}
+	df := len(xFull[0]) - len(xNull[0])
+	if df < 1 {
+		return LRTResult{}, fmt.Errorf("stats: models are not nested (df=%d)", df)
+	}
+	chi2 := 2 * (full.LogLik - null.LogLik)
+	if chi2 < 0 {
+		chi2 = 0 // numeric noise on boundary fits
+	}
+	p, err := ChiSquarePValue(chi2, df)
+	if err != nil {
+		return LRTResult{}, err
+	}
+	return LRTResult{Chi2: chi2, DF: df, PValue: p, Full: full, Null: null}, nil
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseLogLik is an O(n³) reference implementation of the profile
+// log-likelihood used to validate fitAtLambda's block-structure algebra.
+func denseLogLik(t *testing.T, y []float64, x [][]float64, groups []int, lambda float64) float64 {
+	t.Helper()
+	n := len(y)
+	p := len(x[0])
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		for j := range v[i] {
+			if i == j {
+				v[i][j] = 1
+			}
+			if groups[i] == groups[j] {
+				v[i][j] += lambda
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = append([]float64{}, v[i]...)
+		inv[i] = make([]float64, n)
+		inv[i][i] = 1
+	}
+	logdet := 0.0
+	for c := 0; c < n; c++ {
+		piv := a[c][c]
+		logdet += math.Log(piv)
+		for j := 0; j < n; j++ {
+			a[c][j] /= piv
+			inv[c][j] /= piv
+		}
+		for r := 0; r < n; r++ {
+			if r == c {
+				continue
+			}
+			f := a[r][c]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a[r][j] -= f * a[c][j]
+				inv[r][j] -= f * inv[c][j]
+			}
+		}
+	}
+	bigA := make([][]float64, p)
+	b := make([]float64, p)
+	for i := range bigA {
+		bigA[i] = make([]float64, p)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := inv[i][j]
+			for u := 0; u < p; u++ {
+				b[u] += x[i][u] * w * y[j]
+				for vv := 0; vv < p; vv++ {
+					bigA[u][vv] += x[i][u] * w * x[j][vv]
+				}
+			}
+		}
+	}
+	ainv, err := invertMatrix(bigA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := make([]float64, p)
+	for u := 0; u < p; u++ {
+		for vv := 0; vv < p; vv++ {
+			beta[u] += ainv[u][vv] * b[vv]
+		}
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = y[i]
+		for u := 0; u < p; u++ {
+			r[i] -= x[i][u] * beta[u]
+		}
+	}
+	rss := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rss += r[i] * inv[i][j] * r[j]
+		}
+	}
+	s2 := rss / float64(n)
+	return -0.5 * (float64(n)*math.Log(2*math.Pi*s2) + logdet + float64(n))
+}
+
+func TestFitAtLambdaMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	y, xFull, _, groups := simulateStudy(rng, 6, 5, 2, 1, 0.7)
+	byGroup := groupIndices(groups)
+	for _, lambda := range []float64{0, 0.1, 0.5, 1, 3, 10} {
+		got, err := fitAtLambda(y, xFull, byGroup, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := denseLogLik(t, y, xFull, groups, lambda)
+		if math.Abs(got.LogLik-want) > 1e-6 {
+			t.Errorf("lambda=%g: blocked loglik %g, dense %g", lambda, got.LogLik, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simulate generates the paper's study design: nUsers subjects each
+// observed under two display conditions, with a true fixed effect,
+// per-user random intercepts, and residual noise.
+func simulateStudy(rng *rand.Rand, nUsers int, intercept, effect, sigmaU, sigmaE float64) (y []float64, xFull, xNull [][]float64, groups []int) {
+	for u := 0; u < nUsers; u++ {
+		ru := rng.NormFloat64() * sigmaU
+		for _, treat := range []float64{0, 1} {
+			val := intercept + effect*treat + ru + rng.NormFloat64()*sigmaE
+			y = append(y, val)
+			xFull = append(xFull, []float64{1, treat})
+			xNull = append(xNull, []float64{1})
+			groups = append(groups, u)
+		}
+	}
+	return
+}
+
+func TestFitLMMRecoversEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	y, xFull, _, groups := simulateStudy(rng, 200, 10, 3, 2, 0.5)
+	res, err := FitLMM(y, xFull, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "intercept", res.Beta[0], 10, 0.5)
+	approx(t, "effect", res.Beta[1], 3, 0.3)
+	approx(t, "sigmaU", res.SigmaU, 2, 0.5)
+	approx(t, "sigmaE", res.SigmaE, 0.5, 0.15)
+	if res.N != 400 {
+		t.Errorf("N = %d", res.N)
+	}
+	if res.SE[1] <= 0 || res.SE[1] > 0.2 {
+		t.Errorf("SE of effect = %g", res.SE[1])
+	}
+}
+
+func TestFitLMMZeroRandomVariance(t *testing.T) {
+	// With no between-user variation and plenty of replication per
+	// group, the model should find SigmaU ≈ 0 and the OLS effect. (With
+	// only 2 observations per group, ML λ̂ is too noisy to pin near 0.)
+	rng := rand.New(rand.NewSource(7))
+	var y []float64
+	var xFull [][]float64
+	var groups []int
+	for u := 0; u < 50; u++ {
+		for rep := 0; rep < 3; rep++ {
+			for _, treat := range []float64{0, 1} {
+				y = append(y, 5+1*treat+rng.NormFloat64())
+				xFull = append(xFull, []float64{1, treat})
+				groups = append(groups, u)
+			}
+		}
+	}
+	res, err := FitLMM(y, xFull, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SigmaU > 0.5 {
+		t.Errorf("SigmaU = %g, want near 0", res.SigmaU)
+	}
+	approx(t, "effect", res.Beta[1], 1, 0.4)
+}
+
+func TestLikelihoodRatioTestDetectsEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	y, xFull, xNull, groups := simulateStudy(rng, 8, 10, 6, 1.5, 1)
+	lrt, err := LikelihoodRatioTest(y, xFull, xNull, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrt.DF != 1 {
+		t.Errorf("DF = %d", lrt.DF)
+	}
+	if lrt.PValue > 0.01 {
+		t.Errorf("large true effect: p = %g, want < 0.01 (chi2 = %g)", lrt.PValue, lrt.Chi2)
+	}
+	if lrt.Full.LogLik < lrt.Null.LogLik {
+		t.Error("full model log-likelihood below null")
+	}
+}
+
+func TestLikelihoodRatioTestNullEffect(t *testing.T) {
+	// No true effect: p-values should not be systematically tiny.
+	small := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		y, xFull, xNull, groups := simulateStudy(rng, 8, 10, 0, 1.5, 1)
+		lrt, err := LikelihoodRatioTest(y, xFull, xNull, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lrt.PValue < 0.05 {
+			small++
+		}
+	}
+	if small > 5 {
+		t.Errorf("null effect flagged significant in %d/20 runs", small)
+	}
+}
+
+func TestFitLMMErrors(t *testing.T) {
+	if _, err := FitLMM(nil, nil, nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := FitLMM([]float64{1, 2}, [][]float64{{1}}, []int{0, 0}); err == nil {
+		t.Error("dimension mismatch: want error")
+	}
+	if _, err := FitLMM([]float64{1, 2}, [][]float64{{1}, {1, 2}}, []int{0, 0}); err == nil {
+		t.Error("ragged design: want error")
+	}
+	if _, err := FitLMM([]float64{1}, [][]float64{{}}, []int{0}); err == nil {
+		t.Error("no fixed effects: want error")
+	}
+	if _, err := FitLMM([]float64{1}, [][]float64{{1, 0}}, []int{0}); err == nil {
+		t.Error("p > n: want error")
+	}
+	// Collinear design is singular.
+	y := []float64{1, 2, 3, 4}
+	x := [][]float64{{1, 2}, {1, 2}, {1, 2}, {1, 2}}
+	if _, err := FitLMM(y, x, []int{0, 0, 1, 1}); err == nil {
+		t.Error("collinear design: want error")
+	}
+}
+
+func TestLikelihoodRatioTestErrors(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	xf := [][]float64{{1, 0}, {1, 1}, {1, 0}, {1, 1}}
+	xn := [][]float64{{1}, {1}, {1}, {1}}
+	g := []int{0, 0, 1, 1}
+	if _, err := LikelihoodRatioTest(y, xn, xn, g); err == nil {
+		t.Error("non-nested (df=0): want error")
+	}
+	if _, err := LikelihoodRatioTest(y, xf, xf, g); err == nil {
+		t.Error("same model twice: want error")
+	}
+}
+
+func TestInvertMatrix(t *testing.T) {
+	m := [][]float64{{4, 7}, {2, 6}}
+	inv, err := invertMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check m · inv = I.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for k := 0; k < 2; k++ {
+				s += m[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Errorf("(m·inv)[%d][%d] = %g", i, j, s)
+			}
+		}
+	}
+	if _, err := invertMatrix([][]float64{{1, 2}, {2, 4}}); err == nil {
+		t.Error("singular matrix: want error")
+	}
+}
+
+func BenchmarkFitLMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	y, xFull, _, groups := simulateStudy(rng, 8, 10, 5, 1.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLMM(y, xFull, groups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package topk implements diversified top-k selection (paper Problem 2,
+// following Qin, Yu & Chang, "Diversifying Top-k Results", VLDB 2012):
+// from a list of scored items with a pairwise similarity ("conflict")
+// relation, pick at most k mutually dissimilar items maximizing total
+// score. The problem reduces to maximum-weight independent set; Exact
+// implements the div-astar-style best-first branch and bound that is
+// practical because candidate IUnit lists are small (l ≈ 1.5k), and
+// Greedy is the baseline the paper warns can be arbitrarily bad.
+package topk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Conflicts is a symmetric boolean relation: Conflicts[i][j] reports that
+// items i and j are too similar to co-exist in the diversified result.
+type Conflicts [][]bool
+
+// NewConflicts builds an n×n conflict matrix from a similarity predicate.
+func NewConflicts(n int, similar func(i, j int) bool) Conflicts {
+	m := make(Conflicts, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if similar(i, j) {
+				m[i][j] = true
+				m[j][i] = true
+			}
+		}
+	}
+	return m
+}
+
+func validate(scores []float64, conflicts Conflicts, k int) error {
+	n := len(scores)
+	if n == 0 {
+		return fmt.Errorf("topk: no items")
+	}
+	if k < 1 {
+		return fmt.Errorf("topk: k must be >= 1, got %d", k)
+	}
+	if len(conflicts) != n {
+		return fmt.Errorf("topk: conflict matrix has %d rows for %d items", len(conflicts), n)
+	}
+	for i, row := range conflicts {
+		if len(row) != n {
+			return fmt.Errorf("topk: conflict row %d has %d entries for %d items", i, len(row), n)
+		}
+		if row[i] {
+			return fmt.Errorf("topk: item %d conflicts with itself", i)
+		}
+		for j := range row {
+			if row[j] != conflicts[j][i] {
+				return fmt.Errorf("topk: conflict matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i, s := range scores {
+		if s < 0 {
+			return fmt.Errorf("topk: negative score %g at item %d", s, i)
+		}
+	}
+	return nil
+}
+
+// Exact returns the item indices of a maximum-total-score conflict-free
+// subset of size at most k, found by depth-first branch and bound over
+// items in descending score order with an admissible remaining-score
+// bound. The returned indices are sorted by descending score. Scores must
+// be non-negative.
+func Exact(scores []float64, conflicts Conflicts, k int) ([]int, error) {
+	if err := validate(scores, conflicts, k); err != nil {
+		return nil, err
+	}
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+
+	// suffix[i] holds the top scores from position i onward so the
+	// optimistic bound (ignore conflicts, take the best k-|chosen|
+	// remaining) is O(k) per node.
+	suffix := make([][]float64, n+1)
+	suffix[n] = nil
+	for i := n - 1; i >= 0; i-- {
+		merged := insertDescending(suffix[i+1], scores[order[i]], k)
+		suffix[i] = merged
+	}
+
+	var best []int
+	bestScore := -1.0
+	chosen := make([]int, 0, k)
+
+	var dfs func(pos int, cur float64)
+	dfs = func(pos int, cur float64) {
+		if cur > bestScore {
+			bestScore = cur
+			best = append(best[:0], chosen...)
+		}
+		if pos == n || len(chosen) == k {
+			return
+		}
+		// Optimistic bound: take the best remaining scores outright.
+		bound := cur
+		for i := 0; i < k-len(chosen) && i < len(suffix[pos]); i++ {
+			bound += suffix[pos][i]
+		}
+		if bound <= bestScore {
+			return
+		}
+		item := order[pos]
+		ok := true
+		for _, c := range chosen {
+			if conflicts[item][c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, item)
+			dfs(pos+1, cur+scores[item])
+			chosen = chosen[:len(chosen)-1]
+		}
+		dfs(pos+1, cur)
+	}
+	dfs(0, 0)
+
+	sort.SliceStable(best, func(a, b int) bool { return scores[best[a]] > scores[best[b]] })
+	return best, nil
+}
+
+// insertDescending inserts v into a descending slice, keeping at most k
+// entries, returning a fresh slice.
+func insertDescending(s []float64, v float64, k int) []float64 {
+	out := make([]float64, 0, len(s)+1)
+	inserted := false
+	for _, x := range s {
+		if !inserted && v >= x {
+			out = append(out, v)
+			inserted = true
+		}
+		out = append(out, x)
+	}
+	if !inserted {
+		out = append(out, v)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Greedy returns the greedy diversified top-k: repeatedly take the
+// highest-score item that conflicts with nothing chosen so far. The paper
+// notes this can be arbitrarily bad for the diversified top-k problem; it
+// is provided as the ablation baseline.
+func Greedy(scores []float64, conflicts Conflicts, k int) ([]int, error) {
+	if err := validate(scores, conflicts, k); err != nil {
+		return nil, err
+	}
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	var out []int
+	for _, item := range order {
+		if len(out) == k {
+			break
+		}
+		ok := true
+		for _, c := range out {
+			if conflicts[item][c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, item)
+		}
+	}
+	return out, nil
+}
+
+// TotalScore sums the scores of the given items.
+func TotalScore(scores []float64, items []int) float64 {
+	var s float64
+	for _, i := range items {
+		s += scores[i]
+	}
+	return s
+}

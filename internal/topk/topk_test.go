@@ -1,0 +1,210 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func noConflicts(n int) Conflicts {
+	return NewConflicts(n, func(i, j int) bool { return false })
+}
+
+func TestExactNoConflicts(t *testing.T) {
+	scores := []float64{5, 1, 4, 2, 3}
+	got, err := Exact(scores, noConflicts(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4} // scores 5, 4, 3
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExactRespectsConflicts(t *testing.T) {
+	// Items 0 and 1 have the top scores but conflict; the optimum takes
+	// 0 and 2.
+	scores := []float64{10, 9, 3}
+	c := NewConflicts(3, func(i, j int) bool { return i+j == 1 })
+	got, err := Exact(scores, c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalScore(scores, got) != 13 {
+		t.Errorf("got %v (score %g), want total 13", got, TotalScore(scores, got))
+	}
+}
+
+func TestExactBeatsGreedy(t *testing.T) {
+	// The classic greedy trap: a hub item with the single best score
+	// conflicts with everything; the optimum skips it.
+	scores := []float64{10, 9, 9, 9}
+	c := NewConflicts(4, func(i, j int) bool { return i == 0 || j == 0 })
+	exact, err := Exact(scores, c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy(scores, c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalScore(scores, exact) != 27 {
+		t.Errorf("exact picked %v (score %g), want 27", exact, TotalScore(scores, exact))
+	}
+	if TotalScore(scores, greedy) != 10 {
+		t.Errorf("greedy picked %v (score %g), want the trap score 10", greedy, TotalScore(scores, greedy))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	ok := noConflicts(2)
+	if _, err := Exact(nil, ok, 1); err == nil {
+		t.Error("no items: want error")
+	}
+	if _, err := Exact([]float64{1, 2}, ok, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Exact([]float64{1, 2}, noConflicts(3), 1); err == nil {
+		t.Error("matrix size mismatch: want error")
+	}
+	ragged := Conflicts{{false, true}, {true}}
+	if _, err := Exact([]float64{1, 2}, ragged, 1); err == nil {
+		t.Error("ragged matrix: want error")
+	}
+	self := Conflicts{{true, false}, {false, false}}
+	if _, err := Exact([]float64{1, 2}, self, 1); err == nil {
+		t.Error("self conflict: want error")
+	}
+	asym := Conflicts{{false, true}, {false, false}}
+	if _, err := Exact([]float64{1, 2}, asym, 1); err == nil {
+		t.Error("asymmetric matrix: want error")
+	}
+	if _, err := Exact([]float64{1, -2}, ok, 1); err == nil {
+		t.Error("negative score: want error")
+	}
+	if _, err := Greedy(nil, ok, 1); err == nil {
+		t.Error("greedy no items: want error")
+	}
+}
+
+// bruteForce enumerates all subsets to find the true optimum.
+func bruteForce(scores []float64, conflicts Conflicts, k int) float64 {
+	n := len(scores)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var items []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, i)
+			}
+		}
+		if len(items) > k {
+			continue
+		}
+		okSet := true
+		for a := 0; a < len(items) && okSet; a++ {
+			for b := a + 1; b < len(items); b++ {
+				if conflicts[items[a]][items[b]] {
+					okSet = false
+					break
+				}
+			}
+		}
+		if !okSet {
+			continue
+		}
+		if s := TotalScore(scores, items); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Property: Exact matches brute force on random small instances, its
+// result is a conflict-free set of size <= k, and it never loses to
+// Greedy.
+func TestExactOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(nRaw, kRaw, density uint8) bool {
+		n := int(nRaw)%10 + 1
+		k := int(kRaw)%n + 1
+		p := float64(density%90+5) / 100
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(100))
+		}
+		c := NewConflicts(n, func(i, j int) bool { return rng.Float64() < p })
+		exact, err := Exact(scores, c, k)
+		if err != nil {
+			return false
+		}
+		if len(exact) > k {
+			return false
+		}
+		for a := 0; a < len(exact); a++ {
+			for b := a + 1; b < len(exact); b++ {
+				if c[exact[a]][exact[b]] {
+					return false
+				}
+			}
+		}
+		want := bruteForce(scores, c, k)
+		if TotalScore(scores, exact) != want {
+			return false
+		}
+		greedy, err := Greedy(scores, c, k)
+		if err != nil {
+			return false
+		}
+		return TotalScore(scores, exact) >= TotalScore(scores, greedy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactStableOrdering(t *testing.T) {
+	// Returned items are sorted by descending score.
+	scores := []float64{1, 5, 3, 4, 2}
+	got, err := Exact(scores, noConflicts(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if scores[got[i]] > scores[got[i-1]] {
+			t.Errorf("result not score-sorted: %v", got)
+		}
+	}
+}
+
+func TestInsertDescending(t *testing.T) {
+	s := insertDescending(nil, 5, 3)
+	s = insertDescending(s, 7, 3)
+	s = insertDescending(s, 6, 3)
+	s = insertDescending(s, 8, 3)
+	if len(s) != 3 || s[0] != 8 || s[1] != 7 || s[2] != 6 {
+		t.Errorf("got %v", s)
+	}
+}
+
+func BenchmarkExact15Items(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, k := 15, 6
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64() * 100
+	}
+	c := NewConflicts(n, func(i, j int) bool { return rng.Float64() < 0.3 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(scores, c, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package tpfacetcli implements the interactive command layer of the
+// TPFacet two-phased interface (paper §5): the query-revision phase's
+// filter commands and digest, and the CAD View phase with its
+// interactive highlight and reorder effects. The interpreter is a plain
+// library so the whole interaction model is unit-testable; cmd/tpfacet
+// wraps it around stdin/stdout.
+package tpfacetcli
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dbexplorer/internal/core"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/facet"
+)
+
+// CLI is one interactive TPFacet session.
+type CLI struct {
+	tp   *facet.TPFacet
+	view *dataview.View
+	// Seed drives CAD View clustering.
+	Seed int64
+	// cad is the current CAD View (query-revision phase), nil before
+	// the first "cad" command or after filters change.
+	cad *core.CADView
+}
+
+// New starts a session over the base result set.
+func New(v *dataview.View, base dataset.RowSet) *CLI {
+	return &CLI{tp: facet.NewTPFacet(v, base), view: v}
+}
+
+// Exec interprets one command line and returns its output.
+func (c *CLI) Exec(line string) (string, error) {
+	args, err := tokenize(line)
+	if err != nil {
+		return "", err
+	}
+	if len(args) == 0 {
+		return "", nil
+	}
+	cmd := strings.ToLower(args[0])
+	rest := args[1:]
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "select":
+		return c.execSelect(rest)
+	case "deselect":
+		return c.execDeselect(rest)
+	case "clear":
+		return c.execClear(rest)
+	case "filters":
+		return c.execFilters()
+	case "count":
+		return fmt.Sprintf("%d tuples selected\n", c.tp.Count()), nil
+	case "digest":
+		return c.execDigest(rest, false)
+	case "panel":
+		return c.execDigest(rest, true)
+	case "cad":
+		return c.execCAD(rest)
+	case "highlight":
+		return c.execHighlight(rest)
+	case "reorder":
+		return c.execReorder(rest)
+	default:
+		return "", fmt.Errorf("tpfacet: unknown command %q (try help)", cmd)
+	}
+}
+
+const helpText = `TPFacet commands:
+  select <attr> <value>      add a filter (values of one attribute OR together)
+  deselect <attr> <value>    remove one filter value
+  clear [<attr>]             clear one attribute's filters, or all filters
+  filters                    show active filters
+  count                      show the current result-set size
+  digest [<attr>]            show the faceted summary digest (result phase)
+  panel [<attr>]             digest with each attribute's own filters excluded
+                             (multi-select facet counts, as e-commerce panels show)
+  cad <pivot> [k]            build the CAD View of the current result set
+  highlight <value> <rank> [tau]   highlight IUnits similar to a cell
+  reorder <value>            reorder CAD rows by similarity to a pivot value
+  help                       this text
+`
+
+func (c *CLI) execSelect(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("tpfacet: usage: select <attr> <value>")
+	}
+	if err := c.tp.Select(args[0], args[1]); err != nil {
+		return "", err
+	}
+	c.cad = nil
+	return fmt.Sprintf("selected %s = %s; %d tuples remain\n", args[0], args[1], c.tp.Count()), nil
+}
+
+func (c *CLI) execDeselect(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("tpfacet: usage: deselect <attr> <value>")
+	}
+	if err := c.tp.Deselect(args[0], args[1]); err != nil {
+		return "", err
+	}
+	c.cad = nil
+	return fmt.Sprintf("deselected %s = %s; %d tuples remain\n", args[0], args[1], c.tp.Count()), nil
+}
+
+func (c *CLI) execClear(args []string) (string, error) {
+	switch len(args) {
+	case 0:
+		c.tp.Reset()
+	case 1:
+		c.tp.ClearAttr(args[0])
+	default:
+		return "", fmt.Errorf("tpfacet: usage: clear [<attr>]")
+	}
+	c.cad = nil
+	return fmt.Sprintf("filters cleared; %d tuples remain\n", c.tp.Count()), nil
+}
+
+func (c *CLI) execFilters() (string, error) {
+	sels := c.tp.Selections()
+	if len(sels) == 0 {
+		return "(no filters)\n", nil
+	}
+	var b strings.Builder
+	for _, s := range sels {
+		fmt.Fprintf(&b, "%s in {%s}\n", s.Attr, strings.Join(s.Values, ", "))
+	}
+	return b.String(), nil
+}
+
+func (c *CLI) execDigest(args []string, panel bool) (string, error) {
+	var d *facet.Digest
+	if panel {
+		d = c.tp.PanelDigest()
+	} else {
+		d = c.tp.Digest()
+	}
+	var b strings.Builder
+	render := func(s *facet.AttrSummary) {
+		fmt.Fprintf(&b, "%s:\n", s.Attr)
+		for _, vc := range s.Values {
+			fmt.Fprintf(&b, "  %-24s %d\n", vc.Value, vc.Count)
+		}
+	}
+	switch len(args) {
+	case 0:
+		for i := range d.Attrs {
+			render(&d.Attrs[i])
+		}
+	case 1:
+		s := d.Attr(args[0])
+		if s == nil {
+			return "", fmt.Errorf("tpfacet: attribute %q not in the digest (unknown or not queriable)", args[0])
+		}
+		render(s)
+	default:
+		return "", fmt.Errorf("tpfacet: usage: digest [<attr>]")
+	}
+	return b.String(), nil
+}
+
+func (c *CLI) execCAD(args []string) (string, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return "", fmt.Errorf("tpfacet: usage: cad <pivot> [k]")
+	}
+	cfg := core.Config{Pivot: args[0], Seed: c.Seed}
+	if len(args) == 2 {
+		k, err := strconv.Atoi(args[1])
+		if err != nil || k < 1 {
+			return "", fmt.Errorf("tpfacet: k must be a positive integer, got %q", args[1])
+		}
+		cfg.K = k
+	}
+	view, err := c.tp.BuildCADView(cfg)
+	if err != nil {
+		return "", err
+	}
+	c.cad = view
+	return core.Render(view, nil), nil
+}
+
+func (c *CLI) execHighlight(args []string) (string, error) {
+	if c.cad == nil {
+		return "", fmt.Errorf("tpfacet: no CAD View yet (run cad <pivot> first)")
+	}
+	if len(args) < 2 || len(args) > 3 {
+		return "", fmt.Errorf("tpfacet: usage: highlight <value> <rank> [tau]")
+	}
+	rank, err := strconv.Atoi(args[1])
+	if err != nil || rank < 1 {
+		return "", fmt.Errorf("tpfacet: rank must be a positive integer, got %q", args[1])
+	}
+	tau := c.cad.Tau
+	if len(args) == 3 {
+		tau, err = strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return "", fmt.Errorf("tpfacet: bad tau %q", args[2])
+		}
+	}
+	h, err := core.HighlightSimilar(c.cad, args[0], rank, tau)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d IUnits similar to (%s, %d) above %.2f\n", len(h.Matches), args[0], rank, tau)
+	b.WriteString(core.Render(c.cad, h))
+	return b.String(), nil
+}
+
+func (c *CLI) execReorder(args []string) (string, error) {
+	if c.cad == nil {
+		return "", fmt.Errorf("tpfacet: no CAD View yet (run cad <pivot> first)")
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("tpfacet: usage: reorder <value>")
+	}
+	view, sims, err := core.ReorderRows(c.cad, args[0])
+	if err != nil {
+		return "", err
+	}
+	c.cad = view
+	var b strings.Builder
+	order := make([]string, len(sims))
+	for i, s := range sims {
+		order[i] = fmt.Sprintf("%s(%.0f)", s.PivotValue, s.Distance)
+	}
+	fmt.Fprintf(&b, "rows by similarity to %s: %s\n", args[0], strings.Join(order, "  "))
+	b.WriteString(core.Render(view, nil))
+	return b.String(), nil
+}
+
+// Attrs lists the queriable attributes, for completions and help.
+func (c *CLI) Attrs() []string {
+	var out []string
+	schema := c.view.Table().Schema()
+	for _, col := range c.view.Columns() {
+		if schema[col.Col].Queriable {
+			out = append(out, col.Attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tokenize splits a command line on whitespace, honoring single-quoted
+// tokens ('Land Rover').
+func tokenize(line string) ([]string, error) {
+	var out []string
+	i := 0
+	n := len(line)
+	for i < n {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '\'':
+			j := i + 1
+			for j < n && line[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("tpfacet: unterminated quote")
+			}
+			out = append(out, line[i+1:j])
+			i = j + 1
+		default:
+			j := i
+			for j < n && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}

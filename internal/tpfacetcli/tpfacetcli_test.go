@@ -1,0 +1,208 @@
+package tpfacetcli
+
+import (
+	"strings"
+	"testing"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+func newCLI(t *testing.T) *CLI {
+	t.Helper()
+	tbl := datagen.UsedCars(3000, 1)
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(v, dataset.AllRows(tbl.NumRows()))
+	c.Seed = 1
+	return c
+}
+
+func mustExec(t *testing.T, c *CLI, line string) string {
+	t.Helper()
+	out, err := c.Exec(line)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", line, err)
+	}
+	return out
+}
+
+func TestFilterPhase(t *testing.T) {
+	c := newCLI(t)
+	out := mustExec(t, c, "count")
+	if !strings.Contains(out, "3000 tuples") {
+		t.Errorf("count: %q", out)
+	}
+	out = mustExec(t, c, "select BodyType SUV")
+	if !strings.Contains(out, "selected BodyType = SUV") {
+		t.Errorf("select: %q", out)
+	}
+	mustExec(t, c, "select Make Jeep")
+	mustExec(t, c, "select Make Ford")
+	out = mustExec(t, c, "filters")
+	if !strings.Contains(out, "Make in {") || !strings.Contains(out, "Jeep") {
+		t.Errorf("filters: %q", out)
+	}
+	out = mustExec(t, c, "digest Make")
+	if !strings.Contains(out, "Jeep") || strings.Contains(out, "Toyota") {
+		t.Errorf("filtered digest: %q", out)
+	}
+	mustExec(t, c, "deselect Make Ford")
+	out = mustExec(t, c, "filters")
+	if strings.Contains(out, "Ford") {
+		t.Errorf("deselect left Ford: %q", out)
+	}
+	mustExec(t, c, "clear Make")
+	out = mustExec(t, c, "filters")
+	if strings.Contains(out, "Make") {
+		t.Errorf("clear attr failed: %q", out)
+	}
+	mustExec(t, c, "clear")
+	out = mustExec(t, c, "count")
+	if !strings.Contains(out, "3000 tuples") {
+		t.Errorf("clear all failed: %q", out)
+	}
+}
+
+func TestPanelDigestCommand(t *testing.T) {
+	c := newCLI(t)
+	mustExec(t, c, "select Make Jeep")
+	// Plain digest hides other makes; the panel keeps them visible.
+	plain := mustExec(t, c, "digest Make")
+	if strings.Contains(plain, "Ford") {
+		t.Errorf("plain digest shows Ford: %q", plain)
+	}
+	panel := mustExec(t, c, "panel Make")
+	if !strings.Contains(panel, "Ford") || !strings.Contains(panel, "Jeep") {
+		t.Errorf("panel digest missing makes: %q", panel)
+	}
+	if _, err := c.Exec("panel Nope"); err == nil {
+		t.Error("panel of unknown attribute: want error")
+	}
+}
+
+func TestCADPhase(t *testing.T) {
+	c := newCLI(t)
+	mustExec(t, c, "select BodyType SUV")
+	out := mustExec(t, c, "cad Make 2")
+	if !strings.Contains(out, "IUnit 1") || !strings.Contains(out, "IUnit 2") {
+		t.Errorf("cad: %q", out)
+	}
+	// Highlight against the built view.
+	out = mustExec(t, c, "highlight Jeep 1 1.0")
+	if !strings.Contains(out, "similar to (Jeep, 1)") {
+		t.Errorf("highlight: %q", out)
+	}
+	// Default tau comes from the view.
+	mustExec(t, c, "highlight Jeep 1")
+	// Reorder.
+	out = mustExec(t, c, "reorder Jeep")
+	if !strings.Contains(out, "rows by similarity to Jeep") {
+		t.Errorf("reorder: %q", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(strings.SplitN(out, ":", 2)[1]), "Jeep(0)") {
+		t.Errorf("reorder should lead with the reference: %q", out)
+	}
+	// Changing filters invalidates the CAD View.
+	mustExec(t, c, "select Make Jeep")
+	if _, err := c.Exec("highlight Jeep 1"); err == nil {
+		t.Error("highlight after filter change: want error (stale view dropped)")
+	}
+}
+
+func TestPivotOnHiddenAttribute(t *testing.T) {
+	c := newCLI(t)
+	// Engine is non-queriable: select must fail, cad must succeed.
+	if _, err := c.Exec("select Engine V8"); err == nil {
+		t.Error("select on hidden attribute: want error")
+	}
+	out := mustExec(t, c, "cad Engine")
+	if !strings.Contains(out, "V8") {
+		t.Errorf("cad on hidden attribute: %q", out)
+	}
+	// And the digest never lists it.
+	if _, err := c.Exec("digest Engine"); err == nil {
+		t.Error("digest of hidden attribute: want error")
+	}
+}
+
+func TestQuotedValues(t *testing.T) {
+	c := newCLI(t)
+	out := mustExec(t, c, "select Make 'Land Rover'")
+	if !strings.Contains(out, "Land Rover") {
+		t.Errorf("quoted select: %q", out)
+	}
+}
+
+func TestErrorsAndHelp(t *testing.T) {
+	c := newCLI(t)
+	out := mustExec(t, c, "help")
+	for _, want := range []string{"select", "cad", "highlight", "reorder"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+	if out := mustExec(t, c, ""); out != "" {
+		t.Errorf("empty line output: %q", out)
+	}
+	bad := []string{
+		"nonsense",
+		"select",
+		"select Make",
+		"select Nope x",
+		"select Make Nope",
+		"deselect Make",
+		"deselect Make Jeep", // nothing selected
+		"clear a b",
+		"digest a b",
+		"digest Nope",
+		"cad",
+		"cad Nope",
+		"cad Make zero",
+		"cad Make 0",
+		"highlight Jeep 1", // no cad yet
+		"select Make 'unterminated",
+	}
+	for _, line := range bad {
+		if _, err := c.Exec(line); err == nil {
+			t.Errorf("Exec(%q): want error", line)
+		}
+	}
+	mustExec(t, c, "cad Make")
+	for _, line := range []string{
+		"highlight",
+		"highlight Jeep zero",
+		"highlight Jeep 1 notatau",
+		"highlight Nope 1",
+		"reorder",
+		"reorder Nope",
+	} {
+		if _, err := c.Exec(line); err == nil {
+			t.Errorf("Exec(%q): want error", line)
+		}
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	c := newCLI(t)
+	attrs := c.Attrs()
+	has := map[string]bool{}
+	for _, a := range attrs {
+		has[a] = true
+	}
+	if !has["Make"] || !has["Price"] {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if has["Engine"] {
+		t.Error("hidden attribute listed as queriable")
+	}
+	// Sorted.
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i] < attrs[i-1] {
+			t.Error("attrs not sorted")
+		}
+	}
+}
