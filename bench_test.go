@@ -303,9 +303,20 @@ func BenchmarkAblationClustering(b *testing.B) {
 			codes[i][a] = c.Code(r)
 		}
 	}
+	sparse, _, err := cluster.EncodeSparse(carView, rows, attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("kmeans", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cluster.KMeans(points, 10, cluster.Options{Seed: 1}); err != nil {
+			if _, err := cluster.KMeansDense(points, 10, cluster.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kmeans-sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.KMeans(sparse, 10, cluster.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -395,7 +406,8 @@ func BenchmarkAblationSummarizer(b *testing.B) {
 }
 
 // BenchmarkAblationSampledClustering measures §6.3's sampled center
-// fitting against the full fit.
+// fitting against the full fit, for both the sparse production kernel
+// and the dense reference.
 func BenchmarkAblationSampledClustering(b *testing.B) {
 	fixtures(b)
 	attrs := []string{"Model", "Engine", "Drivetrain", "Price", "Year"}
@@ -403,10 +415,21 @@ func BenchmarkAblationSampledClustering(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	sparse, _, err := cluster.EncodeSparse(carView, carRows, attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for name, sample := range map[string]int{"full": 0, "sample2K": 2000} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := cluster.KMeans(points, 10, cluster.Options{Seed: 1, SampleSize: sample}); err != nil {
+				if _, err := cluster.KMeansDense(points, 10, cluster.Options{Seed: 1, SampleSize: sample}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"-sparse", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.KMeans(sparse, 10, cluster.Options{Seed: 1, SampleSize: sample}); err != nil {
 					b.Fatal(err)
 				}
 			}

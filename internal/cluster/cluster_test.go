@@ -90,7 +90,7 @@ func TestKMeansSeparatesGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := KMeans(p, 2, Options{Seed: 7})
+	res, err := KMeansDense(p, 2, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +122,11 @@ func TestKMeansSeparatesGroups(t *testing.T) {
 func TestKMeansDeterministicWithSeed(t *testing.T) {
 	v, rows, _ := twoGroupView(t, 100, 4)
 	p, _, _ := Encode(v, rows, []string{"Engine", "Drive", "Price"})
-	r1, err := KMeans(p, 3, Options{Seed: 11})
+	r1, err := KMeansDense(p, 3, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := KMeans(p, 3, Options{Seed: 11})
+	r2, err := KMeansDense(p, 3, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestKMeansDeterministicWithSeed(t *testing.T) {
 func TestKMeansSampledFit(t *testing.T) {
 	v, rows, truth := twoGroupView(t, 1000, 5)
 	p, _, _ := Encode(v, rows, []string{"Engine", "Drive", "Price"})
-	res, err := KMeans(p, 2, Options{Seed: 7, SampleSize: 100})
+	res, err := KMeansDense(p, 2, Options{Seed: 7, SampleSize: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,18 +165,18 @@ func TestKMeansSampledFit(t *testing.T) {
 }
 
 func TestKMeansEdgeCases(t *testing.T) {
-	if _, err := KMeans(nil, 2, Options{}); err == nil {
+	if _, err := KMeansDense(nil, 2, Options{}); err == nil {
 		t.Error("nil points: want error")
 	}
-	if _, err := KMeans(&Points{N: 0}, 2, Options{}); err == nil {
+	if _, err := KMeansDense(&Points{N: 0}, 2, Options{}); err == nil {
 		t.Error("empty points: want error")
 	}
 	p := &Points{Data: []float64{0, 1, 2}, N: 3, Dim: 1}
-	if _, err := KMeans(p, 0, Options{}); err == nil {
+	if _, err := KMeansDense(p, 0, Options{}); err == nil {
 		t.Error("k=0: want error")
 	}
 	// k > n clamps to n.
-	res, err := KMeans(p, 10, Options{})
+	res, err := KMeansDense(p, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestKMeansEdgeCases(t *testing.T) {
 	}
 	// Identical points collapse.
 	same := &Points{Data: []float64{5, 5, 5, 5}, N: 4, Dim: 1}
-	res, err = KMeans(same, 2, Options{Seed: 1})
+	res, err = KMeansDense(same, 2, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestKMeansInvariantProperty(t *testing.T) {
 			p.Data[i*2+1] = float64(v / 16)
 		}
 		k := int(kRaw)%5 + 1
-		res, err := KMeans(p, k, Options{Seed: 3})
+		res, err := KMeansDense(p, k, Options{Seed: 3})
 		if err != nil {
 			return false
 		}
@@ -242,11 +242,11 @@ func TestKMeansRestarts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := KMeans(p, 6, Options{Seed: 2})
+	single, err := KMeansDense(p, 6, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := KMeans(p, 6, Options{Seed: 2, Restarts: 5})
+	multi, err := KMeansDense(p, 6, Options{Seed: 2, Restarts: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestKMeansRestarts(t *testing.T) {
 		t.Errorf("restarts made inertia worse: %g > %g", multi.Inertia, single.Inertia)
 	}
 	// Deterministic under the same options.
-	again, err := KMeans(p, 6, Options{Seed: 2, Restarts: 5})
+	again, err := KMeansDense(p, 6, Options{Seed: 2, Restarts: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

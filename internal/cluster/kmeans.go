@@ -4,6 +4,12 @@
 // paper's use of Weka's SimpleKMeans on discretized data), optional
 // center-fitting on a sample (§6.3 optimizations), and a categorical
 // k-modes variant as an ablation.
+//
+// The production kernel is KMeans over EncodeSparse points: a sparse,
+// weighted, duplicate-collapsing Lloyd that returns results bit-identical
+// to the reference dense kernel (KMeansDense over Encode points) while
+// doing O(|attrs|) work per distance instead of O(Dim). The dense kernel
+// remains for the equivalence suite and ablations.
 package cluster
 
 import (
@@ -113,9 +119,12 @@ func (r *Result) Sizes() []int {
 	return sizes
 }
 
-// KMeans clusters p into at most k groups. With Restarts > 1 the best
-// of several seeded runs (by inertia) is returned.
-func KMeans(p *Points, k int, opt Options) (*Result, error) {
+// KMeansDense clusters the dense one-hot matrix p into at most k groups.
+// It is the reference implementation the sparse KMeans kernel is verified
+// against (bit-identical results) and the baseline for the clustering
+// ablation benches. With Restarts > 1 the best of several seeded runs
+// (by inertia) is returned.
+func KMeansDense(p *Points, k int, opt Options) (*Result, error) {
 	if opt.Restarts > 1 {
 		restarts := opt.Restarts
 		opt.Restarts = 1
@@ -123,7 +132,7 @@ func KMeans(p *Points, k int, opt Options) (*Result, error) {
 		for r := 0; r < restarts; r++ {
 			run := opt
 			run.Seed = opt.Seed + int64(r)*1_000_003
-			res, err := KMeans(p, k, run)
+			res, err := KMeansDense(p, k, run)
 			if err != nil {
 				return nil, err
 			}

@@ -60,7 +60,7 @@ func TestSilhouetteRightKWins(t *testing.T) {
 	p, _ := blobs(300, [][]float64{{0, 0}, {50, 0}, {0, 50}}, 2, 3)
 	scores := map[int]float64{}
 	for _, k := range []int{2, 3, 6} {
-		km, err := KMeans(p, k, Options{Seed: 5})
+		km, err := KMeansDense(p, k, Options{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,509 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/parallel"
+)
+
+// SparsePoints is the sparse form of the one-hot matrix cluster.Encode
+// produces: row i is fully determined by its per-attribute codes, so only
+// those A integers are stored instead of the Dim-wide dense expansion.
+// Row i's implicit dense coordinates are 1 at Offsets[a]+Codes[i*A+a] for
+// every attribute a and 0 elsewhere.
+type SparsePoints struct {
+	// Codes is row-major N×A.
+	Codes []int32
+	// N is the number of points, A the number of encoded attributes.
+	N, A int
+	// Dim is the dense dimension (sum of attribute cardinalities).
+	Dim int
+	// Offsets[a] is the first dense coordinate of attribute a's block; a
+	// final sentinel entry holds Dim.
+	Offsets []int
+
+	collapseOnce sync.Once
+	groups       *groupSet
+}
+
+// RowCodes returns point i's attribute codes as a slice into Codes.
+func (sp *SparsePoints) RowCodes(i int) []int32 { return sp.Codes[i*sp.A : (i+1)*sp.A] }
+
+// EncodeSparse encodes the given attributes of the view over rows in
+// sparse form. The i-th point corresponds to rows[i]; the returned
+// Encoding carries the same block metadata cluster.Encode produces, so
+// centroids decode identically.
+func EncodeSparse(v *dataview.View, rows dataset.RowSet, attrs []string) (*SparsePoints, *Encoding, error) {
+	if len(attrs) == 0 {
+		return nil, nil, fmt.Errorf("cluster: no attributes to encode")
+	}
+	enc := &Encoding{Attrs: append([]string(nil), attrs...)}
+	cols := make([]*dataview.Column, len(attrs))
+	dim := 0
+	for i, name := range attrs {
+		c, err := v.Column(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = c
+		enc.Offsets = append(enc.Offsets, dim)
+		enc.Cards = append(enc.Cards, c.Cardinality())
+		dim += c.Cardinality()
+	}
+	enc.Offsets = append(enc.Offsets, dim)
+	sp := &SparsePoints{
+		Codes:   make([]int32, len(rows)*len(attrs)),
+		N:       len(rows),
+		A:       len(attrs),
+		Dim:     dim,
+		Offsets: enc.Offsets,
+	}
+	for i, r := range rows {
+		row := sp.Codes[i*sp.A : (i+1)*sp.A]
+		for a, c := range cols {
+			row[a] = int32(c.Code(r))
+		}
+	}
+	return sp, enc, nil
+}
+
+// groupSet is a duplicate-collapsed view of a point sequence: distinct
+// code tuples in first-occurrence order, each with its multiplicity and
+// the point→group mapping. Weighted Lloyd over groups is exactly
+// equivalent to plain Lloyd over the underlying points.
+type groupSet struct {
+	codes  []int32 // row-major G×A, distinct tuples in first-occurrence order
+	weight []int   // weight[g] is the number of points in group g
+	of     []int32 // of[i] is the group of point i
+	g      int     // number of groups
+	a      int     // attributes per tuple
+}
+
+func (gs *groupSet) rowCodes(g int) []int32 { return gs.codes[g*gs.a : (g+1)*gs.a] }
+
+// collapse groups identical points, caching the result on sp.
+func (sp *SparsePoints) collapse() *groupSet {
+	sp.collapseOnce.Do(func() {
+		gs := &groupSet{of: make([]int32, sp.N), a: sp.A}
+		key := make([]byte, sp.A*4)
+		ids := make(map[string]int32, sp.N/4+1)
+		for i := 0; i < sp.N; i++ {
+			row := sp.RowCodes(i)
+			for a, c := range row {
+				key[a*4] = byte(c)
+				key[a*4+1] = byte(c >> 8)
+				key[a*4+2] = byte(c >> 16)
+				key[a*4+3] = byte(c >> 24)
+			}
+			id, ok := ids[string(key)]
+			if !ok {
+				id = int32(gs.g)
+				ids[string(key)] = id
+				gs.codes = append(gs.codes, row...)
+				gs.weight = append(gs.weight, 0)
+				gs.g++
+			}
+			gs.weight[id]++
+			gs.of[i] = id
+		}
+		sp.groups = gs
+	})
+	return sp.groups
+}
+
+// subCollapse re-collapses the points idx (in order) against an existing
+// collapse of the full set, sharing the parent's code storage.
+func subCollapse(full *groupSet, idx []int) *groupSet {
+	gs := &groupSet{of: make([]int32, len(idx)), a: full.a}
+	remap := make([]int32, full.g)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for j, i := range idx {
+		fg := full.of[i]
+		id := remap[fg]
+		if id < 0 {
+			id = int32(gs.g)
+			remap[fg] = id
+			gs.codes = append(gs.codes, full.rowCodes(int(fg))...)
+			gs.weight = append(gs.weight, 0)
+			gs.g++
+		}
+		gs.weight[id]++
+		gs.of[j] = id
+	}
+	return gs
+}
+
+// groupDist2 is the squared Euclidean distance between two one-hot rows
+// given by their codes: exactly 2·(number of differing attributes), an
+// integer, so it is bit-identical to the dense sqDist of the rows.
+func groupDist2(a, b []int32) float64 {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return float64(2 * d)
+}
+
+// minChunkGroups is the smallest per-goroutine slice of the assignment
+// loop worth parallelizing; below 2× this the fit runs single-threaded.
+const minChunkGroups = 256
+
+// sparseFit carries the state of one weighted Lloyd fit. Centers are kept
+// dense (k×Dim) — they are small — so the near-tie fallback and the
+// returned Result are byte-compatible with the dense kernel.
+type sparseFit struct {
+	a, dim  int
+	offs    []int
+	k       int
+	gs      *groupSet // groups being fitted
+	n       int       // number of points behind gs
+	centers []float64 // row-major k×Dim
+	cNorm   []float64 // per-center squared norm, refreshed each iteration
+	eps     float64   // near-tie window for the exact-argmin fallback
+}
+
+// dot returns Σ_a centers[c][off_a + code_a] — the inner product of the
+// one-hot point codes with center c, in O(A).
+func (f *sparseFit) dot(codes []int32, c int) float64 {
+	base := c * f.dim
+	var s float64
+	for a, code := range codes {
+		s += f.centers[base+f.offs[a]+int(code)]
+	}
+	return s
+}
+
+// denseDist replays the dense kernel's sqDist(row, center) term by term —
+// same values, same addition order — so its result is bit-identical to
+// what KMeansDense computes for the expanded row.
+func (f *sparseFit) denseDist(codes []int32, c int) float64 {
+	var s float64
+	a := 0
+	next := f.offs[0] + int(codes[0])
+	for d, cd := range f.centers[c*f.dim : (c+1)*f.dim] {
+		var diff float64
+		if d == next {
+			diff = 1 - cd
+			a++
+			if a < len(codes) {
+				next = f.offs[a] + int(codes[a])
+			} else {
+				next = -1
+			}
+		} else {
+			diff = -cd
+		}
+		s += diff * diff
+	}
+	return s
+}
+
+func (f *sparseFit) computeCNorm() {
+	for c := 0; c < f.k; c++ {
+		var s float64
+		for _, cd := range f.centers[c*f.dim : (c+1)*f.dim] {
+			s += cd * cd
+		}
+		f.cNorm[c] = s
+	}
+}
+
+// setCenterFromCodes overwrites center c with the one-hot expansion of
+// the given codes (exact 0/1 coordinates).
+func (f *sparseFit) setCenterFromCodes(c int, codes []int32) {
+	row := f.centers[c*f.dim : (c+1)*f.dim]
+	for d := range row {
+		row[d] = 0
+	}
+	for a, code := range codes {
+		row[f.offs[a]+int(code)] = 1
+	}
+}
+
+// seedPlusPlus mirrors the dense k-means++ seeding over the collapsed
+// groups. All seeding distances are exact integers (centers are one-hot
+// points), and the cumulative D² scan runs in original point order, so
+// every random draw and every pick matches the dense kernel bit for bit.
+func (f *sparseFit) seedPlusPlus(rng *rand.Rand) {
+	gs := f.gs
+	seedCodes := make([][]int32, f.k)
+	first := rng.Intn(f.n)
+	seedCodes[0] = gs.rowCodes(int(gs.of[first]))
+	d2 := make([]float64, gs.g)
+	parallel.ForChunks(gs.g, minChunkGroups, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			d2[g] = groupDist2(gs.rowCodes(g), seedCodes[0])
+		}
+	})
+	for c := 1; c < f.k; c++ {
+		// All d2 values are integers, so the weighted group sum equals
+		// the dense kernel's per-point sum exactly, in any order.
+		var total float64
+		for g, d := range d2 {
+			total += d * float64(gs.weight[g])
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(f.n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = f.n - 1
+			for i := 0; i < f.n; i++ {
+				acc += d2[gs.of[i]]
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		seedCodes[c] = gs.rowCodes(int(gs.of[pick]))
+		parallel.ForChunks(gs.g, minChunkGroups, func(lo, hi int) {
+			for g := lo; g < hi; g++ {
+				if d := groupDist2(gs.rowCodes(g), seedCodes[c]); d < d2[g] {
+					d2[g] = d
+				}
+			}
+		})
+	}
+	for c := 0; c < f.k; c++ {
+		f.setCenterFromCodes(c, seedCodes[c])
+	}
+}
+
+// assignGroups assigns every group to its nearest center. The O(A) score
+// ‖c‖² − 2·⟨x,c⟩ orders centers like the true distance up to float
+// rounding; when two centers score within eps the fallback re-evaluates
+// the tied candidates with denseDist, reproducing the dense kernel's
+// argmin (including its tie behavior) exactly.
+func (f *sparseFit) assignGroups(assign []int32) bool {
+	gs := f.gs
+	var changed atomic.Bool
+	parallel.ForChunks(gs.g, minChunkGroups, func(lo, hi int) {
+		scores := make([]float64, f.k)
+		chunkChanged := false
+		for g := lo; g < hi; g++ {
+			codes := gs.rowCodes(g)
+			best, bestS := 0, math.MaxFloat64
+			for c := 0; c < f.k; c++ {
+				s := f.cNorm[c] - 2*f.dot(codes, c)
+				scores[c] = s
+				if s < bestS {
+					best, bestS = c, s
+				}
+			}
+			limit := bestS + f.eps
+			ties := 0
+			for _, s := range scores {
+				if s <= limit {
+					ties++
+				}
+			}
+			if ties > 1 {
+				best = 0
+				bestD := math.MaxFloat64
+				for c := 0; c < f.k; c++ {
+					if scores[c] > limit {
+						continue
+					}
+					if d := f.denseDist(codes, c); d < bestD {
+						best, bestD = c, d
+					}
+				}
+			}
+			if assign[g] != int32(best) {
+				assign[g] = int32(best)
+				chunkChanged = true
+			}
+		}
+		if chunkChanged {
+			changed.Store(true)
+		}
+	})
+	return changed.Load()
+}
+
+// reseedEmpty mirrors the dense reseeding: empty centers move to the
+// points farthest from their assigned centers, distinct points only.
+// Distances come from denseDist so the candidate array — and therefore
+// the deterministic sort and every pick — matches the dense kernel.
+func (f *sparseFit) reseedEmpty(assign []int32, empty []int) {
+	gs := f.gs
+	dg := make([]float64, gs.g)
+	parallel.ForChunks(gs.g, minChunkGroups, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			dg[g] = f.denseDist(gs.rowCodes(g), int(assign[g]))
+		}
+	})
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, f.n)
+	for i := 0; i < f.n; i++ {
+		cands[i] = cand{i, dg[gs.of[i]]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d > cands[b].d })
+	used := 0
+	for _, c := range empty {
+		for used < len(cands) && used > 0 && gs.of[cands[used].idx] == gs.of[cands[used-1].idx] {
+			used++
+		}
+		const eps = 1e-9
+		if used >= len(cands) || cands[used].d <= eps {
+			break
+		}
+		f.setCenterFromCodes(c, gs.rowCodes(int(gs.of[cands[used].idx])))
+		used++
+	}
+}
+
+// KMeans clusters sparse one-hot points into at most k groups: the
+// production kernel behind IUnit generation. It runs weighted Lloyd over
+// duplicate-collapsed points with O(A) distances instead of O(Dim), and
+// its Result — assignments, centers, inertia, iteration count — is
+// bit-identical to KMeansDense on the equivalent dense encoding (see
+// DESIGN.md for the equivalence argument). With Restarts > 1 the best of
+// several seeded runs (by inertia) is returned.
+func KMeans(sp *SparsePoints, k int, opt Options) (*Result, error) {
+	if opt.Restarts > 1 {
+		restarts := opt.Restarts
+		opt.Restarts = 1
+		var best *Result
+		for r := 0; r < restarts; r++ {
+			run := opt
+			run.Seed = opt.Seed + int64(r)*1_000_003
+			res, err := KMeans(sp, k, run)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || res.Inertia < best.Inertia {
+				best = res
+			}
+		}
+		return best, nil
+	}
+	return kmeansSparseOnce(sp, k, opt)
+}
+
+func kmeansSparseOnce(sp *SparsePoints, k int, opt Options) (*Result, error) {
+	if sp == nil || sp.N == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if sp.A == 0 {
+		return nil, fmt.Errorf("cluster: no attributes")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if k > sp.N {
+		k = sp.N
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 50
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	full := sp.collapse()
+	fit, fitN := full, sp.N
+	if opt.SampleSize > 0 && opt.SampleSize < sp.N {
+		idx := rng.Perm(sp.N)[:opt.SampleSize]
+		fit = subCollapse(full, idx)
+		fitN = opt.SampleSize
+		if k > fitN {
+			k = fitN
+		}
+	}
+
+	// The eps window must exceed the worst-case rounding gap between the
+	// O(A) score and the dense distance (≈ Dim·ε·A); 1e-9 dominates it by
+	// orders of magnitude for any realistic encoding width.
+	eps := 1e-9
+	if wide := float64(sp.Dim) * float64(sp.A) * 1e-14; wide > eps {
+		eps = wide
+	}
+	f := &sparseFit{
+		a: sp.A, dim: sp.Dim, offs: sp.Offsets, k: k,
+		gs: fit, n: fitN,
+		centers: make([]float64, k*sp.Dim),
+		cNorm:   make([]float64, k),
+		eps:     eps,
+	}
+	f.seedPlusPlus(rng)
+
+	assign := make([]int32, fit.g)
+	counts := make([]int, k)
+	iters := 0
+	for ; iters < opt.MaxIter; iters++ {
+		f.computeCNorm()
+		changed := f.assignGroups(assign)
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centers: scatter-add group weights over codes. The
+		// accumulated coordinates are exact integers, equal to the dense
+		// kernel's per-point sums, then scaled by the same reciprocal.
+		for i := range f.centers {
+			f.centers[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for g := 0; g < fit.g; g++ {
+			c := int(assign[g])
+			w := fit.weight[g]
+			counts[c] += w
+			base := c * f.dim
+			for a, code := range fit.rowCodes(g) {
+				f.centers[base+f.offs[a]+int(code)] += float64(w)
+			}
+		}
+		var empty []int
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				empty = append(empty, c)
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := 0; d < f.dim; d++ {
+				f.centers[c*f.dim+d] *= inv
+			}
+		}
+		if len(empty) > 0 {
+			f.reseedEmpty(assign, empty)
+		}
+	}
+
+	// Final assignment of every point (covers the sampled-fit path too),
+	// then inertia accumulated in original row order from per-group
+	// denseDist values — bit-identical to the dense kernel's sum.
+	f.computeCNorm()
+	f.gs, f.n = full, sp.N
+	fullAssign := make([]int32, full.g)
+	f.assignGroups(fullAssign)
+	dist := make([]float64, full.g)
+	parallel.ForChunks(full.g, minChunkGroups, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			dist[g] = f.denseDist(full.rowCodes(g), int(fullAssign[g]))
+		}
+	})
+	finalAssign := make([]int, sp.N)
+	inertia := 0.0
+	for i := 0; i < sp.N; i++ {
+		g := full.of[i]
+		finalAssign[i] = int(fullAssign[g])
+		inertia += dist[g]
+	}
+	return &Result{K: k, Assign: finalAssign, Centers: f.centers, Inertia: inertia, Iters: iters}, nil
+}

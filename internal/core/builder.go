@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"dbexplorer/internal/cluster"
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
 	"dbexplorer/internal/featsel"
+	"dbexplorer/internal/parallel"
 	"dbexplorer/internal/topk"
 )
 
@@ -63,9 +63,11 @@ type Config struct {
 	// alternative to the fixed l = 1.5K rule. L is then the sweep's
 	// upper bound when explicitly set.
 	AutoL bool
-	// Parallel builds the pivot rows concurrently, one goroutine per
-	// pivot value. The result is identical to the sequential build (all
-	// randomness is seeded per pivot value); only wall-clock changes.
+	// Parallel builds the pivot rows concurrently on a worker pool
+	// bounded by GOMAXPROCS, so high-cardinality pivots never spawn one
+	// goroutine (and one encoding) per value at a time. The result is
+	// identical to the sequential build (all randomness is seeded per
+	// pivot value); only wall-clock changes.
 	Parallel bool
 	// Labeling controls cluster label construction.
 	Labeling LabelOptions
@@ -164,17 +166,11 @@ func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings
 		view.Rows = append(view.Rows, &PivotRow{Value: val, Count: len(rowsByValue[val])})
 	}
 	if cfg.Parallel {
-		var wg sync.WaitGroup
 		errs := make([]error, len(pivotValues))
 		times := make([]Timings, len(pivotValues))
-		for vi := range pivotValues {
-			wg.Add(1)
-			go func(vi int) {
-				defer wg.Done()
-				errs[vi] = buildPivotRow(v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &times[vi])
-			}(vi)
-		}
-		wg.Wait()
+		parallel.Do(len(pivotValues), func(vi int) {
+			errs[vi] = buildPivotRow(v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &times[vi])
+		})
 		for vi := range pivotValues {
 			if errs[vi] != nil {
 				return nil, tm, errs[vi]
@@ -200,7 +196,7 @@ func buildPivotRow(v *dataview.View, view *CADView, row *PivotRow, rowsVal datas
 		return nil
 	}
 	startCluster := time.Now()
-	points, _, err := cluster.Encode(v, rowsVal, view.CompareAttrs)
+	points, _, err := cluster.EncodeSparse(v, rowsVal, view.CompareAttrs)
 	if err != nil {
 		return err
 	}
@@ -229,8 +225,10 @@ func buildPivotRow(v *dataview.View, view *CADView, row *PivotRow, rowsVal datas
 
 // fitClusters produces the candidate-IUnit clustering: either a single
 // k-means run at l = cfg.L, or — with AutoL — the best-silhouette run
-// over the plausible l range [K, max(L, 2K+2)].
-func fitClusters(points *cluster.Points, cfg Config, seed int64) (*cluster.Result, error) {
+// over the plausible l range [K, max(L, 2K+2)]. The sparse kernel's
+// results are bit-identical to the dense kernel's, so the CAD View is
+// unchanged from the dense-path build.
+func fitClusters(points *cluster.SparsePoints, cfg Config, seed int64) (*cluster.Result, error) {
 	opts := cluster.Options{Seed: seed, SampleSize: cfg.ClusterSampleSize}
 	if !cfg.AutoL {
 		return cluster.KMeans(points, cfg.L, opts)
@@ -246,7 +244,7 @@ func fitClusters(points *cluster.Points, cfg Config, seed int64) (*cluster.Resul
 		if err != nil {
 			return nil, err
 		}
-		score, err := cluster.Silhouette(points, km.Assign, km.K, 256, seed)
+		score, err := cluster.SilhouetteSparse(points, km.Assign, km.K, 256, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -382,20 +380,23 @@ func selectCompareAttrs(v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]s
 	return chosen, nil
 }
 
-// sampleRows picks every ceil(n/size)-th row, a deterministic systematic
-// sample that preserves row-order uniformity.
+// sampleRows takes a deterministic systematic sample of exactly
+// min(size, len(rows)) rows: evenly spaced positions rotated by a
+// seed-derived offset, wrapping around the end of the slice. (A plain
+// strided scan from a nonzero offset runs off the end and under-fills
+// the sample — the wrap keeps both the size and the uniform spacing.)
 func sampleRows(rows dataset.RowSet, size int, seed int64) dataset.RowSet {
-	stride := (len(rows) + size - 1) / size
-	if stride < 1 {
-		stride = 1
+	n := len(rows)
+	if size >= n {
+		return append(dataset.RowSet(nil), rows...)
 	}
-	offset := int(seed) % stride
+	offset := int(seed % int64(n))
 	if offset < 0 {
-		offset += stride
+		offset += n
 	}
 	out := make(dataset.RowSet, 0, size)
-	for i := offset; i < len(rows) && len(out) < size; i += stride {
-		out = append(out, rows[i])
+	for j := 0; j < size; j++ {
+		out = append(out, rows[(offset+j*n/size)%n])
 	}
 	return out
 }

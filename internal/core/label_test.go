@@ -170,4 +170,22 @@ func TestSampleRows(t *testing.T) {
 	if len(s) != 10 {
 		t.Errorf("negative seed sample size = %d", len(s))
 	}
+	// A nonzero offset must wrap rather than run off the end: every
+	// seed yields exactly size distinct rows, even when size does not
+	// divide len(rows).
+	for _, n := range []int{97, 100, 101} {
+		for seed := int64(-3); seed <= 120; seed += 7 {
+			s := sampleRows(dataset.AllRows(n), 10, seed)
+			if len(s) != 10 {
+				t.Fatalf("n=%d seed=%d: sample size = %d, want 10", n, seed, len(s))
+			}
+			seen := make(map[int]bool, len(s))
+			for _, r := range s {
+				if r < 0 || r >= n || seen[r] {
+					t.Fatalf("n=%d seed=%d: bad or duplicate row %d in %v", n, seed, r, s)
+				}
+				seen[r] = true
+			}
+		}
+	}
 }

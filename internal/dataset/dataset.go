@@ -15,6 +15,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind distinguishes the two attribute types DBExplorer understands.
@@ -124,6 +125,9 @@ func (c *CatColumn) Cardinality() int { return len(c.Dict) }
 // NumColumn is a dense float64 column.
 type NumColumn struct {
 	vals []float64
+
+	mu     sync.Mutex
+	sorted []float64 // memoized ascending copy of vals; see Sorted
 }
 
 // NewNumColumn returns an empty numeric column.
@@ -140,6 +144,20 @@ func (c *NumColumn) Value(i int) float64 { return c.vals[i] }
 
 // Values returns the backing slice; callers must not modify it.
 func (c *NumColumn) Values() []float64 { return c.vals }
+
+// Sorted returns the column values in ascending order; callers must not
+// modify the result. The sorted copy is memoized so repeated binning of
+// the same column (every view built over the table) sorts at most once;
+// the cache is refreshed if rows were appended since the last call.
+func (c *NumColumn) Sorted() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.sorted) != len(c.vals) {
+		c.sorted = append(make([]float64, 0, len(c.vals)), c.vals...)
+		sort.Float64s(c.sorted)
+	}
+	return c.sorted
+}
 
 // Table is a named relation with columnar storage.
 type Table struct {

@@ -13,6 +13,7 @@ import (
 
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/histogram"
+	"dbexplorer/internal/parallel"
 )
 
 // DefaultBins is the number of buckets numeric attributes are reduced to
@@ -97,23 +98,37 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 		return nil, fmt.Errorf("dataview: table %q has no rows", t.Name())
 	}
 	v := &View{table: t, byName: make(map[string]int)}
-	for i, attr := range t.Schema() {
+	schema := t.Schema()
+	// Columns code independently (numeric binning sorts the whole column,
+	// the dominant cost on wide tables), so build them on the shared
+	// worker pool; the result is identical to a sequential build.
+	cols := make([]*Column, len(schema))
+	errs := make([]error, len(schema))
+	parallel.Do(len(schema), func(i int) {
+		attr := schema[i]
 		col := &Column{Attr: attr.Name, Col: i, Kind: attr.Kind}
 		if cat := t.Cat(i); cat != nil {
 			col.cat = cat
 			col.labels = append([]string(nil), cat.Dict...)
 		} else {
 			num := t.Num(i)
-			h, err := histogram.Build(num.Values(), opt.Bins, opt.Method)
+			h, err := histogram.BuildSorted(num.Sorted(), opt.Bins, opt.Method)
 			if err != nil {
-				return nil, fmt.Errorf("dataview: binning %q: %w", attr.Name, err)
+				errs[i] = fmt.Errorf("dataview: binning %q: %w", attr.Name, err)
+				return
 			}
 			col.num = num
 			col.hist = h
 			col.labels = h.Labels()
 		}
-		v.byName[attr.Name] = len(v.cols)
-		v.cols = append(v.cols, col)
+		cols[i] = col
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		v.byName[schema[i].Name] = len(v.cols)
+		v.cols = append(v.cols, cols[i])
 	}
 	return v, nil
 }

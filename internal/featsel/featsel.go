@@ -10,9 +10,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/parallel"
 	"dbexplorer/internal/stats"
 )
 
@@ -56,16 +58,98 @@ func classCodes(v *dataview.View, rows dataset.RowSet, classAttr string) ([]int,
 	return codes, next, nil
 }
 
-func validateCandidates(v *dataview.View, classAttr string, candidates []string) error {
-	for _, name := range candidates {
+// resolveCandidates validates the candidate attributes and returns their
+// columns, hoisting the per-name lookups out of the ranking loops.
+func resolveCandidates(v *dataview.View, classAttr string, candidates []string) ([]*dataview.Column, error) {
+	cols := make([]*dataview.Column, len(candidates))
+	for i, name := range candidates {
 		if name == classAttr {
-			return fmt.Errorf("featsel: candidate %q is the class attribute", name)
+			return nil, fmt.Errorf("featsel: candidate %q is the class attribute", name)
 		}
-		if _, err := v.Column(name); err != nil {
-			return err
+		col, err := v.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return cols, nil
+}
+
+// fillWork is the row-sweep size below which chunk-parallel table
+// construction is not worth the goroutine handoff.
+const fillWork = 1 << 15
+
+// minConcurrentCandidates gates per-candidate concurrent statistic
+// computation; small candidate sets rank inline.
+const minConcurrentCandidates = 8
+
+// fillTables builds one contingency table per candidate column in a
+// single sweep over the rows (instead of one sweep per candidate), with
+// the sweep chunked over the worker pool when it is large. Table cells
+// are integer counts, so the chunk merge is order-independent and the
+// result is identical to a sequential fill.
+func fillTables(cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasses int) []*stats.ContingencyTable {
+	tables := make([]*stats.ContingencyTable, len(cols))
+	for j, col := range cols {
+		tables[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
+	}
+	if len(rows)*len(cols) < fillWork {
+		for i, r := range rows {
+			c := cls[i]
+			for j, col := range cols {
+				tables[j].Add(col.Code(r), c)
+			}
+		}
+		return tables
+	}
+	minRows := fillWork / len(cols)
+	var mu sync.Mutex
+	parallel.ForChunks(len(rows), minRows, func(lo, hi int) {
+		local := make([]*stats.ContingencyTable, len(cols))
+		for j, col := range cols {
+			local[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
+		}
+		for i := lo; i < hi; i++ {
+			r := rows[i]
+			c := cls[i]
+			for j, col := range cols {
+				local[j].Add(col.Code(r), c)
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for j := range tables {
+			for x, row := range local[j].Counts {
+				dst := tables[j].Counts[x]
+				for y, n := range row {
+					dst[y] += n
+				}
+			}
+		}
+	})
+	return tables
+}
+
+// rankEach computes out[j] = score(j) for every candidate, concurrently
+// when the candidate set is large. Each slot is written exactly once, so
+// the output does not depend on scheduling.
+func rankEach(n int, score func(j int) (Score, error)) ([]Score, error) {
+	out := make([]Score, n)
+	errs := make([]error, n)
+	rank := func(j int) { out[j], errs[j] = score(j) }
+	if n >= minConcurrentCandidates {
+		parallel.Do(n, rank)
+	} else {
+		for j := 0; j < n; j++ {
+			rank(j)
 		}
 	}
-	return nil
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // ChiSquare ranks candidates by the chi-square statistic of their
@@ -73,7 +157,8 @@ func validateCandidates(v *dataview.View, classAttr string, candidates []string)
 // carries each attribute's significance so callers can apply the paper's
 // threshold-relevance cut.
 func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
-	if err := validateCandidates(v, classAttr, candidates); err != nil {
+	cols, err := resolveCandidates(v, classAttr, candidates)
+	if err != nil {
 		return nil, err
 	}
 	if len(rows) == 0 {
@@ -83,21 +168,16 @@ func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidat
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Score, 0, len(candidates))
-	for _, name := range candidates {
-		col, err := v.Column(name)
+	tables := fillTables(cols, rows, cls, nClasses)
+	out, err := rankEach(len(candidates), func(j int) (Score, error) {
+		res, err := stats.ChiSquare(tables[j])
 		if err != nil {
-			return nil, err
+			return Score{}, fmt.Errorf("featsel: attribute %q: %w", candidates[j], err)
 		}
-		ct := stats.NewContingencyTable(col.Cardinality(), nClasses)
-		for i, r := range rows {
-			ct.Add(col.Code(r), cls[i])
-		}
-		res, err := stats.ChiSquare(ct)
-		if err != nil {
-			return nil, fmt.Errorf("featsel: attribute %q: %w", name, err)
-		}
-		out = append(out, Score{Attr: name, Stat: res.Stat, PValue: res.PValue})
+		return Score{Attr: candidates[j], Stat: res.Stat, PValue: res.PValue}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortScores(out)
 	return out, nil
@@ -105,7 +185,8 @@ func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidat
 
 // MutualInformation ranks candidates by I(X; class) in nats, descending.
 func MutualInformation(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
-	if err := validateCandidates(v, classAttr, candidates); err != nil {
+	cols, err := resolveCandidates(v, classAttr, candidates)
+	if err != nil {
 		return nil, err
 	}
 	if len(rows) == 0 {
@@ -116,23 +197,19 @@ func MutualInformation(v *dataview.View, rows dataset.RowSet, classAttr string, 
 		return nil, err
 	}
 	n := float64(len(rows))
-	out := make([]Score, 0, len(candidates))
-	for _, name := range candidates {
-		col, err := v.Column(name)
-		if err != nil {
-			return nil, err
-		}
-		joint := make([][]float64, col.Cardinality())
-		for i := range joint {
-			joint[i] = make([]float64, nClasses)
-		}
-		px := make([]float64, col.Cardinality())
+	tables := fillTables(cols, rows, cls, nClasses)
+	out, err := rankEach(len(candidates), func(j int) (Score, error) {
+		// The joint, x, and y marginals are the integer cells of the
+		// candidate's contingency table, so MI reduces to one pass over
+		// it. The counts match a per-candidate sweep exactly.
+		joint := tables[j].Counts
+		px := make([]float64, len(joint))
 		py := make([]float64, nClasses)
-		for i, r := range rows {
-			x := col.Code(r)
-			joint[x][cls[i]]++
-			px[x]++
-			py[cls[i]]++
+		for x, row := range joint {
+			for y, c := range row {
+				px[x] += float64(c)
+				py[y] += float64(c)
+			}
 		}
 		var mi float64
 		for x := range joint {
@@ -143,11 +220,14 @@ func MutualInformation(v *dataview.View, rows dataset.RowSet, classAttr string, 
 				if joint[x][y] == 0 || py[y] == 0 {
 					continue
 				}
-				pxy := joint[x][y] / n
+				pxy := float64(joint[x][y]) / n
 				mi += pxy * math.Log(pxy*n*n/(px[x]*py[y]))
 			}
 		}
-		out = append(out, Score{Attr: name, Stat: mi, PValue: 1})
+		return Score{Attr: candidates[j], Stat: mi, PValue: 1}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortScores(out)
 	return out, nil
@@ -169,7 +249,8 @@ type ReliefFOptions struct {
 // Positive weights mean the attribute separates classes better than
 // chance.
 func ReliefF(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string, opt ReliefFOptions) ([]Score, error) {
-	if err := validateCandidates(v, classAttr, candidates); err != nil {
+	cols, err := resolveCandidates(v, classAttr, candidates)
+	if err != nil {
 		return nil, err
 	}
 	if len(rows) < 2 {
@@ -187,10 +268,6 @@ func ReliefF(v *dataview.View, rows dataset.RowSet, classAttr string, candidates
 	cls, nClasses, err := classCodes(v, rows, classAttr)
 	if err != nil {
 		return nil, err
-	}
-	cols := make([]*dataview.Column, len(candidates))
-	for i, name := range candidates {
-		cols[i], _ = v.Column(name)
 	}
 	// Pre-extract codes: codes[i][a] for row index i, attribute a.
 	codes := make([][]int, len(rows))
