@@ -1,11 +1,19 @@
-// Command serve runs DBExplorer's HTTP interface: a JSON API plus a
-// browser TPFacet page, the deployment shape the paper's own
-// implementation used (§6.1).
+// Command serve runs DBExplorer's HTTP interface: the versioned JSON API
+// (/api/v1/...), a browser TPFacet page, and the /debug/metrics and
+// /debug/vars observability endpoints — the deployment shape the paper's
+// own implementation used (§6.1), grown into a production serving core.
 //
 // Usage:
 //
 //	serve -data usedcars -n 40000 -addr :8080
+//	serve -data usedcars,mushroom -cache 256 -timeout 10s -max-concurrent 8
 //	# then open http://localhost:8080/
+//
+// -data takes a comma-separated list; each entry is a built-in dataset
+// name (usedcars, mushroom, hotels) or a CSV path. The first entry is
+// the default dataset served by the unversioned (deprecated) /api/*
+// aliases and the embedded UI; the rest are reachable under
+// /api/v1/{dataset}/.
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dbexplorer"
@@ -22,38 +31,67 @@ import (
 
 func main() {
 	var (
-		data = flag.String("data", "usedcars", "dataset: usedcars, mushroom, hotels, or a CSV path")
-		name = flag.String("name", "", "table name for CSV data")
-		n    = flag.Int("n", 20000, "row count for synthetic datasets")
-		seed = flag.Int64("seed", 1, "generation and clustering seed")
-		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		data    = flag.String("data", "usedcars", "comma-separated datasets: usedcars, mushroom, hotels, or CSV paths")
+		name    = flag.String("name", "", "table name for CSV data (single-CSV runs only)")
+		n       = flag.Int("n", 20000, "row count for synthetic datasets")
+		seed    = flag.Int64("seed", 1, "generation and clustering seed")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache   = flag.Int("cache", httpapi.DefaultCacheSize, "CAD View cache capacity (0 disables)")
+		timeout = flag.Duration("timeout", httpapi.DefaultRequestTimeout, "per-request deadline (0 disables)")
+		maxConc = flag.Int("max-concurrent", 0, "max concurrent API requests (0 = worker-pool width)")
 	)
 	flag.Parse()
 
-	var table *dbexplorer.Table
-	var err error
-	switch strings.ToLower(*data) {
-	case "usedcars":
-		table = dbexplorer.UsedCars(*n, *seed)
-	case "mushroom":
-		table = dbexplorer.Mushroom(*seed)
-	case "hotels":
-		table = dbexplorer.Hotels(*n, *seed)
-	default:
-		table, err = dbexplorer.ReadCSVFile(*name, *data)
+	srv := httpapi.NewServer(
+		httpapi.WithSeed(*seed),
+		httpapi.WithCacheSize(*cache),
+		httpapi.WithRequestTimeout(*timeout),
+		httpapi.WithMaxConcurrent(*maxConc),
+	)
+	srv.Metrics().PublishExpvar("dbexplorer")
+
+	for _, spec := range strings.Split(*data, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		table, err := loadTable(spec, *name, *n, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		view, err := dataview.New(table, dataview.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Register(table.Name(), view); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registered %-12s %6d tuples  http://%s/api/v1/%s/schema\n",
+			table.Name(), table.NumRows(), *addr, table.Name())
 	}
-	view, err := dataview.New(table, dataview.Options{})
-	if err != nil {
-		fatal(err)
-	}
-	srv := httpapi.NewServer(view, *seed)
-	fmt.Printf("DBExplorer serving %s (%d tuples) on http://%s/\n", table.Name(), table.NumRows(), *addr)
+
+	fmt.Printf("DBExplorer serving on http://%s/  (metrics: http://%s/debug/metrics)\n", *addr, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
+}
+
+// loadTable resolves one -data entry to a table: a built-in generator or
+// a CSV path.
+func loadTable(spec, csvName string, n int, seed int64) (*dbexplorer.Table, error) {
+	switch strings.ToLower(spec) {
+	case "usedcars":
+		return dbexplorer.UsedCars(n, seed), nil
+	case "mushroom":
+		return dbexplorer.Mushroom(seed), nil
+	case "hotels":
+		return dbexplorer.Hotels(n, seed), nil
+	}
+	name := csvName
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(spec), filepath.Ext(spec))
+	}
+	return dbexplorer.ReadCSVFile(name, spec)
 }
 
 func fatal(err error) {

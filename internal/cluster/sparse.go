@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -377,6 +378,14 @@ func (f *sparseFit) reseedEmpty(assign []int32, empty []int) {
 // DESIGN.md for the equivalence argument). With Restarts > 1 the best of
 // several seeded runs (by inertia) is returned.
 func KMeans(sp *SparsePoints, k int, opt Options) (*Result, error) {
+	return KMeansContext(context.Background(), sp, k, opt)
+}
+
+// KMeansContext is KMeans with request-lifecycle support: the fit checks
+// ctx before every Lloyd iteration (and between restarts) and aborts with
+// ctx's error, so a canceled CAD View build stops clustering within one
+// iteration instead of running to convergence.
+func KMeansContext(ctx context.Context, sp *SparsePoints, k int, opt Options) (*Result, error) {
 	if opt.Restarts > 1 {
 		restarts := opt.Restarts
 		opt.Restarts = 1
@@ -384,7 +393,7 @@ func KMeans(sp *SparsePoints, k int, opt Options) (*Result, error) {
 		for r := 0; r < restarts; r++ {
 			run := opt
 			run.Seed = opt.Seed + int64(r)*1_000_003
-			res, err := KMeans(sp, k, run)
+			res, err := KMeansContext(ctx, sp, k, run)
 			if err != nil {
 				return nil, err
 			}
@@ -394,10 +403,10 @@ func KMeans(sp *SparsePoints, k int, opt Options) (*Result, error) {
 		}
 		return best, nil
 	}
-	return kmeansSparseOnce(sp, k, opt)
+	return kmeansSparseOnce(ctx, sp, k, opt)
 }
 
-func kmeansSparseOnce(sp *SparsePoints, k int, opt Options) (*Result, error) {
+func kmeansSparseOnce(ctx context.Context, sp *SparsePoints, k int, opt Options) (*Result, error) {
 	if sp == nil || sp.N == 0 {
 		return nil, fmt.Errorf("cluster: no points")
 	}
@@ -446,6 +455,11 @@ func kmeansSparseOnce(sp *SparsePoints, k int, opt Options) (*Result, error) {
 	counts := make([]int, k)
 	iters := 0
 	for ; iters < opt.MaxIter; iters++ {
+		// Cancellation checkpoint: one Lloyd iteration is the unit of
+		// abortable work in the clustering hot loop.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f.computeCNorm()
 		changed := f.assignGroups(assign)
 		if !changed && iters > 0 {
@@ -488,6 +502,9 @@ func kmeansSparseOnce(sp *SparsePoints, k int, opt Options) (*Result, error) {
 	// Final assignment of every point (covers the sampled-fit path too),
 	// then inertia accumulated in original row order from per-group
 	// denseDist values — bit-identical to the dense kernel's sum.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f.computeCNorm()
 	f.gs, f.n = full, sp.N
 	fullAssign := make([]int32, full.g)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,7 +45,9 @@ type Config struct {
 	Significance float64
 	// Preference scores IUnits for top-k ranking (default ByClusterSize).
 	Preference Preference
-	// Ranker selects Compare Attributes (default featsel.ChiSquare).
+	// Ranker selects Compare Attributes (default
+	// featsel.ChiSquareContext). Rankers receive the build's context and
+	// are expected to honor its cancellation.
 	Ranker featsel.Ranker
 	// Seed makes clustering deterministic.
 	Seed int64
@@ -93,7 +96,7 @@ func (c Config) withDefaults() Config {
 		c.Preference = ByClusterSize
 	}
 	if c.Ranker == nil {
-		c.Ranker = featsel.ChiSquare
+		c.Ranker = featsel.ChiSquareContext
 	}
 	return c
 }
@@ -112,10 +115,37 @@ func (t Timings) Total() time.Duration {
 	return t.CompareSelect + t.Cluster + t.Other
 }
 
+// Stages returns the named stage durations in report order, so metrics
+// layers can export the Figure-8 decomposition without knowing the
+// struct's fields.
+func (t Timings) Stages() []struct {
+	Name string
+	D    time.Duration
+} {
+	return []struct {
+		Name string
+		D    time.Duration
+	}{
+		{"compare_select", t.CompareSelect},
+		{"cluster", t.Cluster},
+		{"other", t.Other},
+	}
+}
+
 // Build constructs a CAD View over the result set rows of v's table
-// (paper Problem 1). It returns the view together with its construction
-// timing decomposition.
+// (paper Problem 1) — BuildContext without cancellation.
 func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings, error) {
+	return BuildContext(context.Background(), v, rows, cfg)
+}
+
+// BuildContext constructs a CAD View over the result set rows of v's
+// table (paper Problem 1). It returns the view together with its
+// construction timing decomposition. The build has cancellation
+// checkpoints in every expensive stage — the feature-selection
+// contingency sweep, each k-means Lloyd iteration, the diversified top-k
+// expansion, and between pivot rows — so when ctx is canceled or its
+// deadline passes the build stops promptly and returns ctx's error.
+func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings, error) {
 	var tm Timings
 	cfg = cfg.withDefaults()
 	if cfg.Pivot == "" {
@@ -145,7 +175,7 @@ func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings
 
 	// Problem 1.1: Compare Attribute selection.
 	start := time.Now()
-	compareAttrs, err := selectCompareAttrs(v, rowsV, cfg)
+	compareAttrs, err := selectCompareAttrs(ctx, v, rowsV, cfg)
 	tm.CompareSelect = time.Since(start)
 	if err != nil {
 		return nil, tm, err
@@ -169,7 +199,7 @@ func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings
 		errs := make([]error, len(pivotValues))
 		times := make([]Timings, len(pivotValues))
 		parallel.Do(len(pivotValues), func(vi int) {
-			errs[vi] = buildPivotRow(v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &times[vi])
+			errs[vi] = buildPivotRow(ctx, v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &times[vi])
 		})
 		for vi := range pivotValues {
 			if errs[vi] != nil {
@@ -180,7 +210,7 @@ func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings
 		}
 	} else {
 		for vi := range pivotValues {
-			if err := buildPivotRow(v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &tm); err != nil {
+			if err := buildPivotRow(ctx, v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &tm); err != nil {
 				return nil, tm, err
 			}
 		}
@@ -191,16 +221,19 @@ func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings
 // buildPivotRow runs Problems 1.2 and 2 for one pivot value: encode,
 // cluster (with the fixed-l or auto-l policy), label, score, and keep
 // the diversified top-k. Timing accumulates into tm.
-func buildPivotRow(v *dataview.View, view *CADView, row *PivotRow, rowsVal dataset.RowSet, cfg Config, valIndex int64, tm *Timings) error {
+func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *PivotRow, rowsVal dataset.RowSet, cfg Config, valIndex int64, tm *Timings) error {
 	if len(rowsVal) == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	startCluster := time.Now()
 	points, _, err := cluster.EncodeSparse(v, rowsVal, view.CompareAttrs)
 	if err != nil {
 		return err
 	}
-	km, err := fitClusters(points, cfg, cfg.Seed+valIndex)
+	km, err := fitClusters(ctx, points, cfg, cfg.Seed+valIndex)
 	tm.Cluster += time.Since(startCluster)
 	if err != nil {
 		return err
@@ -211,7 +244,7 @@ func buildPivotRow(v *dataview.View, view *CADView, row *PivotRow, rowsVal datas
 	if err != nil {
 		return err
 	}
-	kept, err := diversify(candidates, view.Tau, cfg.K, cfg.GreedyTopK)
+	kept, err := diversify(ctx, candidates, view.Tau, cfg.K, cfg.GreedyTopK)
 	if err != nil {
 		return err
 	}
@@ -228,10 +261,10 @@ func buildPivotRow(v *dataview.View, view *CADView, row *PivotRow, rowsVal datas
 // over the plausible l range [K, max(L, 2K+2)]. The sparse kernel's
 // results are bit-identical to the dense kernel's, so the CAD View is
 // unchanged from the dense-path build.
-func fitClusters(points *cluster.SparsePoints, cfg Config, seed int64) (*cluster.Result, error) {
+func fitClusters(ctx context.Context, points *cluster.SparsePoints, cfg Config, seed int64) (*cluster.Result, error) {
 	opts := cluster.Options{Seed: seed, SampleSize: cfg.ClusterSampleSize}
 	if !cfg.AutoL {
-		return cluster.KMeans(points, cfg.L, opts)
+		return cluster.KMeansContext(ctx, points, cfg.L, opts)
 	}
 	hi := 2*cfg.K + 2
 	if cfg.L > hi {
@@ -240,7 +273,7 @@ func fitClusters(points *cluster.SparsePoints, cfg Config, seed int64) (*cluster
 	var best *cluster.Result
 	bestScore := 0.0
 	for l := cfg.K; l <= hi; l++ {
-		km, err := cluster.KMeans(points, l, opts)
+		km, err := cluster.KMeansContext(ctx, points, l, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +343,7 @@ func resolvePivotValues(v *dataview.View, pivotCol *dataview.Column, rows datase
 // selectCompareAttrs applies the paper's Compare Attribute policy:
 // explicitly selected attributes first, then automatically ranked ones
 // that pass the significance threshold, up to MaxCompare total.
-func selectCompareAttrs(v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]string, error) {
+func selectCompareAttrs(ctx context.Context, v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]string, error) {
 	chosen := make([]string, 0, cfg.MaxCompare)
 	seen := map[string]bool{cfg.Pivot: true}
 	for _, attr := range cfg.CompareAttrs {
@@ -346,7 +379,7 @@ func selectCompareAttrs(v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]s
 	if cfg.FeatureSampleSize > 0 && cfg.FeatureSampleSize < len(rankRows) {
 		rankRows = sampleRows(rankRows, cfg.FeatureSampleSize, cfg.Seed)
 	}
-	scores, err := cfg.Ranker(v, rankRows, cfg.Pivot, candidates)
+	scores, err := cfg.Ranker(ctx, v, rankRows, cfg.Pivot, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +468,7 @@ func makeIUnits(v *dataview.View, pivotValue string, rowsVal dataset.RowSet, km 
 
 // diversify runs Problem 2: diversified top-k over the candidate IUnits
 // with Algorithm-1 similarity and threshold tau.
-func diversify(candidates []*IUnit, tau float64, k int, greedy bool) ([]*IUnit, error) {
+func diversify(ctx context.Context, candidates []*IUnit, tau float64, k int, greedy bool) ([]*IUnit, error) {
 	if len(candidates) == 0 {
 		return nil, nil
 	}
@@ -460,11 +493,11 @@ func diversify(candidates []*IUnit, tau float64, k int, greedy bool) ([]*IUnit, 
 	conflicts := topk.NewConflicts(len(candidates), func(i, j int) bool {
 		return sims[i][j] >= tau
 	})
-	selector := topk.Exact
+	selector := topk.Selector(topk.ExactContext)
 	if greedy {
-		selector = topk.Greedy
+		selector = topk.GreedyContext
 	}
-	sel, err := selector(scores, conflicts, k)
+	sel, err := selector(ctx, scores, conflicts, k)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -30,6 +31,26 @@ type Session struct {
 	// Seed drives deterministic clustering for every CAD View the
 	// session builds.
 	Seed int64
+	// timeout, when set, bounds every ExecContext call that arrives
+	// without its own deadline (see WithRequestTimeout).
+	timeout time.Duration
+}
+
+// Option configures a Session at construction; it mirrors the functional
+// options of the HTTP server (package httpapi).
+type Option func(*Session)
+
+// WithSeed sets the deterministic clustering seed for every CAD View the
+// session builds.
+func WithSeed(seed int64) Option {
+	return func(s *Session) { s.Seed = seed }
+}
+
+// WithRequestTimeout bounds each ExecContext statement: when the caller's
+// context has no deadline, the statement runs under this one. A
+// non-positive d disables the default deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Session) { s.timeout = d }
 }
 
 type tableEntry struct {
@@ -41,12 +62,16 @@ type viewEntry struct {
 	view *core.CADView
 }
 
-// NewSession returns an empty session.
-func NewSession() *Session {
-	return &Session{
+// NewSession returns an empty session configured by opts.
+func NewSession(opts ...Option) *Session {
+	s := &Session{
 		tables: make(map[string]*tableEntry),
 		views:  make(map[string]*viewEntry),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Register adds a table under its own name, pre-building its discretized
@@ -167,22 +192,48 @@ type Result struct {
 	Message string
 }
 
-// Exec parses and executes one CADQL statement.
+// Exec parses and executes one CADQL statement — ExecContext without
+// cancellation.
 func (s *Session) Exec(query string) (*Result, error) {
+	return s.ExecContext(context.Background(), query)
+}
+
+// ExecContext parses and executes one CADQL statement under ctx: CAD View
+// builds (CREATE CADVIEW, EXPLAIN) are abortable mid-build and return
+// ctx's error when it is canceled or its deadline passes. When the
+// session has a WithRequestTimeout and ctx carries no deadline, the
+// statement runs under the session default.
+func (s *Session) ExecContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := cadql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.ExecStmtContext(ctx, stmt)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement — ExecStmtContext without
+// cancellation.
 func (s *Session) ExecStmt(stmt cadql.Stmt) (*Result, error) {
+	return s.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext executes a parsed statement under ctx.
+func (s *Session) ExecStmtContext(ctx context.Context, stmt cadql.Stmt) (*Result, error) {
+	if s.timeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch st := stmt.(type) {
 	case *cadql.SelectStmt:
 		return s.execSelect(st)
 	case *cadql.CreateCADViewStmt:
-		return s.execCreateCADView(st)
+		return s.execCreateCADView(ctx, st)
 	case *cadql.HighlightStmt:
 		return s.execHighlight(st)
 	case *cadql.ReorderStmt:
@@ -194,7 +245,7 @@ func (s *Session) ExecStmt(stmt cadql.Stmt) (*Result, error) {
 	case *cadql.DropStmt:
 		return s.execDrop(st)
 	case *cadql.ExplainStmt:
-		return s.execExplain(st)
+		return s.execExplain(ctx, st)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
@@ -370,7 +421,7 @@ func (s *Session) execDescribe(st *cadql.DescribeStmt) (*Result, error) {
 // execExplain analyzes a CREATE CADVIEW without storing it: the result
 // set size, per-pivot-value counts, the full chi-square ranking of
 // candidate Compare Attributes, and the measured build timings.
-func (s *Session) execExplain(st *cadql.ExplainStmt) (*Result, error) {
+func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Result, error) {
 	c := st.Create
 	e, err := s.resolveFrom(c.Tables)
 	if err != nil {
@@ -424,7 +475,7 @@ func (s *Session) execExplain(st *cadql.ExplainStmt) (*Result, error) {
 	}
 
 	// Dry-run build for the chosen set and timings.
-	view, tm, err := core.Build(e.view, rows, core.Config{
+	view, tm, err := core.BuildContext(ctx, e.view, rows, core.Config{
 		Pivot:        c.Pivot,
 		CompareAttrs: c.Compare,
 		MaxCompare:   c.MaxCompare,
@@ -450,7 +501,7 @@ func (s *Session) execDrop(st *cadql.DropStmt) (*Result, error) {
 	return &Result{Kind: KindMessage, Message: fmt.Sprintf("dropped CADVIEW %s", st.View)}, nil
 }
 
-func (s *Session) execCreateCADView(st *cadql.CreateCADViewStmt) (*Result, error) {
+func (s *Session) execCreateCADView(ctx context.Context, st *cadql.CreateCADViewStmt) (*Result, error) {
 	e, err := s.resolveFrom(st.Tables)
 	if err != nil {
 		return nil, err
@@ -484,7 +535,7 @@ func (s *Session) execCreateCADView(st *cadql.CreateCADViewStmt) (*Result, error
 			cfg.Preference = core.ByMeanAscending(key.Attr)
 		}
 	}
-	view, _, err := core.Build(e.view, rows, cfg)
+	view, _, err := core.BuildContext(ctx, e.view, rows, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+const createStmt = `CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM UsedCars IUNITS 2`
+
+func TestExecContextCanceled(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExecContext(ctx, createStmt); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// Cheap statements are gated by the same lifecycle.
+	if _, err := s.ExecContext(ctx, "SELECT * FROM UsedCars LIMIT 1"); !errors.Is(err, context.Canceled) {
+		t.Errorf("select err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecContextExpiredDeadline(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.ExecContext(ctx, createStmt); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	if s := NewSession(WithSeed(42)); s.Seed != 42 {
+		t.Errorf("WithSeed: seed = %d", s.Seed)
+	}
+	// A generous session timeout wraps statements without breaking them;
+	// a caller-provided deadline takes precedence over the default.
+	s := NewSession(WithSeed(1), WithRequestTimeout(time.Hour))
+	if err := s.Register(carsTable(t, 400, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(createStmt); err != nil {
+		t.Errorf("statement under session timeout: %v", err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.ExecContext(ctx, `SHOW CADVIEWS`); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("explicit deadline should win over session default: %v", err)
+	}
+}
+
+func TestExecMatchesExecContext(t *testing.T) {
+	a := newSession(t)
+	b := newSession(t)
+	ra, err := a.Exec(createStmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ExecContext(context.Background(), createStmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderResult(ra, 0) != RenderResult(rb, 0) {
+		t.Error("Exec and ExecContext built different views")
+	}
+}

@@ -6,11 +6,13 @@
 package featsel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
@@ -31,8 +33,10 @@ type Score struct {
 }
 
 // Ranker orders candidate attributes by relevance to a class attribute
-// over a row subset.
-type Ranker func(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error)
+// over a row subset. Rankers are context-aware: long contingency sweeps
+// are expected to honor ctx cancellation (ChiSquareContext and
+// MutualInformationContext are the canonical implementations).
+type Ranker func(ctx context.Context, v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error)
 
 // classCodes extracts the class code of each row, remapped densely so
 // only classes present in rows occupy contingency-table columns.
@@ -83,33 +87,49 @@ const fillWork = 1 << 15
 // computation; small candidate sets rank inline.
 const minConcurrentCandidates = 8
 
+// ctxCheckRows is how many swept rows pass between cancellation checks in
+// a contingency fill chunk.
+const ctxCheckRows = 1 << 14
+
 // fillTables builds one contingency table per candidate column in a
 // single sweep over the rows (instead of one sweep per candidate), with
 // the sweep chunked over the worker pool when it is large. Table cells
 // are integer counts, so the chunk merge is order-independent and the
-// result is identical to a sequential fill.
-func fillTables(cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasses int) []*stats.ContingencyTable {
+// result is identical to a sequential fill. The sweep checks ctx every
+// ctxCheckRows rows — the contingency fill is the Compare-Attribute
+// stage's cancellation checkpoint — and returns ctx's error when done.
+func fillTables(ctx context.Context, cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasses int) ([]*stats.ContingencyTable, error) {
 	tables := make([]*stats.ContingencyTable, len(cols))
 	for j, col := range cols {
 		tables[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
 	}
 	if len(rows)*len(cols) < fillWork {
 		for i, r := range rows {
+			if i%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			c := cls[i]
 			for j, col := range cols {
 				tables[j].Add(col.Code(r), c)
 			}
 		}
-		return tables
+		return tables, nil
 	}
 	minRows := fillWork / len(cols)
 	var mu sync.Mutex
+	var canceled atomic.Bool
 	parallel.ForChunks(len(rows), minRows, func(lo, hi int) {
 		local := make([]*stats.ContingencyTable, len(cols))
 		for j, col := range cols {
 			local[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
 		}
 		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxCheckRows == 0 && ctx.Err() != nil {
+				canceled.Store(true)
+				return
+			}
 			r := rows[i]
 			c := cls[i]
 			for j, col := range cols {
@@ -127,7 +147,10 @@ func fillTables(cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasse
 			}
 		}
 	})
-	return tables
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+	return tables, nil
 }
 
 // rankEach computes out[j] = score(j) for every candidate, concurrently
@@ -153,10 +176,17 @@ func rankEach(n int, score func(j int) (Score, error)) ([]Score, error) {
 }
 
 // ChiSquare ranks candidates by the chi-square statistic of their
+// contingency table against the class attribute, descending —
+// ChiSquareContext without cancellation.
+func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
+	return ChiSquareContext(context.Background(), v, rows, classAttr, candidates)
+}
+
+// ChiSquareContext ranks candidates by the chi-square statistic of their
 // contingency table against the class attribute, descending. PValue
 // carries each attribute's significance so callers can apply the paper's
-// threshold-relevance cut.
-func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
+// threshold-relevance cut. The contingency sweep honors ctx cancellation.
+func ChiSquareContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
 	cols, err := resolveCandidates(v, classAttr, candidates)
 	if err != nil {
 		return nil, err
@@ -168,7 +198,10 @@ func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidat
 	if err != nil {
 		return nil, err
 	}
-	tables := fillTables(cols, rows, cls, nClasses)
+	tables, err := fillTables(ctx, cols, rows, cls, nClasses)
+	if err != nil {
+		return nil, err
+	}
 	out, err := rankEach(len(candidates), func(j int) (Score, error) {
 		res, err := stats.ChiSquare(tables[j])
 		if err != nil {
@@ -183,8 +216,15 @@ func ChiSquare(v *dataview.View, rows dataset.RowSet, classAttr string, candidat
 	return out, nil
 }
 
-// MutualInformation ranks candidates by I(X; class) in nats, descending.
+// MutualInformation ranks candidates by I(X; class) in nats, descending —
+// MutualInformationContext without cancellation.
 func MutualInformation(v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
+	return MutualInformationContext(context.Background(), v, rows, classAttr, candidates)
+}
+
+// MutualInformationContext ranks candidates by I(X; class) in nats,
+// descending. The contingency sweep honors ctx cancellation.
+func MutualInformationContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, classAttr string, candidates []string) ([]Score, error) {
 	cols, err := resolveCandidates(v, classAttr, candidates)
 	if err != nil {
 		return nil, err
@@ -197,7 +237,10 @@ func MutualInformation(v *dataview.View, rows dataset.RowSet, classAttr string, 
 		return nil, err
 	}
 	n := float64(len(rows))
-	tables := fillTables(cols, rows, cls, nClasses)
+	tables, err := fillTables(ctx, cols, rows, cls, nClasses)
+	if err != nil {
+		return nil, err
+	}
 	out, err := rankEach(len(candidates), func(j int) (Score, error) {
 		// The joint, x, and y marginals are the integer cells of the
 		// candidate's contingency table, so MI reduces to one pass over

@@ -1,6 +1,7 @@
 package featsel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -143,20 +144,21 @@ func TestReliefFRanking(t *testing.T) {
 
 func TestRankerErrors(t *testing.T) {
 	v, rows := syntheticView(t, 50, 5)
+	ctx := context.Background()
 	for name, r := range map[string]Ranker{
-		"ChiSquare":         ChiSquare,
-		"MutualInformation": MutualInformation,
+		"ChiSquare":         ChiSquareContext,
+		"MutualInformation": MutualInformationContext,
 	} {
-		if _, err := r(v, rows, "Class", []string{"Nope"}); err == nil {
+		if _, err := r(ctx, v, rows, "Class", []string{"Nope"}); err == nil {
 			t.Errorf("%s: unknown candidate, want error", name)
 		}
-		if _, err := r(v, rows, "Nope", []string{"Strong"}); err == nil {
+		if _, err := r(ctx, v, rows, "Nope", []string{"Strong"}); err == nil {
 			t.Errorf("%s: unknown class, want error", name)
 		}
-		if _, err := r(v, rows, "Class", []string{"Class"}); err == nil {
+		if _, err := r(ctx, v, rows, "Class", []string{"Class"}); err == nil {
 			t.Errorf("%s: class as candidate, want error", name)
 		}
-		if _, err := r(v, nil, "Class", []string{"Strong"}); err == nil {
+		if _, err := r(ctx, v, nil, "Class", []string{"Strong"}); err == nil {
 			t.Errorf("%s: empty rows, want error", name)
 		}
 	}

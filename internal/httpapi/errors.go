@@ -1,0 +1,67 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the v1 JSON error envelope. Clients switch on Code, not
+// on the human-readable message.
+const (
+	CodeBadRequest = "bad_request" // malformed body, unknown attribute/value, invalid config
+	CodeNotFound   = "not_found"   // unknown dataset, CAD view id, or route
+	CodeOverloaded = "overloaded"  // admission gate full for the whole request budget
+	CodeTimeout    = "timeout"     // request deadline exceeded mid-build
+	CodeCanceled   = "canceled"    // client went away mid-build
+	CodeInternal   = "internal"    // unexpected server-side failure
+)
+
+// ErrorBody is the typed JSON error envelope every non-2xx API response
+// carries: {"error": {"code": "...", "message": "..."}}.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError pairs an HTTP status with the envelope to send.
+type apiError struct {
+	status int
+	body   ErrorBody
+}
+
+func (e *apiError) Error() string { return e.body.Message }
+
+func errBadRequest(err error) *apiError {
+	return &apiError{http.StatusBadRequest, ErrorBody{CodeBadRequest, err.Error()}}
+}
+
+func errNotFound(format string, args ...any) *apiError {
+	return &apiError{http.StatusNotFound, ErrorBody{CodeNotFound, fmt.Sprintf(format, args...)}}
+}
+
+func errOverloaded(err error) *apiError {
+	return &apiError{http.StatusServiceUnavailable, ErrorBody{CodeOverloaded,
+		fmt.Sprintf("server at concurrency limit: %v", err)}}
+}
+
+// errFromBuild classifies an error out of the build path: context errors
+// become timeout/canceled, everything else is a caller mistake (the
+// builder validates its inputs) and maps to bad_request.
+func errFromBuild(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{http.StatusGatewayTimeout, ErrorBody{CodeTimeout, err.Error()}}
+	case errors.Is(err, context.Canceled):
+		// 499 is the de-facto "client closed request" status; the client
+		// is usually gone, but the envelope keeps logs and tests honest.
+		return &apiError{499, ErrorBody{CodeCanceled, err.Error()}}
+	default:
+		return errBadRequest(err)
+	}
+}
+
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, map[string]ErrorBody{"error": e.body})
+}

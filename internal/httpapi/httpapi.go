@@ -2,57 +2,307 @@
 // implementation worked (§6.1: queries come from the faceted interface,
 // the backend computes the CAD View and similarity scores, and "the
 // resulting CAD View and similarity information" return as HTML and
-// JavaScript). The API is JSON; a small embedded web page provides the
-// TPFacet interaction model in a browser. cmd/serve wires it to a
-// dataset.
+// JavaScript) — grown into a production serving core.
+//
+// The v1 API is versioned and dataset-scoped:
+//
+//	GET  /api/v1/datasets
+//	GET  /api/v1/{dataset}/schema
+//	POST /api/v1/{dataset}/query
+//	POST /api/v1/{dataset}/cad
+//	POST /api/v1/{dataset}/highlight
+//	POST /api/v1/{dataset}/reorder
+//
+// with a typed JSON error envelope ({"error": {"code", "message"}}) on
+// every failure. The original unversioned /api/* routes remain as
+// deprecated aliases onto the default (first-registered) dataset.
+//
+// Every request gets a lifecycle: a deadline (WithRequestTimeout), a slot
+// on a bounded admission gate (WithMaxConcurrent), and a context that is
+// plumbed through the whole build path — cancelling the request aborts
+// feature selection, k-means, and top-k at their checkpoints. Built CAD
+// Views are cached in an LRU (WithCacheSize) keyed by a canonical
+// (dataset, filters, pivot, config) fingerprint, with in-flight
+// duplicate-request coalescing and invalidation on dataset
+// re-registration. Counters, latency histograms, build-stage timings, and
+// cache hit/miss rates are exported at /debug/metrics (JSON) and via
+// expvar at /debug/vars.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"dbexplorer/internal/core"
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
 	"dbexplorer/internal/facet"
+	"dbexplorer/internal/metrics"
+	"dbexplorer/internal/parallel"
+	"dbexplorer/internal/viewcache"
 )
 
-// Server serves one dataset. CAD Views built through the API are cached
-// under ids so highlight/reorder can reference them.
+// Defaults for the functional options.
+const (
+	DefaultCacheSize      = 128
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Server serves one or more registered datasets. CAD Views built through
+// the API are kept under ids so highlight/reorder can reference them, and
+// whole builds are cached by request fingerprint.
 type Server struct {
+	seed    int64
+	timeout time.Duration
+
+	gate  *parallel.Gate
+	cache *viewcache.Cache[*builtView]
+	cads  *viewcache.Cache[*storedCAD]
+
+	flightMu sync.Mutex
+	flights  map[viewcache.Key]*flight
+
+	reg        *metrics.Registry
+	inflight   *metrics.Gauge
+	errCount   *metrics.Counter
+	rejected   *metrics.Counter
+	cacheHits  *metrics.Counter
+	cacheMiss  *metrics.Counter
+	coalesced  *metrics.Counter
+	buildTotal *metrics.Histogram
+
+	mu       sync.RWMutex
+	datasets map[string]*datasetEntry
+	order    []string // registration order; order[0] is the default
+	nextID   int
+}
+
+// datasetEntry is one registered dataset: its discretized view and full
+// row set.
+type datasetEntry struct {
+	name string
 	view *dataview.View
 	base dataset.RowSet
-	seed int64
-
-	mu     sync.Mutex
-	nextID int
-	cads   map[string]*core.CADView
 }
 
-// NewServer creates a server over the full table.
-func NewServer(v *dataview.View, seed int64) *Server {
-	return &Server{
+// builtView is one cached CAD View build: the view, its stage timings,
+// and the base text rendering (Render ignores the per-request name, so
+// the text is shared verbatim across cache hits).
+type builtView struct {
+	view *core.CADView
+	tm   core.Timings
+	text string
+}
+
+// storedCAD is one interactive CAD View held under an id for
+// highlight/reorder follow-ups.
+type storedCAD struct {
+	dataset string
+	view    *core.CADView
+}
+
+// flight is one in-progress build shared by identical concurrent
+// requests.
+type flight struct {
+	done chan struct{}
+	bv   *builtView
+	err  error
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithSeed sets the deterministic clustering seed used for every build.
+func WithSeed(seed int64) Option {
+	return func(s *Server) { s.seed = seed }
+}
+
+// WithCacheSize bounds the built-CAD-View LRU (default DefaultCacheSize;
+// <= 0 disables caching).
+func WithCacheSize(n int) Option {
+	return func(s *Server) { s.cache = viewcache.New[*builtView](n) }
+}
+
+// WithRequestTimeout sets the per-request deadline (default
+// DefaultRequestTimeout; <= 0 disables it).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithMaxConcurrent bounds how many API requests run concurrently
+// (default: the worker-pool width, parallel.Workers()). Excess requests
+// queue until a slot frees or their deadline passes.
+func WithMaxConcurrent(n int) Option {
+	return func(s *Server) { s.gate = parallel.NewGate(n) }
+}
+
+// NewServer creates an empty server; add data with Register. The zero
+// configuration serves with DefaultCacheSize, DefaultRequestTimeout, and
+// a parallel.Workers()-wide admission gate.
+func NewServer(opts ...Option) *Server {
+	s := &Server{
+		timeout:  DefaultRequestTimeout,
+		datasets: make(map[string]*datasetEntry),
+		flights:  make(map[viewcache.Key]*flight),
+		reg:      metrics.NewRegistry(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.cache == nil {
+		s.cache = viewcache.New[*builtView](DefaultCacheSize)
+	}
+	if s.gate == nil {
+		s.gate = parallel.NewGate(0)
+	}
+	// Interactive views outlive the build cache: highlight/reorder ids
+	// stay valid for at least as many sessions as cached builds.
+	n := 4 * s.cache.Cap()
+	if n < 256 {
+		n = 256
+	}
+	s.cads = viewcache.New[*storedCAD](n)
+
+	s.inflight = s.reg.Gauge("inflight_requests")
+	s.errCount = s.reg.Counter("errors_total")
+	s.rejected = s.reg.Counter("rejected_total")
+	s.cacheHits = s.reg.Counter("cad_cache_hits")
+	s.cacheMiss = s.reg.Counter("cad_cache_misses")
+	s.coalesced = s.reg.Counter("cad_build_coalesced")
+	s.buildTotal = s.reg.Histogram("build_total_seconds", metrics.DefBuckets())
+	return s
+}
+
+// Metrics returns the server's metrics registry, for embedding or
+// expvar publication (Registry.PublishExpvar).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Register adds (or replaces) a dataset under the given name. The full
+// table is the base result set. The first registered dataset becomes the
+// default one served by the deprecated unversioned routes and the
+// embedded UI. Re-registering a name replaces its data and invalidates
+// every cached CAD View built from it.
+func (s *Server) Register(name string, v *dataview.View) error {
+	if name == "" {
+		return fmt.Errorf("httpapi: empty dataset name")
+	}
+	if v == nil {
+		return fmt.Errorf("httpapi: nil view for dataset %q", name)
+	}
+	e := &datasetEntry{
+		name: name,
 		view: v,
 		base: dataset.AllRows(v.Table().NumRows()),
-		seed: seed,
-		cads: make(map[string]*core.CADView),
 	}
+	s.mu.Lock()
+	if _, exists := s.datasets[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.datasets[name] = e
+	s.reg.Gauge("datasets_registered").Set(int64(len(s.order)))
+	s.mu.Unlock()
+	// Dropped entries only matter for observability; the count lands in
+	// the metrics registry.
+	s.reg.Counter("cache_invalidations_total").Add(int64(s.cache.InvalidateScope(name)))
+	return nil
 }
 
-// Handler returns the HTTP handler: the JSON API under /api/ and the
-// embedded UI at /.
+// dataset resolves a name ("" = default) to its registered entry.
+func (s *Server) dataset(name string) (*datasetEntry, *apiError) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.order) == 0 {
+			return nil, errNotFound("no datasets registered")
+		}
+		name = s.order[0]
+	}
+	e, ok := s.datasets[name]
+	if !ok {
+		return nil, errNotFound("unknown dataset %q", name)
+	}
+	return e, nil
+}
+
+// Handler returns the HTTP handler: the versioned JSON API under
+// /api/v1/, the deprecated unversioned aliases under /api/, debug
+// endpoints, and the embedded UI at /.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/schema", s.handleSchema)
-	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/cad", s.handleCAD)
-	mux.HandleFunc("POST /api/highlight", s.handleHighlight)
-	mux.HandleFunc("POST /api/reorder", s.handleReorder)
+	mux.HandleFunc("GET /api/v1/datasets", s.api("datasets", s.handleDatasets))
+	mux.HandleFunc("GET /api/v1/{dataset}/schema", s.api("schema", s.handleSchema))
+	mux.HandleFunc("POST /api/v1/{dataset}/query", s.api("query", s.handleQuery))
+	mux.HandleFunc("POST /api/v1/{dataset}/cad", s.api("cad", s.handleCAD))
+	mux.HandleFunc("POST /api/v1/{dataset}/highlight", s.api("highlight", s.handleHighlight))
+	mux.HandleFunc("POST /api/v1/{dataset}/reorder", s.api("reorder", s.handleReorder))
+
+	// Deprecated unversioned aliases: same handlers, default dataset.
+	mux.HandleFunc("GET /api/schema", s.api("schema", s.handleSchema))
+	mux.HandleFunc("POST /api/query", s.api("query", s.handleQuery))
+	mux.HandleFunc("POST /api/cad", s.api("cad", s.handleCAD))
+	mux.HandleFunc("POST /api/highlight", s.api("highlight", s.handleHighlight))
+	mux.HandleFunc("POST /api/reorder", s.api("reorder", s.handleReorder))
+
+	mux.Handle("GET /debug/metrics", s.reg)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
+}
+
+// handlerFunc is one API endpoint running inside a request lifecycle.
+type handlerFunc func(ctx context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError
+
+// api wraps an endpoint with the request lifecycle: per-route counters
+// and latency histogram, in-flight gauge, dataset resolution, request
+// deadline, and an admission-gate slot held for the handler's duration.
+func (s *Server) api(route string, h handlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("requests_" + route + "_total")
+	lat := s.reg.Histogram("latency_"+route+"_seconds", metrics.DefBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		defer func() { lat.ObserveDuration(time.Since(start)) }()
+
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		apiErr := func() *apiError {
+			ds, apiErr := s.dataset(r.PathValue("dataset"))
+			if apiErr != nil && route != "datasets" {
+				// The datasets listing is the one endpoint that works on an
+				// empty server; everything else needs a resolved dataset.
+				return apiErr
+			}
+			// Fast path first: an uncontended request with an
+			// already-expired deadline should fail in the build path as a
+			// timeout, not masquerade as overload. Only a genuinely full
+			// gate reaches the blocking Acquire.
+			if !s.gate.TryAcquire() {
+				if err := s.gate.Acquire(ctx); err != nil {
+					s.rejected.Inc()
+					return errOverloaded(err)
+				}
+			}
+			defer s.gate.Release()
+			return h(ctx, ds, w, r)
+		}()
+		if apiErr != nil {
+			s.errCount.Inc()
+			writeAPIError(w, apiErr)
+		}
+	}
 }
 
 // Filter is one attribute's selected values (facet semantics: values of
@@ -60,6 +310,57 @@ func (s *Server) Handler() http.Handler {
 type Filter struct {
 	Attr   string   `json:"attr"`
 	Values []string `json:"values"`
+}
+
+// canonicalFilters returns a copy of filters with attributes and values
+// sorted, so two requests selecting the same predicate in different
+// orders share one cache fingerprint.
+func canonicalFilters(filters []Filter) []Filter {
+	out := make([]Filter, len(filters))
+	for i, f := range filters {
+		vals := append([]string(nil), f.Values...)
+		sort.Strings(vals)
+		out[i] = Filter{Attr: f.Attr, Values: vals}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// session builds a facet session over the dataset with the request's
+// filters applied.
+func (e *datasetEntry) session(filters []Filter) (*facet.Session, error) {
+	sess := facet.NewSession(e.view, e.base)
+	for _, f := range filters {
+		for _, val := range f.Values {
+			if err := sess.Select(f.Attr, val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sess, nil
+}
+
+func (s *Server) handleDatasets(_ context.Context, _ *datasetEntry, w http.ResponseWriter, _ *http.Request) *apiError {
+	s.mu.RLock()
+	type info struct {
+		Name    string `json:"name"`
+		Table   string `json:"table"`
+		Rows    int    `json:"rows"`
+		Default bool   `json:"default"`
+	}
+	out := make([]info, 0, len(s.order))
+	for i, name := range s.order {
+		e := s.datasets[name]
+		out = append(out, info{
+			Name:    name,
+			Table:   e.view.Table().Name(),
+			Rows:    e.view.Table().NumRows(),
+			Default: i == 0,
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+	return nil
 }
 
 // schemaAttr describes one attribute to the UI.
@@ -70,10 +371,10 @@ type schemaAttr struct {
 	Values    []string `json:"values"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
-	schema := s.view.Table().Schema()
+func (s *Server) handleSchema(_ context.Context, ds *datasetEntry, w http.ResponseWriter, _ *http.Request) *apiError {
+	schema := ds.view.Table().Schema()
 	out := make([]schemaAttr, 0, len(schema))
-	for _, col := range s.view.Columns() {
+	for _, col := range ds.view.Columns() {
 		a := schemaAttr{
 			Name:      col.Attr,
 			Kind:      schema[col.Col].Kind.String(),
@@ -85,25 +386,26 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		out = append(out, a)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"table": s.view.Table().Name(),
-		"rows":  s.view.Table().NumRows(),
-		"attrs": out,
+		"dataset": ds.name,
+		"table":   ds.view.Table().Name(),
+		"rows":    ds.view.Table().NumRows(),
+		"attrs":   out,
 	})
+	return nil
 }
 
 type queryRequest struct {
 	Filters []Filter `json:"filters"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(_ context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError {
 	var req queryRequest
-	if !decode(w, r, &req) {
-		return
+	if apiErr := decode(r, &req); apiErr != nil {
+		return apiErr
 	}
-	sess, err := s.session(req.Filters)
+	sess, err := ds.session(req.Filters)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errBadRequest(err)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":  sess.Count(),
@@ -111,6 +413,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"panel":  sess.PanelDigest(),
 		"phase":  (&facet.TPFacet{Session: sess}).SuggestPhase(0).String(),
 	})
+	return nil
 }
 
 type cadRequest struct {
@@ -120,37 +423,163 @@ type cadRequest struct {
 	CompareAttrs []string `json:"compareAttrs,omitempty"`
 	K            int      `json:"k,omitempty"`
 	MaxCompare   int      `json:"maxCompare,omitempty"`
+	AutoL        bool     `json:"autoL,omitempty"`
 }
 
-func (s *Server) handleCAD(w http.ResponseWriter, r *http.Request) {
-	var req cadRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	sess, err := s.session(req.Filters)
+// fingerprint canonically keys a CAD request: dataset scope plus a hash
+// of the normalized filters and every config field that affects the
+// build.
+func (s *Server) fingerprint(ds *datasetEntry, req *cadRequest) (viewcache.Key, error) {
+	fp, err := viewcache.Fingerprint(
+		canonicalFilters(req.Filters),
+		req.Pivot,
+		req.PivotValues,
+		req.CompareAttrs,
+		req.K,
+		req.MaxCompare,
+		req.AutoL,
+		s.seed,
+	)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
-	view, _, err := core.Build(s.view, sess.Rows(), core.Config{
+	return viewcache.NewKey(ds.name, fp), nil
+}
+
+func (s *Server) handleCAD(ctx context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError {
+	var req cadRequest
+	if apiErr := decode(r, &req); apiErr != nil {
+		return apiErr
+	}
+	key, err := s.fingerprint(ds, &req)
+	if err != nil {
+		return errBadRequest(err)
+	}
+	bv, cached, err := s.buildCAD(ctx, ds, key, &req)
+	if err != nil {
+		return errFromBuild(err)
+	}
+	id := s.storeCAD(ds, bv.view)
+	// The cached view is shared across requests; give each response its
+	// own id without mutating the shared struct.
+	out := *bv.view
+	out.Name = id
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"view":    &out,
+		"text":    bv.text,
+		"cached":  cached,
+		"buildMs": float64(bv.tm.Total().Microseconds()) / 1e3,
+		"timings": timingsJSON(bv.tm),
+	})
+	return nil
+}
+
+func timingsJSON(tm core.Timings) map[string]float64 {
+	out := make(map[string]float64, 3)
+	for _, st := range tm.Stages() {
+		out[st.Name+"Ms"] = float64(st.D.Microseconds()) / 1e3
+	}
+	return out
+}
+
+// buildCAD returns the CAD View for the request — from the LRU cache, by
+// joining an identical in-flight build, or by building it under ctx. The
+// bool reports whether the result came from cache or coalescing.
+func (s *Server) buildCAD(ctx context.Context, ds *datasetEntry, key viewcache.Key, req *cadRequest) (*builtView, bool, error) {
+	for {
+		if bv, ok := s.cache.Get(key); ok {
+			s.cacheHits.Inc()
+			return bv, true, nil
+		}
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				s.coalesced.Inc()
+				return f.bv, true, nil
+			}
+			if fe := errFromBuild(f.err); fe.body.Code == CodeBadRequest {
+				// Deterministic failure — identical input fails for us too.
+				return nil, false, f.err
+			}
+			// The leader was canceled or timed out; retry, possibly
+			// becoming the new leader, unless we are done ourselves.
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		s.cacheMiss.Inc()
+		f.bv, f.err = s.coldBuild(ctx, ds, req)
+
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		s.cache.Put(key, f.bv)
+		return f.bv, false, nil
+	}
+}
+
+// coldBuild runs one full CAD View construction and records its stage
+// timings in the metrics registry.
+func (s *Server) coldBuild(ctx context.Context, ds *datasetEntry, req *cadRequest) (*builtView, error) {
+	sess, err := ds.session(req.Filters)
+	if err != nil {
+		return nil, err
+	}
+	view, tm, err := core.BuildContext(ctx, ds.view, sess.Rows(), core.Config{
 		Pivot:        req.Pivot,
 		PivotValues:  req.PivotValues,
 		CompareAttrs: req.CompareAttrs,
 		K:            req.K,
 		MaxCompare:   req.MaxCompare,
+		AutoL:        req.AutoL,
 		Seed:         s.seed,
+		Parallel:     true,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
+	for _, st := range tm.Stages() {
+		s.reg.Histogram("build_"+st.Name+"_seconds", metrics.DefBuckets()).ObserveDuration(st.D)
+	}
+	s.buildTotal.ObserveDuration(tm.Total())
+	return &builtView{view: view, tm: tm, text: core.Render(view, nil)}, nil
+}
+
+// storeCAD registers an interactive view under a fresh id.
+func (s *Server) storeCAD(ds *datasetEntry, view *core.CADView) string {
 	s.mu.Lock()
 	s.nextID++
 	id := "cad-" + strconv.Itoa(s.nextID)
-	view.Name = id
-	s.cads[id] = view
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "view": view, "text": core.Render(view, nil)})
+	s.cads.Put(viewcache.Key(id), &storedCAD{dataset: ds.name, view: view})
+	return id
+}
+
+// cadByID returns an interactive view, checking it belongs to the
+// request's dataset so v1 clients cannot cross dataset scopes.
+func (s *Server) cadByID(ds *datasetEntry, id string) (*storedCAD, *apiError) {
+	sc, ok := s.cads.Get(viewcache.Key(id))
+	if !ok || sc.dataset != ds.name {
+		return nil, errNotFound("unknown CAD view %q", id)
+	}
+	return sc, nil
 }
 
 type highlightRequest struct {
@@ -160,26 +589,25 @@ type highlightRequest struct {
 	Tau        float64 `json:"tau,omitempty"`
 }
 
-func (s *Server) handleHighlight(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHighlight(_ context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError {
 	var req highlightRequest
-	if !decode(w, r, &req) {
-		return
+	if apiErr := decode(r, &req); apiErr != nil {
+		return apiErr
 	}
-	view, ok := s.cachedView(req.ID)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown CAD view %q", req.ID))
-		return
+	sc, apiErr := s.cadByID(ds, req.ID)
+	if apiErr != nil {
+		return apiErr
 	}
 	tau := req.Tau
 	if tau == 0 {
-		tau = view.Tau
+		tau = sc.view.Tau
 	}
-	h, err := core.HighlightSimilar(view, req.PivotValue, req.Rank, tau)
+	h, err := core.HighlightSimilar(sc.view, req.PivotValue, req.Rank, tau)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errBadRequest(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"highlight": h, "text": core.Render(view, h)})
+	writeJSON(w, http.StatusOK, map[string]any{"highlight": h, "text": core.Render(sc.view, h)})
+	return nil
 }
 
 type reorderRequest struct {
@@ -187,60 +615,36 @@ type reorderRequest struct {
 	PivotValue string `json:"pivotValue"`
 }
 
-func (s *Server) handleReorder(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReorder(_ context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError {
 	var req reorderRequest
-	if !decode(w, r, &req) {
-		return
+	if apiErr := decode(r, &req); apiErr != nil {
+		return apiErr
 	}
-	view, ok := s.cachedView(req.ID)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown CAD view %q", req.ID))
-		return
+	sc, apiErr := s.cadByID(ds, req.ID)
+	if apiErr != nil {
+		return apiErr
 	}
-	reordered, sims, err := core.ReorderRows(view, req.PivotValue)
+	reordered, sims, err := core.ReorderRows(sc.view, req.PivotValue)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errBadRequest(err)
 	}
-	s.mu.Lock()
 	reordered.Name = req.ID
-	s.cads[req.ID] = reordered
-	s.mu.Unlock()
+	s.cads.Put(viewcache.Key(req.ID), &storedCAD{dataset: ds.name, view: reordered})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"view":         reordered,
 		"similarities": sims,
 		"text":         core.Render(reordered, nil),
 	})
+	return nil
 }
 
-func (s *Server) cachedView(id string) (*core.CADView, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.cads[id]
-	return v, ok
-}
-
-// session builds a facet session with the request's filters applied.
-func (s *Server) session(filters []Filter) (*facet.Session, error) {
-	sess := facet.NewSession(s.view, s.base)
-	for _, f := range filters {
-		for _, val := range f.Values {
-			if err := sess.Select(f.Attr, val); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return sess, nil
-}
-
-func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+func decode(r *http.Request, into any) *apiError {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return false
+		return errBadRequest(fmt.Errorf("bad request body: %w", err))
 	}
-	return true
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -251,8 +655,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		// error path.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,264 @@
+// Package metrics is the serving core's stdlib-only instrumentation
+// layer: monotonic counters and fixed-bucket latency histograms collected
+// in a Registry, exported as a JSON snapshot (the /debug/metrics
+// endpoint) and optionally through the standard expvar registry
+// (/debug/vars). Everything is safe for concurrent use and allocation
+// free on the hot Observe/Inc paths.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d (d must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is an instantaneous int64 level (e.g. in-flight requests).
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the level by d (may be negative).
+func (g *Gauge) Add(d int64) { g.n.Add(d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// Histogram counts observations into fixed upper-bound buckets, tracking
+// the total count and sum, Prometheus-style: bucket i counts observations
+// <= Bounds[i]; one implicit overflow bucket catches the rest.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []int64
+	count   int64
+	sum     float64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]int64, len(b)+1)}
+}
+
+// DefBuckets are latency bounds in seconds covering 100µs .. ~100s, the
+// span between a cache hit and a worst-case 40K-row cold build.
+func DefBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 100,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+	Buckets []struct {
+		LE    float64 `json:"le"`
+		Count int64   `json:"count"`
+	} `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram state, with quantiles estimated from the
+// bucket upper bounds (an overflow observation reports the last bound).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		le := 0.0
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		} else if len(h.bounds) > 0 {
+			le = h.bounds[len(h.bounds)-1] * 10
+		}
+		s.Buckets = append(s.Buckets, struct {
+			LE    float64 `json:"le"`
+			Count int64   `json:"count"`
+		}{le, n})
+	}
+	return s
+}
+
+// quantileLocked returns the upper bound of the bucket holding the q-th
+// observation. Callers hold h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var acc int64
+	for i, n := range h.buckets {
+		acc += n
+		if acc >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Names are get-or-create, so independent components can share one
+// registry without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls reuse the existing bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a JSON-encodable copy of every instrument.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(counters)+len(gauges)+len(hists))
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, g := range gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range hists {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// ServeHTTP writes the snapshot as indented JSON — mount it at
+// /debug/metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's snapshot under the given expvar
+// name (visible at /debug/vars). Republishing the same name — e.g. two
+// servers in one process — is a no-op because expvar forbids duplicates.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

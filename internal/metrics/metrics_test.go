@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Error("Counter not get-or-create")
+	}
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge after set = %d", g.Value())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // bucket <= 0.01
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // bucket <= 0.1
+	}
+	h.Observe(5) // overflow
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50 != 0.01 || s.P95 != 0.1 {
+		t.Errorf("p50 = %g, p95 = %g", s.P50, s.P95)
+	}
+	if s.Mean <= 0 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Snapshot().Count != 101 {
+		t.Error("ObserveDuration not recorded")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram(DefBuckets()).Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(2)
+	r.Gauge("level").Set(-1)
+	r.Histogram("lat", DefBuckets()).Observe(0.02)
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	var reqs int64
+	if err := json.Unmarshal(snap["reqs"], &reqs); err != nil || reqs != 2 {
+		t.Errorf("reqs = %d (%v)", reqs, err)
+	}
+	var lat struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(snap["lat"], &lat); err != nil || lat.Count != 1 {
+		t.Errorf("lat = %+v (%v)", lat, err)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	// expvar.Publish panics on duplicates; the guarded wrapper must not,
+	// even across registries sharing a name (two servers, one process).
+	r.PublishExpvar("metrics-test-idempotent")
+	r.PublishExpvar("metrics-test-idempotent")
+	NewRegistry().PublishExpvar("metrics-test-idempotent")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("n").Inc()
+				r.Histogram("h", DefBuckets()).Observe(0.001)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 4000 {
+		t.Errorf("counter = %d", got)
+	}
+}

@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+)
+
+// Gate is a bounded admission semaphore for request-shaped work: at most
+// n holders at a time, with context-aware waiting. It layers on the same
+// philosophy as the worker helpers — concurrency is bounded up front so
+// load spikes queue instead of oversubscribing the CPU-heavy build path.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders. A
+// non-positive n falls back to Workers().
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = Workers()
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot frees up or ctx is done, in which case it
+// returns ctx's error without holding a slot.
+func (g *Gate) Acquire(ctx context.Context) error {
+	// An already-expired context is refused even when slots are free —
+	// select would otherwise pick a winner at random.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic(fmt.Sprintf("parallel: Gate.Release without Acquire (capacity %d)", cap(g.slots)))
+	}
+}
+
+// InUse returns the number of currently held slots.
+func (g *Gate) InUse() int { return len(g.slots) }
+
+// Capacity returns the admission bound.
+func (g *Gate) Capacity() int { return cap(g.slots) }

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateCapacityAndTryAcquire(t *testing.T) {
+	g := NewGate(2)
+	if g.Capacity() != 2 || g.InUse() != 0 {
+		t.Fatalf("capacity = %d, inUse = %d", g.Capacity(), g.InUse())
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("free slots refused")
+	}
+	if g.TryAcquire() {
+		t.Fatal("full gate handed out a slot")
+	}
+	if g.InUse() != 2 {
+		t.Fatalf("inUse = %d", g.InUse())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+	g.Release()
+	g.Release()
+}
+
+func TestGateDefaultCapacity(t *testing.T) {
+	if got := NewGate(0).Capacity(); got != Workers() {
+		t.Errorf("default capacity = %d, want Workers() = %d", got, Workers())
+	}
+	if got := NewGate(-3).Capacity(); got != Workers() {
+		t.Errorf("negative capacity = %d, want Workers() = %d", got, Workers())
+	}
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+
+	// Expired budget while the gate is full: shed, not queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("full gate + canceled ctx: err = %v", err)
+	}
+
+	// An expired context is refused even when a slot is free.
+	g2 := NewGate(1)
+	if err := g2.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("free gate + canceled ctx: err = %v", err)
+	}
+	if g2.InUse() != 0 {
+		t.Errorf("refused acquire consumed a slot")
+	}
+}
+
+func TestGateAcquireUnblocksOnRelease(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- g.Acquire(context.Background()) }()
+	g.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not unblocked by Release")
+	}
+	g.Release()
+}
+
+func TestGateUnbalancedReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without Acquire should panic")
+		}
+	}()
+	NewGate(1).Release()
+}

@@ -1,0 +1,40 @@
+package topk
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSelectorsCanceled(t *testing.T) {
+	scores := []float64{5, 4, 3, 2, 1}
+	conflicts := NewConflicts(len(scores), func(i, j int) bool { return false })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, sel := range map[string]Selector{"exact": ExactContext, "greedy": GreedyContext} {
+		if _, err := sel(ctx, scores, conflicts, 3); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestContextVariantsMatchPlain(t *testing.T) {
+	scores := []float64{9, 7, 7, 5, 3, 1}
+	conflicts := NewConflicts(len(scores), func(i, j int) bool { return i+j == 5 })
+	plain, err := Exact(scores, conflicts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := ExactContext(context.Background(), scores, conflicts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(withCtx) {
+		t.Fatalf("lengths differ: %v vs %v", plain, withCtx)
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("selection differs: %v vs %v", plain, withCtx)
+		}
+	}
+}

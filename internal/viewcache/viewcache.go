@@ -1,0 +1,136 @@
+// Package viewcache provides the serving core's result cache: a
+// fixed-capacity LRU keyed by canonical request fingerprints, plus the
+// fingerprinting helper itself. Exploratory sessions repeat and refine
+// the same queries (the paper's §5/§6.1 workload), so identical CAD View
+// requests hit the cache instead of rebuilding.
+//
+// Keys are strings of the form "<scope>\x00<fingerprint>"; InvalidateScope
+// drops every entry of one scope, which is how dataset re-registration
+// evicts that dataset's views without touching the others.
+package viewcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// scopeSep separates the scope prefix from the fingerprint in cache keys.
+const scopeSep = "\x00"
+
+// Key addresses one cache entry.
+type Key string
+
+// NewKey builds a cache key from a scope (e.g. the dataset name) and a
+// fingerprint of everything else that determines the result.
+func NewKey(scope, fingerprint string) Key {
+	return Key(scope + scopeSep + fingerprint)
+}
+
+// Fingerprint canonically hashes its parts: each part is JSON-encoded
+// (deterministic for maps too — encoding/json sorts object keys) and the
+// concatenation is SHA-256 hashed. Callers must canonicalize
+// order-insensitive inputs (e.g. sort filter values) before fingerprinting.
+func Fingerprint(parts ...any) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for i, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("viewcache: fingerprint part %d: %w", i, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Cache is a thread-safe fixed-capacity LRU.
+type Cache[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *entry[V]
+	m   map[Key]*list.Element
+}
+
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+// New returns an LRU holding at most capacity entries. A capacity <= 0
+// disables the cache: Put is a no-op and Get always misses.
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{cap: capacity, ll: list.New(), m: make(map[Key]*list.Element)}
+}
+
+// Cap returns the configured capacity.
+func (c *Cache[V]) Cap() int { return c.cap }
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k, evicting the least recently
+// used entry when over capacity.
+func (c *Cache[V]) Put(k Key, v V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*entry[V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*entry[V]).key)
+	}
+}
+
+// InvalidateScope removes every entry whose key was built with NewKey on
+// the given scope, returning how many were dropped.
+func (c *Cache[V]) InvalidateScope(scope string) int {
+	prefix := Key(scope + scopeSep)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry[V])
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Clear empties the cache.
+func (c *Cache[V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+}

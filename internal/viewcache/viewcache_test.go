@@ -1,0 +1,109 @@
+package viewcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	a1, err := Fingerprint([]string{"x", "y"}, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Fingerprint([]string{"x", "y"}, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("same parts, different fingerprints: %s vs %s", a1, a2)
+	}
+	for i, parts := range [][]any{
+		{[]string{"x", "z"}, 3, true}, // value change
+		{[]string{"x", "y"}, 4, true}, // scalar change
+		{[]string{"x", "y"}, 3},       // arity change
+	} {
+		b, err := Fingerprint(parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == a1 {
+			t.Errorf("variant %d collides with the original", i)
+		}
+	}
+	if _, err := Fingerprint(func() {}); err == nil {
+		t.Error("unencodable part: want error")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New[int](2)
+	c.Put(NewKey("s", "a"), 1)
+	c.Put(NewKey("s", "b"), 2)
+	// Touch "a" so "b" is the eviction victim.
+	if v, ok := c.Get(NewKey("s", "a")); !ok || v != 1 {
+		t.Fatalf("get a = %d, %v", v, ok)
+	}
+	c.Put(NewKey("s", "c"), 3)
+	if _, ok := c.Get(NewKey("s", "b")); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(NewKey("s", k)); !ok {
+			t.Errorf("entry %q evicted out of order", k)
+		}
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Errorf("len = %d, cap = %d", c.Len(), c.Cap())
+	}
+	// Replacing an existing key must not grow the cache.
+	c.Put(NewKey("s", "a"), 10)
+	if v, _ := c.Get(NewKey("s", "a")); v != 10 || c.Len() != 2 {
+		t.Errorf("replace: v = %d, len = %d", v, c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := New[string](0)
+	c.Put(NewKey("s", "a"), "x")
+	if _, ok := c.Get(NewKey("s", "a")); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+func TestInvalidateScope(t *testing.T) {
+	c := New[int](10)
+	for i := 0; i < 3; i++ {
+		c.Put(NewKey("cars", fmt.Sprintf("f%d", i)), i)
+	}
+	c.Put(NewKey("hotels", "f0"), 99)
+	// A dataset named like a prefix of another must not be swept along.
+	c.Put(NewKey("car", "f0"), 7)
+
+	if n := c.InvalidateScope("cars"); n != 3 {
+		t.Errorf("dropped %d entries, want 3", n)
+	}
+	if _, ok := c.Get(NewKey("cars", "f1")); ok {
+		t.Error("invalidated entry still cached")
+	}
+	if v, ok := c.Get(NewKey("hotels", "f0")); !ok || v != 99 {
+		t.Error("other scope was invalidated")
+	}
+	if v, ok := c.Get(NewKey("car", "f0")); !ok || v != 7 {
+		t.Error("prefix-named scope was invalidated")
+	}
+	if n := c.InvalidateScope("cars"); n != 0 {
+		t.Errorf("second invalidation dropped %d", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[int](4)
+	c.Put(NewKey("s", "a"), 1)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("len after clear = %d", c.Len())
+	}
+	if _, ok := c.Get(NewKey("s", "a")); ok {
+		t.Error("cleared entry still retrievable")
+	}
+}
