@@ -1,0 +1,184 @@
+package dataset
+
+import "math/bits"
+
+// Bitmap is a fixed-universe row set: bit i is set when row i belongs to
+// the set. It is the vectorized counterpart of RowSet — set algebra runs
+// word-wise over packed uint64s (64 rows per operation) instead of
+// row-at-a-time merges, which is what makes compiled predicate
+// evaluation and cached facet filter stacks scale with words, not rows.
+//
+// A Bitmap is created for a universe of n rows ({0, ..., n-1}) and all
+// binary operations require both operands to share that universe; mixing
+// universes is a programming error and panics. Conversion to and from
+// RowSet is lossless: both representations are canonical (a row is
+// either in or out), so FromRowSet followed by ToRowSet returns the
+// original sorted unique rows.
+type Bitmap struct {
+	words []uint64
+	n     int // universe size in bits
+}
+
+// NewBitmap returns an empty bitmap over the universe {0, ..., n-1}.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		panic("dataset: negative bitmap universe")
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FullBitmap returns the bitmap with every row of the universe set.
+func FullBitmap(n int) *Bitmap {
+	b := NewBitmap(n)
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clearTail()
+	return b
+}
+
+// FromRowSet packs a sorted unique row set over universe n into a bitmap.
+func FromRowSet(n int, rows RowSet) *Bitmap {
+	b := NewBitmap(n)
+	for _, r := range rows {
+		b.Add(r)
+	}
+	return b
+}
+
+// clearTail zeroes the bits past the universe end in the last word, so
+// complement and popcount never see phantom rows.
+func (b *Bitmap) clearTail() {
+	if rem := b.n % 64; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (uint64(1) << rem) - 1
+	}
+}
+
+// Universe returns the universe size n the bitmap was created for.
+func (b *Bitmap) Universe() int { return b.n }
+
+// Add sets row i.
+func (b *Bitmap) Add(i int) {
+	if i < 0 || i >= b.n {
+		panic("dataset: bitmap row out of universe")
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Contains reports whether row i is set. Rows outside the universe are
+// never members.
+func (b *Bitmap) Contains(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Len returns the set cardinality (population count over all words).
+func (b *Bitmap) Len() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Clone returns a copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	return &Bitmap{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// sameUniverse panics unless o shares b's universe.
+func (b *Bitmap) sameUniverse(o *Bitmap) {
+	if b.n != o.n {
+		panic("dataset: bitmap universe mismatch")
+	}
+}
+
+// And returns the intersection b ∩ o as a new bitmap.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	b.sameUniverse(o)
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i, w := range b.words {
+		out.words[i] = w & o.words[i]
+	}
+	return out
+}
+
+// AndWith intersects o into b in place and returns b, for folding long
+// filter stacks without one allocation per step.
+func (b *Bitmap) AndWith(o *Bitmap) *Bitmap {
+	b.sameUniverse(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return b
+}
+
+// Or returns the union b ∪ o as a new bitmap.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	b.sameUniverse(o)
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i, w := range b.words {
+		out.words[i] = w | o.words[i]
+	}
+	return out
+}
+
+// OrWith unions o into b in place and returns b.
+func (b *Bitmap) OrWith(o *Bitmap) *Bitmap {
+	b.sameUniverse(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return b
+}
+
+// AndNot returns the difference b \ o as a new bitmap.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	b.sameUniverse(o)
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i, w := range b.words {
+		out.words[i] = w &^ o.words[i]
+	}
+	return out
+}
+
+// Not returns the complement of b within its universe.
+func (b *Bitmap) Not() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i, w := range b.words {
+		out.words[i] = ^w
+	}
+	out.clearTail()
+	return out
+}
+
+// AndLen returns |b ∩ o| without materializing the intersection — the
+// facet digest's per-code counting primitive.
+func (b *Bitmap) AndLen(o *Bitmap) int {
+	b.sameUniverse(o)
+	total := 0
+	for i, w := range b.words {
+		total += bits.OnesCount64(w & o.words[i])
+	}
+	return total
+}
+
+// ForEach calls fn for every set row in ascending order.
+func (b *Bitmap) ForEach(fn func(row int)) {
+	for i, w := range b.words {
+		base := i << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// ToRowSet unpacks the bitmap into a sorted unique RowSet.
+func (b *Bitmap) ToRowSet() RowSet {
+	out := make(RowSet, 0, b.Len())
+	b.ForEach(func(row int) { out = append(out, row) })
+	return out
+}

@@ -166,6 +166,9 @@ type Table struct {
 	cats   []*CatColumn // indexed by column position; nil for numeric
 	nums   []*NumColumn // indexed by column position; nil for categorical
 	n      int
+
+	idxMu sync.Mutex
+	idx   *Index // lazily built posting index; see Table.Index
 }
 
 // NewTable creates an empty table with the given schema.

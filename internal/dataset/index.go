@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Index is a lazily built secondary index over one snapshot of a Table:
+// per-code posting bitmaps for categorical columns and a value-sorted row
+// order for numeric columns. Compiled predicates (package expr) resolve
+// equality and membership tests to precomputed bitmaps and range tests to
+// two binary searches, so WHERE evaluation costs bitmap words instead of
+// rows.
+//
+// The index is keyed to the row count at creation: Table.Index returns a
+// fresh Index after appends, and an Index never observes rows added after
+// it was created. Individual columns index on first use, so tables whose
+// queries only ever touch a few attributes never pay for the rest. All
+// methods are safe for concurrent use.
+type Index struct {
+	t *Table
+	n int // row count this index snapshot covers
+
+	mu    sync.Mutex
+	cat   [][]*Bitmap // per column: posting bitmap per dictionary code
+	order [][]int32   // per numeric column: rows ascending by value, NaNs last
+	valid []int       // per numeric column: count of non-NaN rows in order
+}
+
+// Build counters for instrumentation (httpapi mirrors them into its
+// metrics registry): how many per-column posting sets and sorted orders
+// have been constructed process-wide.
+var (
+	catPostingBuilds atomic.Int64
+	numOrderBuilds   atomic.Int64
+)
+
+// IndexStats reports the process-wide number of categorical posting-set
+// builds and numeric sorted-order builds performed so far.
+func IndexStats() (catBuilds, orderBuilds int64) {
+	return catPostingBuilds.Load(), numOrderBuilds.Load()
+}
+
+// Index returns the table's posting index for its current row count,
+// creating an empty one on first use and replacing a stale one after
+// appends. Column postings inside the index build lazily.
+func (t *Table) Index() *Index {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.idx == nil || t.idx.n != t.n {
+		t.idx = &Index{
+			t:     t,
+			n:     t.n,
+			cat:   make([][]*Bitmap, len(t.schema)),
+			order: make([][]int32, len(t.schema)),
+			valid: make([]int, len(t.schema)),
+		}
+	}
+	return t.idx
+}
+
+// Rows returns the universe size (table rows) this index covers.
+func (ix *Index) Rows() int { return ix.n }
+
+// CatPostings returns one posting bitmap per dictionary code of the
+// categorical column at col (nil for numeric columns), building them on
+// first use with a single pass over the column.
+func (ix *Index) CatPostings(col int) []*Bitmap {
+	c := ix.t.cats[col]
+	if c == nil {
+		return nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.cat[col] == nil {
+		postings := make([]*Bitmap, c.Cardinality())
+		for code := range postings {
+			postings[code] = NewBitmap(ix.n)
+		}
+		for row, code := range c.codes[:ix.n] {
+			postings[code].Add(row)
+		}
+		ix.cat[col] = postings
+		catPostingBuilds.Add(1)
+	}
+	return ix.cat[col]
+}
+
+// CatEq returns the rows whose categorical column equals the dictionary
+// code. Codes outside the dictionary (CodeOf misses report -1) yield the
+// empty set.
+func (ix *Index) CatEq(col int, code int32) *Bitmap {
+	postings := ix.CatPostings(col)
+	if code < 0 || int(code) >= len(postings) {
+		return NewBitmap(ix.n)
+	}
+	return postings[code]
+}
+
+// numOrder returns the value-sorted row order of the numeric column at
+// col and the count of leading non-NaN entries, building both on first
+// use. NaN values sort after every real value so range searches operate
+// on the valid prefix only.
+func (ix *Index) numOrder(col int) ([]int32, int) {
+	c := ix.t.nums[col]
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.order[col] == nil {
+		vals := c.vals[:ix.n]
+		order := make([]int32, 0, ix.n)
+		var nans []int32
+		for row, v := range vals {
+			if math.IsNaN(v) {
+				nans = append(nans, int32(row))
+			} else {
+				order = append(order, int32(row))
+			}
+		}
+		valid := len(order)
+		sort.Slice(order, func(i, j int) bool {
+			vi, vj := vals[order[i]], vals[order[j]]
+			if vi != vj {
+				return vi < vj
+			}
+			return order[i] < order[j]
+		})
+		order = append(order, nans...)
+		ix.order[col] = order
+		ix.valid[col] = valid
+		numOrderBuilds.Add(1)
+	}
+	return ix.order[col], ix.valid[col]
+}
+
+// rangeBitmap packs order[lo:hi] into a bitmap.
+func (ix *Index) rangeBitmap(order []int32, lo, hi int) *Bitmap {
+	b := NewBitmap(ix.n)
+	for _, row := range order[lo:hi] {
+		b.Add(int(row))
+	}
+	return b
+}
+
+// NumRange returns the rows whose numeric column lies in [lo, hi], both
+// ends inclusive (SQL BETWEEN). NaN cells never match.
+func (ix *Index) NumRange(col int, lo, hi float64) *Bitmap {
+	order, valid := ix.numOrder(col)
+	vals := ix.t.nums[col].vals
+	from := sort.Search(valid, func(i int) bool { return vals[order[i]] >= lo })
+	to := sort.Search(valid, func(i int) bool { return vals[order[i]] > hi })
+	if from >= to {
+		return NewBitmap(ix.n)
+	}
+	return ix.rangeBitmap(order, from, to)
+}
+
+// NumCmpRange translates a numeric comparison against constant c into a
+// bitmap. eq selects the rows equal to c; the remaining operators select
+// the sorted prefix or suffix bounded by c. The caller composes Ne as the
+// complement of the eq set, which — like the scalar evaluator — treats
+// NaN cells as unequal to every constant.
+func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *Bitmap {
+	order, valid := ix.numOrder(col)
+	vals := ix.t.nums[col].vals
+	var from, to int
+	switch {
+	case below: // v < c, or v <= c with includeEq
+		from = 0
+		if includeEq {
+			to = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
+		} else {
+			to = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
+		}
+	case above: // v > c, or v >= c with includeEq
+		to = valid
+		if includeEq {
+			from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
+		} else {
+			from = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
+		}
+	default: // v == c
+		from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
+		to = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
+	}
+	if from >= to {
+		return NewBitmap(ix.n)
+	}
+	return ix.rangeBitmap(order, from, to)
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func indexTestTable(t *testing.T, n int, seed int64) *Table {
+	t.Helper()
+	tbl := NewTable("idx", Schema{
+		{Name: "Make", Kind: Categorical, Queriable: true},
+		{Name: "Price", Kind: Numeric, Queriable: true},
+	})
+	rng := rand.New(rand.NewSource(seed))
+	makes := []string{"Ford", "Jeep", "Toyota", "Honda"}
+	for i := 0; i < n; i++ {
+		// Duplicated prices exercise the equal-run boundaries of the
+		// sorted-order binary searches.
+		tbl.MustAppendRow(makes[rng.Intn(len(makes))], float64(rng.Intn(20))*1000)
+	}
+	return tbl
+}
+
+func TestIndexCatPostingsMatchScan(t *testing.T) {
+	tbl := indexTestTable(t, 500, 1)
+	ix := tbl.Index()
+	cat := tbl.Cat(0)
+	postings := ix.CatPostings(0)
+	if len(postings) != cat.Cardinality() {
+		t.Fatalf("got %d postings for %d codes", len(postings), cat.Cardinality())
+	}
+	for code := range postings {
+		var want RowSet
+		for r := 0; r < tbl.NumRows(); r++ {
+			if cat.Code(r) == int32(code) {
+				want = append(want, r)
+			}
+		}
+		if got := postings[code].ToRowSet(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("posting[%d] = %v, want %v", code, got, want)
+		}
+	}
+	// Absent codes select nothing.
+	if got := ix.CatEq(0, -1).Len(); got != 0 {
+		t.Fatalf("CatEq(-1) selected %d rows", got)
+	}
+	if ix.CatPostings(1) != nil {
+		t.Fatal("numeric column returned categorical postings")
+	}
+}
+
+func TestIndexNumRangesMatchScan(t *testing.T) {
+	tbl := indexTestTable(t, 500, 2)
+	ix := tbl.Index()
+	num := tbl.Num(1)
+	for _, c := range []float64{-1, 0, 5000, 7500, 19000, 50000} {
+		type variant struct {
+			name             string
+			eq, below, above bool
+			keep             func(v float64) bool
+		}
+		for _, tc := range []variant{
+			{"eq", false, false, false, func(v float64) bool { return v == c }},
+			{"lt", false, true, false, func(v float64) bool { return v < c }},
+			{"le", true, true, false, func(v float64) bool { return v <= c }},
+			{"gt", false, false, true, func(v float64) bool { return v > c }},
+			{"ge", true, false, true, func(v float64) bool { return v >= c }},
+		} {
+			var want RowSet
+			for r := 0; r < tbl.NumRows(); r++ {
+				if tc.keep(num.Value(r)) {
+					want = append(want, r)
+				}
+			}
+			got := ix.NumCmpRange(1, c, tc.eq, tc.below, tc.above).ToRowSet()
+			if len(want) == 0 {
+				want = RowSet{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s %g: got %d rows, want %d", tc.name, c, len(got), len(want))
+			}
+		}
+		// BETWEEN [c, c+6000].
+		var want RowSet
+		for r := 0; r < tbl.NumRows(); r++ {
+			if v := num.Value(r); v >= c && v <= c+6000 {
+				want = append(want, r)
+			}
+		}
+		if len(want) == 0 {
+			want = RowSet{}
+		}
+		if got := ix.NumRange(1, c, c+6000).ToRowSet(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("between [%g,%g]: got %d rows, want %d", c, c+6000, len(got), len(want))
+		}
+	}
+}
+
+// TestIndexNaNValues: NaN cells never match a range and sort after every
+// real value, so prefix/suffix selections exclude them.
+func TestIndexNaNValues(t *testing.T) {
+	tbl := NewTable("nan", Schema{{Name: "X", Kind: Numeric, Queriable: true}})
+	vals := []float64{3, math.NaN(), 1, math.NaN(), 2}
+	for _, v := range vals {
+		tbl.MustAppendRow(v)
+	}
+	ix := tbl.Index()
+	if got := ix.NumCmpRange(0, 2, true, true, false).ToRowSet(); !reflect.DeepEqual(got, RowSet{2, 4}) {
+		t.Fatalf("le 2 with NaNs: %v", got)
+	}
+	if got := ix.NumCmpRange(0, 0, false, false, true).ToRowSet(); !reflect.DeepEqual(got, RowSet{0, 2, 4}) {
+		t.Fatalf("gt 0 with NaNs: %v", got)
+	}
+	// Ne composes as the complement of Eq, which keeps NaN rows — the
+	// scalar semantics of v != c.
+	ne := ix.NumCmpRange(0, 2, false, false, false).Not()
+	if got := ne.ToRowSet(); !reflect.DeepEqual(got, RowSet{0, 1, 2, 3}) {
+		t.Fatalf("ne 2 with NaNs: %v", got)
+	}
+}
+
+// TestIndexInvalidatedByAppend: the index snapshot is keyed to the row
+// count, so appends yield a fresh index covering the new rows.
+func TestIndexInvalidatedByAppend(t *testing.T) {
+	tbl := NewTable("grow", Schema{{Name: "Make", Kind: Categorical, Queriable: true}})
+	tbl.MustAppendRow("Ford")
+	ix1 := tbl.Index()
+	if got := ix1.CatEq(0, 0).Len(); got != 1 {
+		t.Fatalf("initial posting len %d", got)
+	}
+	tbl.MustAppendRow("Ford")
+	ix2 := tbl.Index()
+	if ix1 == ix2 {
+		t.Fatal("Index() returned a stale snapshot after append")
+	}
+	if got := ix2.CatEq(0, 0).Len(); got != 2 {
+		t.Fatalf("refreshed posting len %d, want 2", got)
+	}
+	if got, want := ix2.Rows(), 2; got != want {
+		t.Fatalf("Rows() = %d, want %d", got, want)
+	}
+}

@@ -10,6 +10,8 @@ package dataview
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/histogram"
@@ -33,6 +35,47 @@ type Column struct {
 	cat    *dataset.CatColumn
 	num    *dataset.NumColumn
 	hist   *histogram.Histogram
+
+	postOnce sync.Once
+	postings []*dataset.Bitmap // per view code; see Postings
+}
+
+// postingBuilds counts per-column posting-set constructions process-wide
+// (mirrored into the serving metrics registry).
+var postingBuilds atomic.Int64
+
+// PostingStats reports how many view-level posting sets have been built.
+func PostingStats() int64 { return postingBuilds.Load() }
+
+// Postings returns one full-table posting bitmap per view code: bitmap
+// b[code] holds exactly the rows with Code(row) == code. The set is
+// built once per column on first use — one pass over the column, binning
+// numeric values through the histogram exactly as Code does — and is
+// what lets facet filter stacks and digest counting run as bitmap
+// algebra instead of per-row code lookups. Callers must treat the
+// bitmaps as read-only. Safe for concurrent use.
+func (c *Column) Postings() []*dataset.Bitmap {
+	c.postOnce.Do(func() {
+		n := c.rows()
+		postings := make([]*dataset.Bitmap, c.Cardinality())
+		for code := range postings {
+			postings[code] = dataset.NewBitmap(n)
+		}
+		for row := 0; row < n; row++ {
+			postings[c.Code(row)].Add(row)
+		}
+		c.postings = postings
+		postingBuilds.Add(1)
+	})
+	return c.postings
+}
+
+// rows returns the number of table rows backing the column.
+func (c *Column) rows() int {
+	if c.cat != nil {
+		return c.cat.Len()
+	}
+	return c.num.Len()
 }
 
 // Cardinality returns the number of distinct codes.

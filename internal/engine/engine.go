@@ -298,7 +298,14 @@ func (s *Session) execSelect(st *cadql.SelectStmt) (*Result, error) {
 			return nil, fmt.Errorf("engine: table %q has no column %q", e.table.Name(), c)
 		}
 	}
-	rows, err := expr.Select(e.table, dataset.AllRows(e.table.NumRows()), st.Where)
+	// Compile once per statement: names bind to column indices, string
+	// constants to dictionary codes, and the WHERE clause evaluates as
+	// bitmap algebra over the table's posting index.
+	comp, err := expr.Compile(e.table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := comp.Select(dataset.AllRows(e.table.NumRows()))
 	if err != nil {
 		return nil, err
 	}
@@ -427,12 +434,22 @@ func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	rows, err := expr.Select(e.table, dataset.AllRows(e.table.NumRows()), c.Where)
+	comp, err := expr.Compile(e.table, c.Where)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := comp.Select(dataset.AllRows(e.table.NumRows()))
 	if err != nil {
 		return nil, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXPLAIN CADVIEW %s on %s\n", c.Name, e.table.Name())
+	plan := "vectorized (posting bitmaps)"
+	if !comp.Vectorized() {
+		plan = "interpreted (row scan)"
+	}
+	fmt.Fprintf(&b, "where: %s, selectivity %.4f\n", plan,
+		float64(len(rows))/float64(e.table.NumRows()))
 	fmt.Fprintf(&b, "result set: %d of %d tuples\n", len(rows), e.table.NumRows())
 	if len(rows) == 0 {
 		return &Result{Kind: KindMessage, Message: b.String()}, nil
@@ -510,7 +527,11 @@ func (s *Session) execCreateCADView(ctx context.Context, st *cadql.CreateCADView
 	if _, ok := s.views[key]; ok {
 		return nil, fmt.Errorf("engine: CADVIEW %q already exists", st.Name)
 	}
-	rows, err := expr.Select(e.table, dataset.AllRows(e.table.NumRows()), st.Where)
+	comp, err := expr.Compile(e.table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := comp.Select(dataset.AllRows(e.table.NumRows()))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,216 @@
+// Vectorized predicate evaluation: Compile binds an expression to a
+// table once per query — attribute names to column indices, categorical
+// constants to dictionary codes — and evaluates it as word-wise bitmap
+// algebra over the table's posting index (dataset.Index). Leaves resolve
+// to precomputed posting bitmaps (categorical equality, IN) or two
+// binary searches over a value-sorted row order (numeric comparisons,
+// BETWEEN); AND/OR/NOT combine whole words at a time. The interpreted
+// row-at-a-time path remains as the fallback for expression types this
+// package does not know, and equivalence tests pin the two paths to
+// bit-identical results.
+package expr
+
+import (
+	"fmt"
+
+	"dbexplorer/internal/dataset"
+)
+
+// Compiled is a predicate validated against and bound to one table,
+// ready to evaluate over row sets. A nil expression compiles to
+// "select everything".
+type Compiled struct {
+	t          *dataset.Table
+	e          Expr
+	vectorized bool
+}
+
+// Compile validates e against t and prepares the evaluation plan:
+// expressions built purely from this package's node types run
+// vectorized; anything else keeps the interpreted row loop. Validation
+// errors are exactly those of the interpreted path.
+func Compile(t *dataset.Table, e Expr) (*Compiled, error) {
+	if e != nil {
+		if err := e.Validate(t); err != nil {
+			return nil, err
+		}
+	}
+	return &Compiled{t: t, e: e, vectorized: e == nil || vectorizable(e)}, nil
+}
+
+// Vectorized reports whether evaluation runs on the bitmap path.
+func (c *Compiled) Vectorized() bool { return c.vectorized }
+
+// vectorizable reports whether every node of the tree maps onto bitmap
+// algebra. Comparison operators outside the known range are left to the
+// interpreter so its per-row error surfaces unchanged.
+func vectorizable(e Expr) bool {
+	switch n := e.(type) {
+	case *Cmp:
+		return n.Op >= Eq && n.Op <= Ge
+	case *Between, *In:
+		return true
+	case *And:
+		for _, k := range n.Kids {
+			if !vectorizable(k) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, k := range n.Kids {
+			if !vectorizable(k) {
+				return false
+			}
+		}
+		return true
+	case *Not:
+		return vectorizable(n.Kid)
+	default:
+		return false
+	}
+}
+
+// Bitmap evaluates the predicate over the whole table and returns the
+// matching row set as a bitmap. The result must be treated read-only: a
+// leaf evaluation may return a posting bitmap shared with the table's
+// index.
+func (c *Compiled) Bitmap() (*dataset.Bitmap, error) {
+	ix := c.t.Index()
+	if c.e == nil {
+		return dataset.FullBitmap(ix.Rows()), nil
+	}
+	if !c.vectorized {
+		rows, err := selectScan(c.t, dataset.AllRows(c.t.NumRows()), c.e)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.FromRowSet(c.t.NumRows(), rows), nil
+	}
+	return c.evalBitmap(ix, c.e)
+}
+
+// Select returns the rows of the input set satisfying the predicate, in
+// input order — exactly what the interpreted row loop returns.
+func (c *Compiled) Select(rows dataset.RowSet) (dataset.RowSet, error) {
+	if c.e == nil {
+		return rows.Clone(), nil
+	}
+	if !c.vectorized {
+		return selectScan(c.t, rows, c.e)
+	}
+	bm, err := c.evalBitmap(c.t.Index(), c.e)
+	if err != nil {
+		return nil, err
+	}
+	// The full-table row set (sorted unique, so length n means all of
+	// {0..n-1}) unpacks straight from the bitmap; subsets keep their own
+	// order and filter through bit tests.
+	if len(rows) == bm.Universe() {
+		return bm.ToRowSet(), nil
+	}
+	out := make(dataset.RowSet, 0, len(rows))
+	for _, r := range rows {
+		if bm.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// evalBitmap recursively lowers the expression to bitmap algebra.
+// Results may alias index posting bitmaps and must not be mutated;
+// combining nodes always allocate fresh bitmaps.
+func (c *Compiled) evalBitmap(ix *dataset.Index, e Expr) (*dataset.Bitmap, error) {
+	switch n := e.(type) {
+	case *Cmp:
+		b, err := n.bindTo(c.t)
+		if err != nil {
+			return nil, err
+		}
+		if b.cat != nil {
+			eq := ix.CatEq(b.col, b.code)
+			if n.Op == Eq {
+				return eq, nil
+			}
+			return eq.Not(), nil
+		}
+		switch n.Op {
+		case Eq:
+			return ix.NumCmpRange(b.col, n.Num, true, false, false), nil
+		case Ne:
+			// NaN cells fall outside the Eq range, so the complement
+			// includes them — matching the scalar v != c.
+			return ix.NumCmpRange(b.col, n.Num, true, false, false).Not(), nil
+		case Lt:
+			return ix.NumCmpRange(b.col, n.Num, false, true, false), nil
+		case Le:
+			return ix.NumCmpRange(b.col, n.Num, true, true, false), nil
+		case Gt:
+			return ix.NumCmpRange(b.col, n.Num, false, false, true), nil
+		case Ge:
+			return ix.NumCmpRange(b.col, n.Num, true, false, true), nil
+		}
+		return nil, fmt.Errorf("expr: bad operator %d", int(n.Op))
+	case *Between:
+		bs, err := n.bindTo(c.t)
+		if err != nil {
+			return nil, err
+		}
+		return ix.NumRange(bs.col, n.Lo, n.Hi), nil
+	case *In:
+		b, err := n.bindTo(c.t)
+		if err != nil {
+			return nil, err
+		}
+		out := dataset.NewBitmap(ix.Rows())
+		for code, ok := range b.member {
+			if ok {
+				out.OrWith(ix.CatEq(b.col, int32(code)))
+			}
+		}
+		return out, nil
+	case *And:
+		if len(n.Kids) == 0 {
+			// The interpreter's empty conjunction is vacuously true.
+			return dataset.FullBitmap(ix.Rows()), nil
+		}
+		acc, err := c.evalBitmap(ix, n.Kids[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range n.Kids[1:] {
+			kb, err := c.evalBitmap(ix, k)
+			if err != nil {
+				return nil, err
+			}
+			acc = acc.And(kb)
+		}
+		return acc, nil
+	case *Or:
+		if len(n.Kids) == 0 {
+			// The interpreter's empty disjunction is vacuously false.
+			return dataset.NewBitmap(ix.Rows()), nil
+		}
+		acc, err := c.evalBitmap(ix, n.Kids[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range n.Kids[1:] {
+			kb, err := c.evalBitmap(ix, k)
+			if err != nil {
+				return nil, err
+			}
+			acc = acc.Or(kb)
+		}
+		return acc, nil
+	case *Not:
+		kb, err := c.evalBitmap(ix, n.Kid)
+		if err != nil {
+			return nil, err
+		}
+		return kb.Not(), nil
+	default:
+		return nil, fmt.Errorf("expr: %T is not vectorizable", e)
+	}
+}

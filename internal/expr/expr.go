@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"dbexplorer/internal/dataset"
 )
@@ -24,14 +25,35 @@ type Expr interface {
 }
 
 // Select evaluates e over the given rows and returns those that satisfy
-// it. A nil expression selects every row.
+// it. A nil expression selects every row. Predicates built from the
+// node types of this package compile to bitmap algebra over the table's
+// posting index (see Compile); anything else falls back to the
+// row-at-a-time interpreter. Both paths return identical row sets.
 func Select(t *dataset.Table, rows dataset.RowSet, e Expr) (dataset.RowSet, error) {
+	c, err := Compile(t, e)
+	if err != nil {
+		return nil, err
+	}
+	return c.Select(rows)
+}
+
+// SelectInterpreted is the row-at-a-time reference evaluator: it walks
+// the expression tree once per row through interface dispatch. Select
+// produces exactly the same row sets through the compiled path;
+// equivalence tests and benchmarks pin the two together.
+func SelectInterpreted(t *dataset.Table, rows dataset.RowSet, e Expr) (dataset.RowSet, error) {
 	if e == nil {
 		return rows.Clone(), nil
 	}
 	if err := e.Validate(t); err != nil {
 		return nil, err
 	}
+	return selectScan(t, rows, e)
+}
+
+// selectScan runs the interpreted row loop over an already-validated
+// expression.
+func selectScan(t *dataset.Table, rows dataset.RowSet, e Expr) (dataset.RowSet, error) {
 	out := make(dataset.RowSet, 0, len(rows))
 	for _, r := range rows {
 		ok, err := e.Eval(t, r)
@@ -86,15 +108,54 @@ type Cmp struct {
 	Op   CmpOp
 	Str  string  // constant for categorical attributes
 	Num  float64 // constant for numeric attributes
+
+	bind atomic.Pointer[cmpBind] // per-table binding cache; see bindTo
+}
+
+// cmpBind is a Cmp resolved against one table: the column located once
+// and the categorical constant interned to its dictionary code, so Eval
+// compares int32 codes instead of re-scanning the schema and comparing
+// strings on every row.
+type cmpBind struct {
+	t       *dataset.Table
+	col     int
+	cat     *dataset.CatColumn // nil for numeric columns
+	num     *dataset.NumColumn // nil for categorical columns
+	code    int32              // dictionary code of Str; -1 when absent
+	dictLen int                // dictionary size at bind time
+}
+
+// bindTo returns the cached binding for t, resolving it on first use and
+// refreshing it when the target changed or the dictionary grew (a code
+// absent at bind time may exist after appends).
+func (c *Cmp) bindTo(t *dataset.Table) (*cmpBind, error) {
+	if b := c.bind.Load(); b != nil && b.t == t &&
+		(b.cat == nil || b.dictLen == b.cat.Cardinality()) {
+		return b, nil
+	}
+	i := t.ColIndex(c.Attr)
+	if i < 0 {
+		return nil, fmt.Errorf("expr: unknown attribute %q", c.Attr)
+	}
+	b := &cmpBind{t: t, col: i}
+	if cat := t.Cat(i); cat != nil {
+		b.cat = cat
+		b.code = cat.CodeOf(c.Str)
+		b.dictLen = cat.Cardinality()
+	} else {
+		b.num = t.Num(i)
+	}
+	c.bind.Store(b)
+	return b, nil
 }
 
 // Validate implements Expr.
 func (c *Cmp) Validate(t *dataset.Table) error {
-	i := t.ColIndex(c.Attr)
-	if i < 0 {
-		return fmt.Errorf("expr: unknown attribute %q", c.Attr)
+	b, err := c.bindTo(t)
+	if err != nil {
+		return err
 	}
-	if t.Schema()[i].Kind == dataset.Categorical {
+	if b.cat != nil {
 		if c.Op != Eq && c.Op != Ne {
 			return fmt.Errorf("expr: operator %s not valid for categorical attribute %q", c.Op, c.Attr)
 		}
@@ -110,18 +171,18 @@ func (c *Cmp) Validate(t *dataset.Table) error {
 
 // Eval implements Expr.
 func (c *Cmp) Eval(t *dataset.Table, row int) (bool, error) {
-	i := t.ColIndex(c.Attr)
-	if i < 0 {
-		return false, fmt.Errorf("expr: unknown attribute %q", c.Attr)
+	b, err := c.bindTo(t)
+	if err != nil {
+		return false, err
 	}
-	if cat := t.Cat(i); cat != nil {
-		eq := cat.Value(row) == c.Str
+	if b.cat != nil {
+		eq := b.cat.Code(row) == b.code
 		if c.Op == Eq {
 			return eq, nil
 		}
 		return !eq, nil
 	}
-	v := t.Num(i).Value(row)
+	v := b.num.Value(row)
 	switch c.Op {
 	case Eq:
 		return v == c.Num, nil
@@ -186,11 +247,34 @@ func isNumericLiteral(s string) bool {
 type Between struct {
 	Attr   string
 	Lo, Hi float64
+
+	bind atomic.Pointer[betweenBind] // per-table binding cache
+}
+
+// betweenBind caches the numeric column resolved for one table.
+type betweenBind struct {
+	t   *dataset.Table
+	col int
+	num *dataset.NumColumn
+}
+
+// bindTo returns the cached column binding for t, resolving on first use.
+func (b *Between) bindTo(t *dataset.Table) (*betweenBind, error) {
+	if bs := b.bind.Load(); bs != nil && bs.t == t {
+		return bs, nil
+	}
+	num, err := t.NumByName(b.Attr)
+	if err != nil {
+		return nil, err
+	}
+	bs := &betweenBind{t: t, col: t.ColIndex(b.Attr), num: num}
+	b.bind.Store(bs)
+	return bs, nil
 }
 
 // Validate implements Expr.
 func (b *Between) Validate(t *dataset.Table) error {
-	if _, err := t.NumByName(b.Attr); err != nil {
+	if _, err := b.bindTo(t); err != nil {
 		return err
 	}
 	if math.IsNaN(b.Lo) || math.IsNaN(b.Hi) {
@@ -201,11 +285,11 @@ func (b *Between) Validate(t *dataset.Table) error {
 
 // Eval implements Expr.
 func (b *Between) Eval(t *dataset.Table, row int) (bool, error) {
-	col, err := t.NumByName(b.Attr)
+	bs, err := b.bindTo(t)
 	if err != nil {
 		return false, err
 	}
-	v := col.Value(row)
+	v := bs.num.Value(row)
 	return v >= b.Lo && v <= b.Hi, nil
 }
 
@@ -218,27 +302,54 @@ func (b *Between) String() string {
 type In struct {
 	Attr   string
 	Values []string
+
+	bind atomic.Pointer[inBind] // per-table binding cache
+}
+
+// inBind caches the categorical column and the value list interned to a
+// code-membership table, so Eval is one slice lookup per row.
+type inBind struct {
+	t       *dataset.Table
+	col     int
+	cat     *dataset.CatColumn
+	member  []bool // indexed by dictionary code
+	dictLen int
+}
+
+// bindTo returns the cached binding for t, refreshing it when the
+// dictionary grew (a listed value absent at bind time may appear later).
+func (n *In) bindTo(t *dataset.Table) (*inBind, error) {
+	if b := n.bind.Load(); b != nil && b.t == t && b.dictLen == b.cat.Cardinality() {
+		return b, nil
+	}
+	cat, err := t.CatByName(n.Attr)
+	if err != nil {
+		return nil, err
+	}
+	b := &inBind{t: t, col: t.ColIndex(n.Attr), cat: cat, dictLen: cat.Cardinality()}
+	b.member = make([]bool, b.dictLen)
+	for _, v := range n.Values {
+		if code := cat.CodeOf(v); code >= 0 {
+			b.member[code] = true
+		}
+	}
+	n.bind.Store(b)
+	return b, nil
 }
 
 // Validate implements Expr.
 func (n *In) Validate(t *dataset.Table) error {
-	_, err := t.CatByName(n.Attr)
+	_, err := n.bindTo(t)
 	return err
 }
 
 // Eval implements Expr.
 func (n *In) Eval(t *dataset.Table, row int) (bool, error) {
-	col, err := t.CatByName(n.Attr)
+	b, err := n.bindTo(t)
 	if err != nil {
 		return false, err
 	}
-	v := col.Value(row)
-	for _, want := range n.Values {
-		if v == want {
-			return true, nil
-		}
-	}
-	return false, nil
+	return b.member[b.cat.Code(row)], nil
 }
 
 // String implements Expr.

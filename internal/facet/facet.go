@@ -11,6 +11,7 @@ import (
 	"dbexplorer/internal/core"
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/parallel"
 	"dbexplorer/internal/stats"
 )
 
@@ -33,14 +34,27 @@ type AttrSummary struct {
 // tuple counts — what a Solr facet response shows.
 type Digest struct {
 	Attrs []AttrSummary
+
+	byAttr  map[string]int // lazily built name → Attrs index; see Attr
+	byAttrN int            // len(Attrs) when byAttr was built
 }
 
-// Attr returns the named attribute's summary, or nil.
+// Attr returns the named attribute's summary, or nil. The name→index
+// map is built lazily on first lookup (and rebuilt if Attrs grew since),
+// so TPFacet rendering — which probes the digest once per attribute and
+// value — stops scanning every summary per lookup.
 func (d *Digest) Attr(name string) *AttrSummary {
-	for i := range d.Attrs {
-		if d.Attrs[i].Attr == name {
-			return &d.Attrs[i]
+	if d.byAttr == nil || d.byAttrN != len(d.Attrs) {
+		d.byAttrN = len(d.Attrs)
+		d.byAttr = make(map[string]int, len(d.Attrs))
+		for i := range d.Attrs {
+			if _, dup := d.byAttr[d.Attrs[i].Attr]; !dup {
+				d.byAttr[d.Attrs[i].Attr] = i
+			}
 		}
+	}
+	if i, ok := d.byAttr[name]; ok {
+		return &d.Attrs[i]
 	}
 	return nil
 }
@@ -160,15 +174,88 @@ type Session struct {
 	base     dataset.RowSet
 	selected map[string]map[int]bool // attr -> selected codes
 	order    []string                // selection order for rendering
+
+	// Incremental state: the base set packed once as a bitmap, one
+	// cached filter bitmap per selected attribute (the OR of that
+	// attribute's selected posting bitmaps), and the memoized current
+	// result bitmap. Adding or removing one facet selection invalidates
+	// only that attribute's bitmap, so refreshing the digest intersects
+	// cached words instead of re-evaluating the whole stack per row.
+	universe int
+	baseBM   *dataset.Bitmap
+	attrBM   map[string]*dataset.Bitmap
+	rowsBM   *dataset.Bitmap // nil = stale
 }
 
 // NewSession starts a session over the given base result set.
 func NewSession(v *dataview.View, base dataset.RowSet) *Session {
+	n := v.Table().NumRows()
+	var bm *dataset.Bitmap
+	if len(base) == n {
+		// Sorted unique rows of length n are exactly {0..n-1}.
+		bm = dataset.FullBitmap(n)
+	} else {
+		bm = dataset.FromRowSet(n, base)
+	}
 	return &Session{
 		view:     v,
 		base:     base.Clone(),
 		selected: make(map[string]map[int]bool),
+		universe: n,
+		baseBM:   bm,
+		attrBM:   make(map[string]*dataset.Bitmap),
 	}
+}
+
+// invalidate drops the cached bitmaps touched by a selection change on
+// attr.
+func (s *Session) invalidate(attr string) {
+	delete(s.attrBM, attr)
+	s.rowsBM = nil
+}
+
+// filterBitmap returns attr's cached filter bitmap (the union of its
+// selected values' posting sets), building it on first use after a
+// selection change.
+func (s *Session) filterBitmap(attr string) *dataset.Bitmap {
+	if bm, ok := s.attrBM[attr]; ok {
+		return bm
+	}
+	col, _ := s.view.Column(attr)
+	postings := col.Postings()
+	bm := dataset.NewBitmap(s.universe)
+	for code := range s.selected[attr] {
+		bm.OrWith(postings[code])
+	}
+	s.attrBM[attr] = bm
+	return bm
+}
+
+// currentBitmap returns the memoized result bitmap base ∧ every
+// attribute filter, rebuilding it word-wise from the cached per-attr
+// bitmaps when stale. Callers must treat the result as read-only.
+func (s *Session) currentBitmap() *dataset.Bitmap {
+	if s.rowsBM == nil {
+		bm := s.baseBM
+		for attr := range s.selected {
+			bm = bm.And(s.filterBitmap(attr))
+		}
+		s.rowsBM = bm
+	}
+	return s.rowsBM
+}
+
+// bitmapExcluding returns base ∧ every attribute filter except skip's,
+// from cached bitmaps only (the PanelDigest primitive). The result is
+// freshly allocated unless no filter applies.
+func (s *Session) bitmapExcluding(skip string) *dataset.Bitmap {
+	bm := s.baseBM
+	for attr := range s.selected {
+		if attr != skip {
+			bm = bm.And(s.filterBitmap(attr))
+		}
+	}
+	return bm
 }
 
 // View returns the session's data view.
@@ -194,6 +281,7 @@ func (s *Session) Select(attr, value string) error {
 		s.order = append(s.order, attr)
 	}
 	s.selected[attr][code] = true
+	s.invalidate(attr)
 	return nil
 }
 
@@ -215,6 +303,8 @@ func (s *Session) Deselect(attr, value string) error {
 	delete(codes, code)
 	if len(codes) == 0 {
 		s.clearAttr(attr)
+	} else {
+		s.invalidate(attr)
 	}
 	return nil
 }
@@ -234,12 +324,15 @@ func (s *Session) clearAttr(attr string) {
 			break
 		}
 	}
+	s.invalidate(attr)
 }
 
 // Reset removes every filter.
 func (s *Session) Reset() {
 	s.selected = make(map[string]map[int]bool)
 	s.order = nil
+	s.attrBM = make(map[string]*dataset.Bitmap)
+	s.rowsBM = nil
 }
 
 // Selections returns the active filters as attribute -> selected value
@@ -268,39 +361,71 @@ func (s *Session) Selections() []struct {
 	return out
 }
 
-// Rows evaluates the filter stack over the base result set.
+// Rows evaluates the filter stack over the base result set: the cached
+// per-attribute bitmaps intersect word-wise and the result unpacks to a
+// sorted row set.
 func (s *Session) Rows() dataset.RowSet {
-	rows := s.base
 	if len(s.selected) == 0 {
-		return rows.Clone()
+		return s.base.Clone()
 	}
-	out := make(dataset.RowSet, 0, len(rows))
-	cols := make(map[string]*dataview.Column, len(s.selected))
-	for attr := range s.selected {
-		cols[attr], _ = s.view.Column(attr)
-	}
-	for _, r := range rows {
-		keep := true
-		for attr, codes := range s.selected {
-			if !codes[cols[attr].Code(r)] {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, r)
-		}
-	}
-	return out
+	return s.currentBitmap().ToRowSet()
 }
 
-// Count returns the current result-set size.
-func (s *Session) Count() int { return len(s.Rows()) }
+// Count returns the current result-set size (a popcount over the
+// memoized result bitmap; no rows are materialized).
+func (s *Session) Count() int {
+	if len(s.selected) == 0 {
+		return len(s.base)
+	}
+	return s.currentBitmap().Len()
+}
 
 // Digest returns the queriable-attribute summary of the current result
-// set — the baseline interface's whole view of the data.
+// set — the baseline interface's whole view of the data. Counting runs
+// per column in parallel as posting-bitmap intersections against the
+// memoized result bitmap, so refreshing the digest after one facet
+// click costs words, not rows.
 func (s *Session) Digest() *Digest {
-	return Summarize(s.view, s.Rows(), true)
+	return s.digestOf(s.currentBitmap(), true)
+}
+
+// digestOf builds the digest of the given result bitmap, counting each
+// code as |rows ∧ posting(code)|. Output is identical to Summarize over
+// the unpacked row set.
+func (s *Session) digestOf(rows *dataset.Bitmap, queriableOnly bool) *Digest {
+	schema := s.view.Table().Schema()
+	var cols []*dataview.Column
+	for _, col := range s.view.Columns() {
+		if queriableOnly && !schema[col.Col].Queriable {
+			continue
+		}
+		cols = append(cols, col)
+	}
+	summaries := make([]AttrSummary, len(cols))
+	parallel.Do(len(cols), func(i int) {
+		summaries[i] = summarizeColumn(cols[i], rows)
+	})
+	return &Digest{Attrs: summaries}
+}
+
+// summarizeColumn counts one column's codes over the result bitmap via
+// fused intersect-popcounts with its posting sets and renders the sorted
+// value summary.
+func summarizeColumn(col *dataview.Column, rows *dataset.Bitmap) AttrSummary {
+	postings := col.Postings()
+	summary := AttrSummary{Attr: col.Attr}
+	for code, p := range postings {
+		if c := rows.AndLen(p); c > 0 {
+			summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
+		}
+	}
+	sort.Slice(summary.Values, func(i, j int) bool {
+		if summary.Values[i].Count != summary.Values[j].Count {
+			return summary.Values[i].Count > summary.Values[j].Count
+		}
+		return summary.Values[i].Value < summary.Values[j].Value
+	})
+	return summary
 }
 
 // PanelDigest returns the multi-select facet panel counts that
@@ -310,64 +435,24 @@ func (s *Session) Digest() *Digest {
 // Jeeps would match their other filters. Attributes without filters get
 // the plain digest counts.
 func (s *Session) PanelDigest() *Digest {
-	d := &Digest{}
 	schema := s.view.Table().Schema()
+	var cols []*dataview.Column
 	for _, col := range s.view.Columns() {
 		if !schema[col.Col].Queriable {
 			continue
 		}
-		rows := s.rowsExcluding(col.Attr)
-		counts := make([]int, col.Cardinality())
-		for _, r := range rows {
-			counts[col.Code(r)]++
-		}
-		summary := AttrSummary{Attr: col.Attr}
-		for code, c := range counts {
-			if c > 0 {
-				summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
-			}
-		}
-		sort.Slice(summary.Values, func(i, j int) bool {
-			if summary.Values[i].Count != summary.Values[j].Count {
-				return summary.Values[i].Count > summary.Values[j].Count
-			}
-			return summary.Values[i].Value < summary.Values[j].Value
-		})
-		d.Attrs = append(d.Attrs, summary)
+		cols = append(cols, col)
 	}
-	return d
-}
-
-// rowsExcluding evaluates the filter stack with one attribute's filters
-// dropped.
-func (s *Session) rowsExcluding(attr string) dataset.RowSet {
-	if len(s.selected) == 0 || (len(s.selected) == 1 && s.selected[attr] != nil) {
-		return s.base
+	// Warm every attribute's filter bitmap serially — the parallel
+	// counting below then only reads the cache.
+	for attr := range s.selected {
+		s.filterBitmap(attr)
 	}
-	cols := make(map[string]*dataview.Column, len(s.selected))
-	for a := range s.selected {
-		if a == attr {
-			continue
-		}
-		cols[a], _ = s.view.Column(a)
-	}
-	out := make(dataset.RowSet, 0, len(s.base))
-	for _, r := range s.base {
-		keep := true
-		for a, codes := range s.selected {
-			if a == attr {
-				continue
-			}
-			if !codes[cols[a].Code(r)] {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, r)
-		}
-	}
-	return out
+	summaries := make([]AttrSummary, len(cols))
+	parallel.Do(len(cols), func(i int) {
+		summaries[i] = summarizeColumn(cols[i], s.bitmapExcluding(cols[i].Attr))
+	})
+	return &Digest{Attrs: summaries}
 }
 
 // TPFacet is the paper's two-phased faceted interface: the same filter

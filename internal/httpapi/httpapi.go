@@ -69,14 +69,15 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[viewcache.Key]*flight
 
-	reg        *metrics.Registry
-	inflight   *metrics.Gauge
-	errCount   *metrics.Counter
-	rejected   *metrics.Counter
-	cacheHits  *metrics.Counter
-	cacheMiss  *metrics.Counter
-	coalesced  *metrics.Counter
-	buildTotal *metrics.Histogram
+	reg         *metrics.Registry
+	inflight    *metrics.Gauge
+	errCount    *metrics.Counter
+	rejected    *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMiss   *metrics.Counter
+	coalesced   *metrics.Counter
+	buildTotal  *metrics.Histogram
+	selectivity *metrics.Histogram
 
 	mu       sync.RWMutex
 	datasets map[string]*datasetEntry
@@ -177,7 +178,24 @@ func NewServer(opts ...Option) *Server {
 	s.cacheMiss = s.reg.Counter("cad_cache_misses")
 	s.coalesced = s.reg.Counter("cad_build_coalesced")
 	s.buildTotal = s.reg.Histogram("build_total_seconds", metrics.DefBuckets())
+	s.selectivity = s.reg.Histogram("query_selectivity", []float64{
+		0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1,
+	})
 	return s
+}
+
+// observeSelectivity records what fraction of the base result set a
+// filter stack kept, and refreshes the lazily-built-index gauges — how
+// many categorical posting sets, numeric sort orders, and view-level
+// posting sets exist process-wide.
+func (s *Server) observeSelectivity(kept, base int) {
+	if base > 0 {
+		s.selectivity.Observe(float64(kept) / float64(base))
+	}
+	cat, ord := dataset.IndexStats()
+	s.reg.Gauge("index_cat_posting_builds").Set(cat)
+	s.reg.Gauge("index_num_order_builds").Set(ord)
+	s.reg.Gauge("view_posting_builds").Set(dataview.PostingStats())
 }
 
 // Metrics returns the server's metrics registry, for embedding or
@@ -407,8 +425,10 @@ func (s *Server) handleQuery(_ context.Context, ds *datasetEntry, w http.Respons
 	if err != nil {
 		return errBadRequest(err)
 	}
+	count := sess.Count()
+	s.observeSelectivity(count, len(ds.base))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"count":  sess.Count(),
+		"count":  count,
 		"digest": sess.Digest(),
 		"panel":  sess.PanelDigest(),
 		"phase":  (&facet.TPFacet{Session: sess}).SuggestPhase(0).String(),
@@ -542,7 +562,9 @@ func (s *Server) coldBuild(ctx context.Context, ds *datasetEntry, req *cadReques
 	if err != nil {
 		return nil, err
 	}
-	view, tm, err := core.BuildContext(ctx, ds.view, sess.Rows(), core.Config{
+	rows := sess.Rows()
+	s.observeSelectivity(len(rows), len(ds.base))
+	view, tm, err := core.BuildContext(ctx, ds.view, rows, core.Config{
 		Pivot:        req.Pivot,
 		PivotValues:  req.PivotValues,
 		CompareAttrs: req.CompareAttrs,
