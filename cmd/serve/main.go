@@ -17,12 +17,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"dbexplorer"
 	"dbexplorer/internal/dataview"
@@ -39,15 +45,21 @@ func main() {
 		cache   = flag.Int("cache", httpapi.DefaultCacheSize, "CAD View cache capacity (0 disables)")
 		timeout = flag.Duration("timeout", httpapi.DefaultRequestTimeout, "per-request deadline (0 disables)")
 		maxConc = flag.Int("max-concurrent", 0, "max concurrent API requests (0 = worker-pool width)")
+		queue   = flag.Int("queue-depth", 0, "requests allowed to wait for a slot before shedding (0 = 4x max-concurrent)")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
-	srv := httpapi.NewServer(
+	opts := []httpapi.Option{
 		httpapi.WithSeed(*seed),
 		httpapi.WithCacheSize(*cache),
 		httpapi.WithRequestTimeout(*timeout),
 		httpapi.WithMaxConcurrent(*maxConc),
-	)
+	}
+	if *queue != 0 {
+		opts = append(opts, httpapi.WithQueueDepth(*queue))
+	}
+	srv := httpapi.NewServer(opts...)
 	srv.Metrics().PublishExpvar("dbexplorer")
 
 	for _, spec := range strings.Split(*data, ",") {
@@ -71,9 +83,50 @@ func main() {
 	}
 
 	fmt.Printf("DBExplorer serving on http://%s/  (metrics: http://%s/debug/metrics)\n", *addr, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := run(*addr, *drain, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// run serves until SIGINT/SIGTERM, then shuts down gracefully: stop
+// accepting connections, let http.Server.Shutdown wait for handlers to
+// return, drain the admission gate so every in-flight build has really
+// released its slot, and print a final metrics snapshot — all within the
+// drain budget. A second signal aborts immediately.
+func run(addr string, drainBudget time.Duration, srv *httpapi.Server) error {
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills us
+	fmt.Fprintln(os.Stderr, "serve: shutting down, draining in-flight requests...")
+
+	dctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	shutdownErr := hs.Shutdown(dctx)
+	if err := srv.Drain(dctx); err != nil && shutdownErr == nil {
+		shutdownErr = fmt.Errorf("draining admission gate: %w", err)
+	}
+
+	// Final metrics snapshot, so a scrape gap at shutdown still leaves
+	// the totals in the logs.
+	if snap, err := json.MarshalIndent(srv.Metrics().Snapshot(), "", "  "); err == nil {
+		fmt.Fprintf(os.Stderr, "serve: final metrics\n%s\n", snap)
+	}
+
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	return nil
 }
 
 // loadTable resolves one -data entry to a table: a built-in generator or

@@ -10,6 +10,7 @@ import (
 	"dbexplorer/internal/cluster"
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/fault"
 	"dbexplorer/internal/featsel"
 	"dbexplorer/internal/parallel"
 	"dbexplorer/internal/topk"
@@ -147,6 +148,9 @@ func Build(v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings
 // deadline passes the build stops promptly and returns ctx's error.
 func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cfg Config) (*CADView, Timings, error) {
 	var tm Timings
+	if err := fault.Hit(ctx, fault.PointCoreBuild); err != nil {
+		return nil, tm, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Pivot == "" {
 		return nil, tm, fmt.Errorf("core: no pivot attribute")

@@ -1,6 +1,9 @@
 package dataset
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Bitmap is a fixed-universe row set: bit i is set when row i belongs to
 // the set. It is the vectorized counterpart of RowSet — set algebra runs
@@ -17,6 +20,38 @@ import "math/bits"
 type Bitmap struct {
 	words []uint64
 	n     int // universe size in bits
+
+	// frozen marks index-owned bitmaps (posting sets) that outside code
+	// must never mutate: the same words back every query that touches
+	// the posting. Mutators panic on frozen bitmaps when the alias guard
+	// is enabled (tests); Clone always returns a mutable copy.
+	frozen bool
+}
+
+// aliasGuard, when enabled, makes in-place mutation of a frozen bitmap
+// panic instead of silently corrupting the shared index. Test suites
+// turn it on; production keeps the check to one branch on a local bool.
+var aliasGuard atomic.Bool
+
+// SetAliasGuard enables or disables the frozen-bitmap mutation guard,
+// returning the previous setting. Intended for tests (TestMain).
+func SetAliasGuard(on bool) (prev bool) {
+	return aliasGuard.Swap(on)
+}
+
+// Freeze marks the bitmap as index-owned: with the alias guard enabled,
+// any in-place mutation panics. It returns b for chaining.
+func (b *Bitmap) Freeze() *Bitmap {
+	b.frozen = true
+	return b
+}
+
+// checkMutable panics when a frozen bitmap is about to be mutated and
+// the alias guard is on.
+func (b *Bitmap) checkMutable() {
+	if b.frozen && aliasGuard.Load() {
+		panic("dataset: in-place mutation of an index-owned bitmap (clone it first)")
+	}
 }
 
 // NewBitmap returns an empty bitmap over the universe {0, ..., n-1}.
@@ -59,6 +94,7 @@ func (b *Bitmap) Universe() int { return b.n }
 
 // Add sets row i.
 func (b *Bitmap) Add(i int) {
+	b.checkMutable()
 	if i < 0 || i >= b.n {
 		panic("dataset: bitmap row out of universe")
 	}
@@ -108,6 +144,7 @@ func (b *Bitmap) And(o *Bitmap) *Bitmap {
 // AndWith intersects o into b in place and returns b, for folding long
 // filter stacks without one allocation per step.
 func (b *Bitmap) AndWith(o *Bitmap) *Bitmap {
+	b.checkMutable()
 	b.sameUniverse(o)
 	for i := range b.words {
 		b.words[i] &= o.words[i]
@@ -127,6 +164,7 @@ func (b *Bitmap) Or(o *Bitmap) *Bitmap {
 
 // OrWith unions o into b in place and returns b.
 func (b *Bitmap) OrWith(o *Bitmap) *Bitmap {
+	b.checkMutable()
 	b.sameUniverse(o)
 	for i := range b.words {
 		b.words[i] |= o.words[i]

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"dbexplorer/internal/fault"
 )
 
 // Index is a lazily built secondary index over one snapshot of a Table:
@@ -66,7 +68,10 @@ func (ix *Index) Rows() int { return ix.n }
 
 // CatPostings returns one posting bitmap per dictionary code of the
 // categorical column at col (nil for numeric columns), building them on
-// first use with a single pass over the column.
+// first use with a single pass over the column. The bitmaps are owned by
+// the index and frozen: callers must treat them as read-only (combine
+// with And/Or/Not, never AndWith/OrWith/Add), and with the alias guard
+// enabled any in-place mutation panics.
 func (ix *Index) CatPostings(col int) []*Bitmap {
 	c := ix.t.cats[col]
 	if c == nil {
@@ -75,12 +80,19 @@ func (ix *Index) CatPostings(col int) []*Bitmap {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.cat[col] == nil {
+		fault.Check(fault.PointIndexCat)
 		postings := make([]*Bitmap, c.Cardinality())
 		for code := range postings {
 			postings[code] = NewBitmap(ix.n)
 		}
 		for row, code := range c.codes[:ix.n] {
 			postings[code].Add(row)
+		}
+		// Posting sets are shared with every query that touches this
+		// column; freeze them so in-place mutation by a caller trips the
+		// alias guard instead of corrupting the index.
+		for _, p := range postings {
+			p.Freeze()
 		}
 		ix.cat[col] = postings
 		catPostingBuilds.Add(1)
@@ -90,7 +102,8 @@ func (ix *Index) CatPostings(col int) []*Bitmap {
 
 // CatEq returns the rows whose categorical column equals the dictionary
 // code. Codes outside the dictionary (CodeOf misses report -1) yield the
-// empty set.
+// empty set. The result may alias an index-owned posting bitmap and is
+// read-only for the caller (see CatPostings); clone before mutating.
 func (ix *Index) CatEq(col int, code int32) *Bitmap {
 	postings := ix.CatPostings(col)
 	if code < 0 || int(code) >= len(postings) {
@@ -108,6 +121,7 @@ func (ix *Index) numOrder(col int) ([]int32, int) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.order[col] == nil {
+		fault.Check(fault.PointIndexNum)
 		vals := c.vals[:ix.n]
 		order := make([]int32, 0, ix.n)
 		var nans []int32

@@ -1,0 +1,117 @@
+package dataset
+
+// Concurrency and aliasing regression tests for the posting index. Run
+// with -race; TestMain arms the alias guard so any in-place mutation of
+// an index-owned bitmap panics instead of silently corrupting postings
+// shared across queries.
+
+import (
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	SetAliasGuard(true)
+	os.Exit(m.Run())
+}
+
+// TestIndexConcurrentLazyBuilds races many goroutines into the same
+// fresh index: every one triggers the lazy categorical-posting and
+// sorted-order builds while others query, and all must observe results
+// identical to a sequential evaluation.
+func TestIndexConcurrentLazyBuilds(t *testing.T) {
+	tbl := indexTestTable(t, 2000, 7)
+	// Sequential ground truth from a separate identically-built table, so
+	// the table under test starts with a completely cold index.
+	ref := indexTestTable(t, 2000, 7)
+	refIx := ref.Index()
+	wantEq := refIx.CatEq(0, 2).ToRowSet()
+	wantRange := refIx.NumRange(1, 4000, 12000).ToRowSet()
+
+	ix := tbl.Index()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got := ix.CatEq(0, 2).ToRowSet(); !reflect.DeepEqual(got, wantEq) {
+					errs <- "CatEq diverged under concurrent lazy build"
+					return
+				}
+				if got := ix.NumRange(1, 4000, 12000).ToRowSet(); !reflect.DeepEqual(got, wantRange) {
+					errs <- "NumRange diverged under concurrent lazy build"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestAliasGuardTripsOnIndexBitmapMutation pins the read-only contract:
+// mutating a bitmap returned by CatEq (which aliases index-owned
+// postings) must panic with the guard armed, for every mutator.
+func TestAliasGuardTripsOnIndexBitmapMutation(t *testing.T) {
+	tbl := indexTestTable(t, 100, 3)
+	ix := tbl.Index()
+	other := NewBitmap(tbl.NumRows())
+	other.Add(0)
+
+	mutators := map[string]func(bm *Bitmap){
+		"Add":    func(bm *Bitmap) { bm.Add(1) },
+		"OrWith": func(bm *Bitmap) { bm.OrWith(other) },
+		"AndWith": func(bm *Bitmap) {
+			bm.AndWith(other)
+		},
+	}
+	for name, mutate := range mutators {
+		t.Run(name, func(t *testing.T) {
+			bm := ix.CatEq(0, 0)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on an index-owned bitmap did not trip the alias guard", name)
+				}
+			}()
+			mutate(bm)
+		})
+	}
+}
+
+// TestCloneUnfreezes confirms the sanctioned escape hatch: Clone returns
+// a caller-owned bitmap the guard does not police.
+func TestCloneUnfreezes(t *testing.T) {
+	tbl := indexTestTable(t, 100, 3)
+	orig := tbl.Index().CatEq(0, 0)
+	had := orig.Contains(99)
+	bm := orig.Clone()
+	if !had {
+		bm.Add(99) // must not panic: the clone is caller-owned
+	} else {
+		bm.AndWith(NewBitmap(tbl.NumRows()))
+	}
+	// The index-owned original is untouched by mutations of the clone.
+	if orig.Contains(99) != had || !reflect.DeepEqual(orig.ToRowSet(), tbl.Index().CatEq(0, 0).ToRowSet()) {
+		t.Fatal("mutating the clone leaked into the index")
+	}
+}
+
+// TestSetAliasGuardRestores checks the guard toggle returns the previous
+// state so TestMains can scope it.
+func TestSetAliasGuardRestores(t *testing.T) {
+	prev := SetAliasGuard(false)
+	if !prev {
+		t.Fatal("guard should have been armed by TestMain")
+	}
+	if was := SetAliasGuard(prev); was {
+		t.Fatal("SetAliasGuard(false) did not disarm")
+	}
+}

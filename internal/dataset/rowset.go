@@ -19,6 +19,23 @@ func AllRows(n int) RowSet {
 // Len returns the number of rows in the set.
 func (r RowSet) Len() int { return len(r) }
 
+// IsAllRows reports whether r is exactly the full row set {0, ..., n-1}.
+// Length alone does not decide this — an unsorted or duplicated slice of
+// length n is not the full set — so fast paths that unpack a bitmap "in
+// input order" must verify with this check instead of comparing lengths.
+// The scan exits at the first mismatch, so subsets pay O(1).
+func (r RowSet) IsAllRows(n int) bool {
+	if len(r) != n {
+		return false
+	}
+	for i, row := range r {
+		if row != i {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a copy of r.
 func (r RowSet) Clone() RowSet {
 	return append(RowSet(nil), r...)

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/fault"
 	"dbexplorer/internal/histogram"
 	"dbexplorer/internal/parallel"
 )
@@ -36,7 +37,7 @@ type Column struct {
 	num    *dataset.NumColumn
 	hist   *histogram.Histogram
 
-	postOnce sync.Once
+	postMu   sync.Mutex
 	postings []*dataset.Bitmap // per view code; see Postings
 }
 
@@ -53,9 +54,17 @@ func PostingStats() int64 { return postingBuilds.Load() }
 // numeric values through the histogram exactly as Code does — and is
 // what lets facet filter stacks and digest counting run as bitmap
 // algebra instead of per-row code lookups. Callers must treat the
-// bitmaps as read-only. Safe for concurrent use.
+// bitmaps as read-only: they are frozen, and with the alias guard
+// enabled (tests) any in-place mutation panics. Safe for concurrent use.
 func (c *Column) Postings() []*dataset.Bitmap {
-	c.postOnce.Do(func() {
+	// A mutex rather than sync.Once: Once marks itself done even when the
+	// build panics (e.g. an injected fault), which would wedge the column
+	// with nil postings forever. Under the mutex a panicked build leaves
+	// postings nil and the next caller simply rebuilds.
+	c.postMu.Lock()
+	defer c.postMu.Unlock()
+	if c.postings == nil {
+		fault.Check(fault.PointViewPostings)
 		n := c.rows()
 		postings := make([]*dataset.Bitmap, c.Cardinality())
 		for code := range postings {
@@ -64,9 +73,12 @@ func (c *Column) Postings() []*dataset.Bitmap {
 		for row := 0; row < n; row++ {
 			postings[c.Code(row)].Add(row)
 		}
+		for _, p := range postings {
+			p.Freeze()
+		}
 		c.postings = postings
 		postingBuilds.Add(1)
-	})
+	}
 	return c.postings
 }
 

@@ -19,10 +19,18 @@ import (
 // Compiled is a predicate validated against and bound to one table,
 // ready to evaluate over row sets. A nil expression compiles to
 // "select everything".
+//
+// The plan owns its leaf bindings: each Cmp/Between/In node is resolved
+// against the table once at Compile time and the binding lives in the
+// plan, so two Compiled plans of the same parsed expression against two
+// different tables evaluate repeatedly without re-binding (the node's
+// single-slot cache would thrash on every alternation). The plan is
+// immutable after Compile and safe for concurrent use.
 type Compiled struct {
 	t          *dataset.Table
 	e          Expr
 	vectorized bool
+	binds      map[Expr]any // leaf node → *cmpBind / *betweenBind / *inBind
 }
 
 // Compile validates e against t and prepares the evaluation plan:
@@ -35,7 +43,79 @@ func Compile(t *dataset.Table, e Expr) (*Compiled, error) {
 			return nil, err
 		}
 	}
-	return &Compiled{t: t, e: e, vectorized: e == nil || vectorizable(e)}, nil
+	c := &Compiled{t: t, e: e, vectorized: e == nil || vectorizable(e)}
+	if e != nil {
+		c.binds = make(map[Expr]any)
+		if err := c.bindTree(e); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// bindTree resolves every known leaf of the tree against the plan's
+// table and stores the bindings in the plan. Unknown node types are
+// skipped — the interpreted fallback binds them through the node caches.
+func (c *Compiled) bindTree(e Expr) error {
+	switch n := e.(type) {
+	case *Cmp:
+		b, err := n.resolve(c.t)
+		if err != nil {
+			return err
+		}
+		c.binds[n] = b
+	case *Between:
+		b, err := n.resolve(c.t)
+		if err != nil {
+			return err
+		}
+		c.binds[n] = b
+	case *In:
+		b, err := n.resolve(c.t)
+		if err != nil {
+			return err
+		}
+		c.binds[n] = b
+	case *And:
+		for _, k := range n.Kids {
+			if err := c.bindTree(k); err != nil {
+				return err
+			}
+		}
+	case *Or:
+		for _, k := range n.Kids {
+			if err := c.bindTree(k); err != nil {
+				return err
+			}
+		}
+	case *Not:
+		return c.bindTree(n.Kid)
+	}
+	return nil
+}
+
+// cmpBindFor returns the plan's binding for n, falling back to the
+// node-level cache when the dictionary grew after Compile (the plan is
+// immutable, so the refreshed binding is not stored back).
+func (c *Compiled) cmpBindFor(n *Cmp) (*cmpBind, error) {
+	if b, ok := c.binds[n].(*cmpBind); ok && b.current(c.t) {
+		return b, nil
+	}
+	return n.bindTo(c.t)
+}
+
+func (c *Compiled) betweenBindFor(n *Between) (*betweenBind, error) {
+	if b, ok := c.binds[n].(*betweenBind); ok && b.current(c.t) {
+		return b, nil
+	}
+	return n.bindTo(c.t)
+}
+
+func (c *Compiled) inBindFor(n *In) (*inBind, error) {
+	if b, ok := c.binds[n].(*inBind); ok && b.current(c.t) {
+		return b, nil
+	}
+	return n.bindTo(c.t)
 }
 
 // Vectorized reports whether evaluation runs on the bitmap path.
@@ -72,9 +152,10 @@ func vectorizable(e Expr) bool {
 }
 
 // Bitmap evaluates the predicate over the whole table and returns the
-// matching row set as a bitmap. The result must be treated read-only: a
-// leaf evaluation may return a posting bitmap shared with the table's
-// index.
+// matching row set as a bitmap. The result is owned by the caller:
+// single-leaf plans whose evaluation would alias an index posting bitmap
+// are cloned at this boundary, so mutating the result (OrWith/AndWith
+// folds) can never corrupt the table's index.
 func (c *Compiled) Bitmap() (*dataset.Bitmap, error) {
 	ix := c.t.Index()
 	if c.e == nil {
@@ -87,7 +168,14 @@ func (c *Compiled) Bitmap() (*dataset.Bitmap, error) {
 		}
 		return dataset.FromRowSet(c.t.NumRows(), rows), nil
 	}
-	return c.evalBitmap(ix, c.e)
+	bm, shared, err := c.evalBitmap(ix, c.e)
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		bm = bm.Clone()
+	}
+	return bm, nil
 }
 
 // Select returns the rows of the input set satisfying the predicate, in
@@ -99,14 +187,16 @@ func (c *Compiled) Select(rows dataset.RowSet) (dataset.RowSet, error) {
 	if !c.vectorized {
 		return selectScan(c.t, rows, c.e)
 	}
-	bm, err := c.evalBitmap(c.t.Index(), c.e)
+	bm, _, err := c.evalBitmap(c.t.Index(), c.e)
 	if err != nil {
 		return nil, err
 	}
-	// The full-table row set (sorted unique, so length n means all of
-	// {0..n-1}) unpacks straight from the bitmap; subsets keep their own
-	// order and filter through bit tests.
-	if len(rows) == bm.Universe() {
+	// The full-table row set unpacks straight from the bitmap — but only
+	// when the input really is {0..n-1} in order. Length alone does not
+	// establish that (an unsorted or duplicated input of length n would
+	// silently come back re-ordered), so verify; the scan exits at the
+	// first mismatch and genuine subsets pay O(1).
+	if rows.IsAllRows(bm.Universe()) {
 		return bm.ToRowSet(), nil
 	}
 	out := make(dataset.RowSet, 0, len(rows))
@@ -118,50 +208,54 @@ func (c *Compiled) Select(rows dataset.RowSet) (dataset.RowSet, error) {
 	return out, nil
 }
 
-// evalBitmap recursively lowers the expression to bitmap algebra.
-// Results may alias index posting bitmaps and must not be mutated;
-// combining nodes always allocate fresh bitmaps.
-func (c *Compiled) evalBitmap(ix *dataset.Index, e Expr) (*dataset.Bitmap, error) {
+// evalBitmap recursively lowers the expression to bitmap algebra. The
+// shared result reports whether the bitmap aliases an index-owned
+// posting set (categorical equality leaves); shared results are
+// read-only and must be cloned before crossing an API boundary that
+// allows mutation. Combining nodes always allocate fresh bitmaps —
+// except single-child AND/OR, which pass their child through unchanged
+// and therefore propagate its shared flag.
+func (c *Compiled) evalBitmap(ix *dataset.Index, e Expr) (bm *dataset.Bitmap, shared bool, err error) {
 	switch n := e.(type) {
 	case *Cmp:
-		b, err := n.bindTo(c.t)
+		b, err := c.cmpBindFor(n)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if b.cat != nil {
 			eq := ix.CatEq(b.col, b.code)
 			if n.Op == Eq {
-				return eq, nil
+				return eq, true, nil
 			}
-			return eq.Not(), nil
+			return eq.Not(), false, nil
 		}
 		switch n.Op {
 		case Eq:
-			return ix.NumCmpRange(b.col, n.Num, true, false, false), nil
+			return ix.NumCmpRange(b.col, n.Num, true, false, false), false, nil
 		case Ne:
 			// NaN cells fall outside the Eq range, so the complement
 			// includes them — matching the scalar v != c.
-			return ix.NumCmpRange(b.col, n.Num, true, false, false).Not(), nil
+			return ix.NumCmpRange(b.col, n.Num, true, false, false).Not(), false, nil
 		case Lt:
-			return ix.NumCmpRange(b.col, n.Num, false, true, false), nil
+			return ix.NumCmpRange(b.col, n.Num, false, true, false), false, nil
 		case Le:
-			return ix.NumCmpRange(b.col, n.Num, true, true, false), nil
+			return ix.NumCmpRange(b.col, n.Num, true, true, false), false, nil
 		case Gt:
-			return ix.NumCmpRange(b.col, n.Num, false, false, true), nil
+			return ix.NumCmpRange(b.col, n.Num, false, false, true), false, nil
 		case Ge:
-			return ix.NumCmpRange(b.col, n.Num, true, false, true), nil
+			return ix.NumCmpRange(b.col, n.Num, true, false, true), false, nil
 		}
-		return nil, fmt.Errorf("expr: bad operator %d", int(n.Op))
+		return nil, false, fmt.Errorf("expr: bad operator %d", int(n.Op))
 	case *Between:
-		bs, err := n.bindTo(c.t)
+		bs, err := c.betweenBindFor(n)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return ix.NumRange(bs.col, n.Lo, n.Hi), nil
+		return ix.NumRange(bs.col, n.Lo, n.Hi), false, nil
 	case *In:
-		b, err := n.bindTo(c.t)
+		b, err := c.inBindFor(n)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		out := dataset.NewBitmap(ix.Rows())
 		for code, ok := range b.member {
@@ -169,48 +263,50 @@ func (c *Compiled) evalBitmap(ix *dataset.Index, e Expr) (*dataset.Bitmap, error
 				out.OrWith(ix.CatEq(b.col, int32(code)))
 			}
 		}
-		return out, nil
+		return out, false, nil
 	case *And:
 		if len(n.Kids) == 0 {
 			// The interpreter's empty conjunction is vacuously true.
-			return dataset.FullBitmap(ix.Rows()), nil
+			return dataset.FullBitmap(ix.Rows()), false, nil
 		}
-		acc, err := c.evalBitmap(ix, n.Kids[0])
+		acc, accShared, err := c.evalBitmap(ix, n.Kids[0])
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, k := range n.Kids[1:] {
-			kb, err := c.evalBitmap(ix, k)
+			kb, _, err := c.evalBitmap(ix, k)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			acc = acc.And(kb)
+			acc = acc.And(kb) // allocates: acc is owned from here on
+			accShared = false
 		}
-		return acc, nil
+		return acc, accShared, nil
 	case *Or:
 		if len(n.Kids) == 0 {
 			// The interpreter's empty disjunction is vacuously false.
-			return dataset.NewBitmap(ix.Rows()), nil
+			return dataset.NewBitmap(ix.Rows()), false, nil
 		}
-		acc, err := c.evalBitmap(ix, n.Kids[0])
+		acc, accShared, err := c.evalBitmap(ix, n.Kids[0])
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, k := range n.Kids[1:] {
-			kb, err := c.evalBitmap(ix, k)
+			kb, _, err := c.evalBitmap(ix, k)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			acc = acc.Or(kb)
+			accShared = false
 		}
-		return acc, nil
+		return acc, accShared, nil
 	case *Not:
-		kb, err := c.evalBitmap(ix, n.Kid)
+		kb, _, err := c.evalBitmap(ix, n.Kid)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return kb.Not(), nil
+		return kb.Not(), false, nil
 	default:
-		return nil, fmt.Errorf("expr: %T is not vectorizable", e)
+		return nil, false, fmt.Errorf("expr: %T is not vectorizable", e)
 	}
 }

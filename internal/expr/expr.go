@@ -125,14 +125,15 @@ type cmpBind struct {
 	dictLen int                // dictionary size at bind time
 }
 
-// bindTo returns the cached binding for t, resolving it on first use and
-// refreshing it when the target changed or the dictionary grew (a code
-// absent at bind time may exist after appends).
-func (c *Cmp) bindTo(t *dataset.Table) (*cmpBind, error) {
-	if b := c.bind.Load(); b != nil && b.t == t &&
-		(b.cat == nil || b.dictLen == b.cat.Cardinality()) {
-		return b, nil
-	}
+// current reports whether the binding still matches t: same table and,
+// for categorical columns, an unchanged dictionary (a code absent at
+// bind time may exist after appends).
+func (b *cmpBind) current(t *dataset.Table) bool {
+	return b.t == t && (b.cat == nil || b.dictLen == b.cat.Cardinality())
+}
+
+// resolve computes a fresh binding against t without touching any cache.
+func (c *Cmp) resolve(t *dataset.Table) (*cmpBind, error) {
 	i := t.ColIndex(c.Attr)
 	if i < 0 {
 		return nil, fmt.Errorf("expr: unknown attribute %q", c.Attr)
@@ -144,6 +145,23 @@ func (c *Cmp) bindTo(t *dataset.Table) (*cmpBind, error) {
 		b.dictLen = cat.Cardinality()
 	} else {
 		b.num = t.Num(i)
+	}
+	return b, nil
+}
+
+// bindTo returns the node-cached binding for t, resolving it on first
+// use and refreshing it when the target changed or the dictionary grew.
+// The node-level cache is a single slot, so a query evaluated against
+// two tables alternately re-binds on every call — compiled evaluation
+// (package-level Compile) holds per-table bindings in the Compiled plan
+// instead and only falls back here.
+func (c *Cmp) bindTo(t *dataset.Table) (*cmpBind, error) {
+	if b := c.bind.Load(); b != nil && b.current(t) {
+		return b, nil
+	}
+	b, err := c.resolve(t)
+	if err != nil {
+		return nil, err
 	}
 	c.bind.Store(b)
 	return b, nil
@@ -258,16 +276,29 @@ type betweenBind struct {
 	num *dataset.NumColumn
 }
 
-// bindTo returns the cached column binding for t, resolving on first use.
-func (b *Between) bindTo(t *dataset.Table) (*betweenBind, error) {
-	if bs := b.bind.Load(); bs != nil && bs.t == t {
-		return bs, nil
-	}
+// current reports whether the binding still targets t.
+func (bs *betweenBind) current(t *dataset.Table) bool { return bs.t == t }
+
+// resolve computes a fresh binding against t without touching any cache.
+func (b *Between) resolve(t *dataset.Table) (*betweenBind, error) {
 	num, err := t.NumByName(b.Attr)
 	if err != nil {
 		return nil, err
 	}
-	bs := &betweenBind{t: t, col: t.ColIndex(b.Attr), num: num}
+	return &betweenBind{t: t, col: t.ColIndex(b.Attr), num: num}, nil
+}
+
+// bindTo returns the node-cached column binding for t, resolving on
+// first use (single slot; see Cmp.bindTo on why Compiled plans hold
+// their own bindings).
+func (b *Between) bindTo(t *dataset.Table) (*betweenBind, error) {
+	if bs := b.bind.Load(); bs != nil && bs.current(t) {
+		return bs, nil
+	}
+	bs, err := b.resolve(t)
+	if err != nil {
+		return nil, err
+	}
 	b.bind.Store(bs)
 	return bs, nil
 }
@@ -316,12 +347,13 @@ type inBind struct {
 	dictLen int
 }
 
-// bindTo returns the cached binding for t, refreshing it when the
-// dictionary grew (a listed value absent at bind time may appear later).
-func (n *In) bindTo(t *dataset.Table) (*inBind, error) {
-	if b := n.bind.Load(); b != nil && b.t == t && b.dictLen == b.cat.Cardinality() {
-		return b, nil
-	}
+// current reports whether the binding still matches t and its dictionary.
+func (b *inBind) current(t *dataset.Table) bool {
+	return b.t == t && b.dictLen == b.cat.Cardinality()
+}
+
+// resolve computes a fresh binding against t without touching any cache.
+func (n *In) resolve(t *dataset.Table) (*inBind, error) {
 	cat, err := t.CatByName(n.Attr)
 	if err != nil {
 		return nil, err
@@ -332,6 +364,20 @@ func (n *In) bindTo(t *dataset.Table) (*inBind, error) {
 		if code := cat.CodeOf(v); code >= 0 {
 			b.member[code] = true
 		}
+	}
+	return b, nil
+}
+
+// bindTo returns the node-cached binding for t, refreshing it when the
+// dictionary grew (a listed value absent at bind time may appear later).
+// Single slot; see Cmp.bindTo.
+func (n *In) bindTo(t *dataset.Table) (*inBind, error) {
+	if b := n.bind.Load(); b != nil && b.current(t) {
+		return b, nil
+	}
+	b, err := n.resolve(t)
+	if err != nil {
+		return nil, err
 	}
 	n.bind.Store(b)
 	return b, nil

@@ -7,6 +7,7 @@ package facet
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dbexplorer/internal/core"
 	"dbexplorer/internal/dataset"
@@ -35,6 +36,7 @@ type AttrSummary struct {
 type Digest struct {
 	Attrs []AttrSummary
 
+	mu      sync.Mutex     // guards the lazy index below
 	byAttr  map[string]int // lazily built name → Attrs index; see Attr
 	byAttrN int            // len(Attrs) when byAttr was built
 }
@@ -42,8 +44,12 @@ type Digest struct {
 // Attr returns the named attribute's summary, or nil. The name→index
 // map is built lazily on first lookup (and rebuilt if Attrs grew since),
 // so TPFacet rendering — which probes the digest once per attribute and
-// value — stops scanning every summary per lookup.
+// value — stops scanning every summary per lookup. Safe for concurrent
+// lookups: the lazy build is guarded so two renderers sharing one digest
+// cannot race it.
 func (d *Digest) Attr(name string) *AttrSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.byAttr == nil || d.byAttrN != len(d.Attrs) {
 		d.byAttrN = len(d.Attrs)
 		d.byAttr = make(map[string]int, len(d.Attrs))
@@ -170,8 +176,15 @@ func valueVector(s *AttrSummary) map[string]float64 {
 // the digest of whatever remains. This is the Solr-style baseline of the
 // user study.
 type Session struct {
-	view     *dataview.View
-	base     dataset.RowSet
+	view *dataview.View
+	base dataset.RowSet
+
+	// mu guards every mutable field below. Selection changes and digest
+	// refreshes may come from concurrent goroutines (one server session
+	// shared across requests); the cached bitmaps and memoized result
+	// would otherwise race. Methods snapshot what they need under the
+	// lock and do the word-counting outside it.
+	mu       sync.Mutex
 	selected map[string]map[int]bool // attr -> selected codes
 	order    []string                // selection order for rendering
 
@@ -191,8 +204,11 @@ type Session struct {
 func NewSession(v *dataview.View, base dataset.RowSet) *Session {
 	n := v.Table().NumRows()
 	var bm *dataset.Bitmap
-	if len(base) == n {
-		// Sorted unique rows of length n are exactly {0..n-1}.
+	if base.IsAllRows(n) {
+		// Exactly {0..n-1}: skip the per-row packing. Length alone does
+		// not establish that (an unsorted or duplicated base of length n
+		// would pack wrongly), so the check verifies element by element
+		// and exits at the first mismatch.
 		bm = dataset.FullBitmap(n)
 	} else {
 		bm = dataset.FromRowSet(n, base)
@@ -208,7 +224,7 @@ func NewSession(v *dataview.View, base dataset.RowSet) *Session {
 }
 
 // invalidate drops the cached bitmaps touched by a selection change on
-// attr.
+// attr. Callers hold s.mu.
 func (s *Session) invalidate(attr string) {
 	delete(s.attrBM, attr)
 	s.rowsBM = nil
@@ -216,7 +232,7 @@ func (s *Session) invalidate(attr string) {
 
 // filterBitmap returns attr's cached filter bitmap (the union of its
 // selected values' posting sets), building it on first use after a
-// selection change.
+// selection change. Callers hold s.mu.
 func (s *Session) filterBitmap(attr string) *dataset.Bitmap {
 	if bm, ok := s.attrBM[attr]; ok {
 		return bm
@@ -233,7 +249,9 @@ func (s *Session) filterBitmap(attr string) *dataset.Bitmap {
 
 // currentBitmap returns the memoized result bitmap base ∧ every
 // attribute filter, rebuilding it word-wise from the cached per-attr
-// bitmaps when stale. Callers must treat the result as read-only.
+// bitmaps when stale. Callers hold s.mu and must treat the result as
+// read-only; the returned snapshot stays valid after the lock is
+// released even if a later selection replaces the memo.
 func (s *Session) currentBitmap() *dataset.Bitmap {
 	if s.rowsBM == nil {
 		bm := s.baseBM
@@ -243,19 +261,6 @@ func (s *Session) currentBitmap() *dataset.Bitmap {
 		s.rowsBM = bm
 	}
 	return s.rowsBM
-}
-
-// bitmapExcluding returns base ∧ every attribute filter except skip's,
-// from cached bitmaps only (the PanelDigest primitive). The result is
-// freshly allocated unless no filter applies.
-func (s *Session) bitmapExcluding(skip string) *dataset.Bitmap {
-	bm := s.baseBM
-	for attr := range s.selected {
-		if attr != skip {
-			bm = bm.And(s.filterBitmap(attr))
-		}
-	}
-	return bm
 }
 
 // View returns the session's data view.
@@ -276,6 +281,8 @@ func (s *Session) Select(attr, value string) error {
 	if code < 0 {
 		return fmt.Errorf("facet: attribute %q has no value %q", attr, value)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.selected[attr] == nil {
 		s.selected[attr] = make(map[int]bool)
 		s.order = append(s.order, attr)
@@ -292,6 +299,8 @@ func (s *Session) Deselect(attr, value string) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	codes, ok := s.selected[attr]
 	if !ok {
 		return fmt.Errorf("facet: attribute %q has no active filters", attr)
@@ -311,11 +320,14 @@ func (s *Session) Deselect(attr, value string) error {
 
 // ClearAttr removes all filters on one attribute.
 func (s *Session) ClearAttr(attr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.selected[attr]; ok {
 		s.clearAttr(attr)
 	}
 }
 
+// clearAttr removes attr's filter state. Callers hold s.mu.
 func (s *Session) clearAttr(attr string) {
 	delete(s.selected, attr)
 	for i, a := range s.order {
@@ -329,6 +341,8 @@ func (s *Session) clearAttr(attr string) {
 
 // Reset removes every filter.
 func (s *Session) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.selected = make(map[string]map[int]bool)
 	s.order = nil
 	s.attrBM = make(map[string]*dataset.Bitmap)
@@ -345,6 +359,8 @@ func (s *Session) Selections() []struct {
 		Attr   string
 		Values []string
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, attr := range s.order {
 		col, _ := s.view.Column(attr)
 		var vals []string
@@ -365,15 +381,21 @@ func (s *Session) Selections() []struct {
 // per-attribute bitmaps intersect word-wise and the result unpacks to a
 // sorted row set.
 func (s *Session) Rows() dataset.RowSet {
+	s.mu.Lock()
 	if len(s.selected) == 0 {
+		s.mu.Unlock()
 		return s.base.Clone()
 	}
-	return s.currentBitmap().ToRowSet()
+	bm := s.currentBitmap()
+	s.mu.Unlock()
+	return bm.ToRowSet()
 }
 
 // Count returns the current result-set size (a popcount over the
 // memoized result bitmap; no rows are materialized).
 func (s *Session) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.selected) == 0 {
 		return len(s.base)
 	}
@@ -386,7 +408,10 @@ func (s *Session) Count() int {
 // memoized result bitmap, so refreshing the digest after one facet
 // click costs words, not rows.
 func (s *Session) Digest() *Digest {
-	return s.digestOf(s.currentBitmap(), true)
+	s.mu.Lock()
+	bm := s.currentBitmap()
+	s.mu.Unlock()
+	return s.digestOf(bm, true)
 }
 
 // digestOf builds the digest of the given result bitmap, counting each
@@ -443,14 +468,31 @@ func (s *Session) PanelDigest() *Digest {
 		}
 		cols = append(cols, col)
 	}
-	// Warm every attribute's filter bitmap serially — the parallel
-	// counting below then only reads the cache.
-	for attr := range s.selected {
-		s.filterBitmap(attr)
+	// Snapshot the base and every attribute's filter bitmap under the
+	// lock; the parallel counting below then works on immutable copies and
+	// never touches session state.
+	type filter struct {
+		attr string
+		bm   *dataset.Bitmap
 	}
+	s.mu.Lock()
+	base := s.baseBM
+	filters := make([]filter, 0, len(s.selected))
+	for attr := range s.selected {
+		filters = append(filters, filter{attr, s.filterBitmap(attr)})
+	}
+	s.mu.Unlock()
 	summaries := make([]AttrSummary, len(cols))
 	parallel.Do(len(cols), func(i int) {
-		summaries[i] = summarizeColumn(cols[i], s.bitmapExcluding(cols[i].Attr))
+		// base ∧ every attribute filter except this column's own — the
+		// tag/exclude counting rule.
+		bm := base
+		for _, f := range filters {
+			if f.attr != cols[i].Attr {
+				bm = bm.And(f.bm)
+			}
+		}
+		summaries[i] = summarizeColumn(cols[i], bm)
 	})
 	return &Digest{Attrs: summaries}
 }

@@ -1,0 +1,141 @@
+package facet
+
+// Concurrency regression tests for Session: one serving session is
+// shared across requests, so selection changes and digest refreshes race
+// unless the session locks its cached bitmaps. Run with -race. TestMain
+// arms the dataset alias guard so a digest counting path that mutated an
+// index-owned posting bitmap would panic loudly.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+func TestMain(m *testing.M) {
+	dataset.SetAliasGuard(true)
+	os.Exit(m.Run())
+}
+
+// raceView builds a larger view so digest refreshes overlap in time.
+func raceView(t *testing.T) (*dataview.View, dataset.RowSet) {
+	t.Helper()
+	tbl := datagen.UsedCars(2000, 3)
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, dataset.AllRows(tbl.NumRows())
+}
+
+// TestSessionConcurrentDigestRefresh races digest reads against
+// selection writes on one shared session. Correctness of any individual
+// interleaving is covered elsewhere; here the race detector is the
+// assertion, plus the invariant that every digest observed is internally
+// consistent (its Make counts sum to the session row count at some
+// moment, never a torn mix).
+func TestSessionConcurrentDigestRefresh(t *testing.T) {
+	v, base := raceView(t)
+	s := NewSession(v, base)
+	makes := v.Columns()[0]
+	if makes.Attr != "Make" {
+		// Locate the Make column robustly.
+		for _, c := range v.Columns() {
+			if c.Attr == "Make" {
+				makes = c
+			}
+		}
+	}
+	labels := makes.Labels()
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: toggle selections.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lbl := labels[(i+w)%len(labels)]
+				if err := s.Select("Make", lbl); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.Count()
+				if err := s.Deselect("Make", lbl); err != nil {
+					// Another writer may have deselected it first; only a
+					// vanished attribute is acceptable.
+					continue
+				}
+			}
+		}(w)
+	}
+	// Readers: refresh digests, panel digests, rows, and selections.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 50; i++ {
+				d := s.Digest()
+				if a := d.Attr("Make"); a != nil {
+					total := 0
+					for _, vc := range a.Values {
+						total += vc.Count
+					}
+					if total < 0 || total > len(base) {
+						t.Errorf("torn digest: Make counts sum to %d of %d rows", total, len(base))
+						return
+					}
+				}
+				_ = s.PanelDigest()
+				_ = s.Rows()
+				_ = s.Selections()
+			}
+		}()
+	}
+	// Let the readers finish their fixed workload, then stop the writers.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestSessionDigestAfterReset races Reset against digest reads — the
+// cached attribute bitmaps are rebuilt from scratch while readers hold
+// earlier snapshots.
+func TestSessionDigestAfterReset(t *testing.T) {
+	v, base := raceView(t)
+	s := NewSession(v, base)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					_ = s.Select("Make", v.Columns()[0].Label(i%v.Columns()[0].Cardinality()))
+				case 1:
+					s.Reset()
+				default:
+					_ = s.Digest()
+					_ = s.Count()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After a final reset the session must report the full base set.
+	s.Reset()
+	if got := s.Count(); got != len(base) {
+		t.Fatalf("Count after Reset = %d, want %d", got, len(base))
+	}
+}

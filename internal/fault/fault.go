@@ -1,0 +1,213 @@
+// Package fault is the serving stack's deterministic fault-injection
+// harness. Production code marks named injection points (Hit at sites
+// that can propagate an error, Check at sites that cannot); tests build
+// an Injector with rules — fail, panic, or slow — and Activate it for
+// the duration of one scenario. With no injector active every point is a
+// single atomic load and a nil return, so the hooks cost nothing on the
+// hot path and ship disabled.
+//
+// Rules are deterministic: each one fires on an explicit window of hits
+// (skip the first After, then fire Times times), counted per point with
+// atomics, so chaos scenarios replay identically under -race and on one
+// core. The package never activates itself; only tests call Activate.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in production code. Sites are listed
+// here rather than at the call sites so tests and documentation share
+// one inventory of everything that can be made to fail.
+type Point string
+
+// The injection points wired through the serving stack.
+const (
+	// PointCoreBuild fires at the top of core.BuildContext, before any
+	// build stage runs.
+	PointCoreBuild Point = "core.Build"
+	// PointIndexCat fires inside dataset.Index before a categorical
+	// posting-set build (no error return path: panic/slow rules only).
+	PointIndexCat Point = "dataset.Index.CatPostings"
+	// PointIndexNum fires inside dataset.Index before a numeric
+	// sorted-order build (no error return path: panic/slow rules only).
+	PointIndexNum Point = "dataset.Index.numOrder"
+	// PointViewPostings fires inside dataview.Column.Postings before the
+	// view-level posting-set build (no error return path).
+	PointViewPostings Point = "dataview.Column.Postings"
+	// PointViewcacheFill fires in httpapi's cold build, after the CAD
+	// View is built and immediately before it is published to the cache.
+	PointViewcacheFill Point = "httpapi.viewcache.fill"
+)
+
+// action is what a rule does when its window matches.
+type action int
+
+const (
+	actFail action = iota
+	actPanic
+	actSlow
+)
+
+// rule is one deterministic behavior at a point: on hits number
+// (after, after+times] of that point, perform the action. times <= 0
+// means every hit past after.
+type rule struct {
+	act   action
+	err   error
+	delay time.Duration
+	after int64
+	times int64
+}
+
+// matches reports whether the rule fires on the n-th hit (1-based).
+func (r *rule) matches(n int64) bool {
+	if n <= r.after {
+		return false
+	}
+	return r.times <= 0 || n <= r.after+r.times
+}
+
+// Injector is a set of rules keyed by injection point, plus per-point
+// hit counters. Build it with the chainable rule methods, then install
+// it with Activate; rules must not be added after activation.
+type Injector struct {
+	rules map[Point][]*rule
+	hits  map[Point]*atomic.Int64
+}
+
+// NewInjector returns an empty injector.
+func NewInjector() *Injector {
+	return &Injector{
+		rules: make(map[Point][]*rule),
+		hits:  make(map[Point]*atomic.Int64),
+	}
+}
+
+func (in *Injector) add(p Point, r *rule) *Injector {
+	in.rules[p] = append(in.rules[p], r)
+	if in.hits[p] == nil {
+		in.hits[p] = &atomic.Int64{}
+	}
+	return in
+}
+
+// Fail makes the point return err. times <= 0 means every hit.
+func (in *Injector) Fail(p Point, err error, times int) *Injector {
+	return in.add(p, &rule{act: actFail, err: err, times: int64(times)})
+}
+
+// FailAfter is Fail skipping the first after hits.
+func (in *Injector) FailAfter(p Point, err error, after, times int) *Injector {
+	return in.add(p, &rule{act: actFail, err: err, after: int64(after), times: int64(times)})
+}
+
+// Panic makes the point panic. times <= 0 means every hit.
+func (in *Injector) Panic(p Point, times int) *Injector {
+	return in.add(p, &rule{act: actPanic, times: int64(times)})
+}
+
+// Slow makes the point sleep for d (honoring the caller's context at
+// Hit sites). times <= 0 means every hit.
+func (in *Injector) Slow(p Point, d time.Duration, times int) *Injector {
+	return in.add(p, &rule{act: actSlow, delay: d, times: int64(times)})
+}
+
+// Hits returns how many times the point has been reached since
+// activation (hits are counted whether or not a rule fired).
+func (in *Injector) Hits(p Point) int64 {
+	c := in.hits[p]
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// PanicValue is the value injected panics carry, so recovery layers and
+// tests can distinguish an injected panic from a real one.
+type PanicValue struct {
+	Point Point
+	Hit   int64
+}
+
+// Error makes the value self-describing in logs and envelopes.
+func (p PanicValue) Error() string {
+	return fmt.Sprintf("fault: injected panic at %s (hit %d)", p.Point, p.Hit)
+}
+
+// fire runs the first matching rule for the point's n-th hit. canFail
+// distinguishes Hit sites (errors propagate) from Check sites (fail
+// rules are ignored, since the site has no error return path).
+func (in *Injector) fire(ctx context.Context, p Point, canFail bool) error {
+	c := in.hits[p]
+	if c == nil {
+		return nil // no rules registered for this point
+	}
+	n := c.Add(1)
+	for _, r := range in.rules[p] {
+		if !r.matches(n) {
+			continue
+		}
+		switch r.act {
+		case actFail:
+			if canFail {
+				return r.err
+			}
+		case actPanic:
+			panic(PanicValue{Point: p, Hit: n})
+		case actSlow:
+			t := time.NewTimer(r.delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				if canFail {
+					return ctx.Err()
+				}
+			}
+		}
+		return nil // first matching rule wins
+	}
+	return nil
+}
+
+// active is the installed injector; nil means every point is a no-op.
+var active atomic.Pointer[Injector]
+
+// Activate installs the injector and returns a restore function that
+// uninstalls it (register it with t.Cleanup). Only tests call this;
+// production binaries never activate an injector, so every injection
+// point stays a single atomic load.
+func Activate(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Enabled reports whether an injector is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit marks an injection point that can propagate an error: fail rules
+// return their error, slow rules sleep honoring ctx (returning ctx's
+// error if it fires first), panic rules panic. Without an active
+// injector it returns nil immediately.
+func Hit(ctx context.Context, p Point) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	return in.fire(ctx, p, true)
+}
+
+// Check marks an injection point with no error return path (lazy index
+// builds): panic and slow rules apply, fail rules are ignored. Without
+// an active injector it is a no-op.
+func Check(p Point) {
+	in := active.Load()
+	if in == nil {
+		return
+	}
+	_ = in.fire(context.Background(), p, false)
+}

@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no injector should be active by default")
+	}
+	if err := Hit(context.Background(), PointCoreBuild); err != nil {
+		t.Fatalf("disabled Hit = %v", err)
+	}
+	Check(PointIndexCat) // must not panic
+}
+
+func TestFailRuleWindow(t *testing.T) {
+	boom := errors.New("boom")
+	in := NewInjector().FailAfter(PointCoreBuild, boom, 1, 2)
+	defer Activate(in)()
+
+	ctx := context.Background()
+	// Hit 1 skipped, hits 2 and 3 fail, hit 4 clean again.
+	want := []error{nil, boom, boom, nil}
+	for i, w := range want {
+		if err := Hit(ctx, PointCoreBuild); !errors.Is(err, w) {
+			t.Errorf("hit %d: err = %v, want %v", i+1, err, w)
+		}
+	}
+	if n := in.Hits(PointCoreBuild); n != 4 {
+		t.Errorf("Hits = %d, want 4", n)
+	}
+}
+
+func TestPanicRuleCarriesPointAndCheckIgnoresFail(t *testing.T) {
+	in := NewInjector().
+		Fail(PointIndexCat, errors.New("unreachable"), 0).
+		Panic(PointViewPostings, 1)
+	defer Activate(in)()
+
+	// A fail rule at a Check site is ignored: the site has no error path.
+	Check(PointIndexCat)
+
+	defer func() {
+		pv, ok := recover().(PanicValue)
+		if !ok || pv.Point != PointViewPostings || pv.Hit != 1 {
+			t.Errorf("recovered %+v", pv)
+		}
+	}()
+	Check(PointViewPostings)
+	t.Fatal("Check should have panicked")
+}
+
+func TestSlowRuleHonorsContext(t *testing.T) {
+	in := NewInjector().Slow(PointCoreBuild, time.Minute, 0)
+	defer Activate(in)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Hit(ctx, PointCoreBuild) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow rule did not honor cancellation")
+	}
+}
+
+func TestRestoreAndConcurrentHits(t *testing.T) {
+	in := NewInjector().Fail(PointViewcacheFill, errors.New("x"), 0)
+	restore := Activate(in)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = Hit(context.Background(), PointViewcacheFill)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := in.Hits(PointViewcacheFill); n != 1600 {
+		t.Errorf("Hits = %d, want 1600", n)
+	}
+	restore()
+	if Enabled() {
+		t.Error("restore did not deactivate")
+	}
+	if err := Hit(context.Background(), PointViewcacheFill); err != nil {
+		t.Errorf("after restore: %v", err)
+	}
+}

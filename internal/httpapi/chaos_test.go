@@ -1,0 +1,351 @@
+package httpapi
+
+// The chaos suite drives the serving stack through injected faults —
+// panics, slow builds, cancellations, and gate saturation — and asserts
+// the graceful-degradation contract: every failure produces a well-formed
+// typed envelope, the process survives, no admission-gate slot leaks, and
+// no goroutines are left behind.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbexplorer/internal/fault"
+)
+
+// newHTTPTest fronts an already-configured Server with an httptest
+// listener torn down with the test.
+func newHTTPTest(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// waitGateIdle polls until every gate slot is released (panics and
+// cancellations release slots asynchronously to the client seeing the
+// response).
+func waitGateIdle(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.InUse() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never drained: %d slots still held", s.gate.InUse())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles back to within
+// slack of the baseline, failing the test if it never does (a leaked
+// build goroutine or a waiter stuck on a flight channel).
+func waitGoroutines(t *testing.T, baseline, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Scenario 1: a panic inside the core build must cost one request — a
+// typed 500 envelope — never the process, and must not leak a gate slot.
+func TestChaosPanicInBuildRecovered(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	s, srv := newTestServer(t)
+	in := fault.NewInjector().Panic(fault.PointCoreBuild, 1)
+	t.Cleanup(fault.Activate(in))
+
+	req := map[string]any{"pivot": "Make", "k": 2}
+	res, out := post(t, srv, "/api/v1/UsedCars/cad", req)
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %v", res.StatusCode, out)
+	}
+	if e := envelope(t, out); e.Code != CodeInternal {
+		t.Errorf("envelope code = %q, want %q", e.Code, CodeInternal)
+	}
+	if n := s.panics.Value(); n != 1 {
+		t.Errorf("panics_recovered = %d, want 1", n)
+	}
+	waitGateIdle(t, s)
+
+	// The process survived and the panic rule is spent: the same request
+	// now builds normally.
+	res, out = post(t, srv, "/api/v1/UsedCars/cad", req)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d: %v", res.StatusCode, out)
+	}
+	waitGoroutines(t, goroutines, 4)
+}
+
+// Scenario 2: a panic during a lazy posting-set build inside the shared
+// worker pool must propagate to the request goroutine (not kill the
+// pool worker silently or the process loudly) and the next request must
+// rebuild the postings cleanly.
+func TestChaosPanicInPostingBuildRecovered(t *testing.T) {
+	s, srv := newTestServer(t)
+	in := fault.NewInjector().Panic(fault.PointViewPostings, 1)
+	t.Cleanup(fault.Activate(in))
+
+	req := map[string]any{"filters": []map[string]any{}}
+	res, out := post(t, srv, "/api/v1/UsedCars/query", req)
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %v", res.StatusCode, out)
+	}
+	if e := envelope(t, out); e.Code != CodeInternal {
+		t.Errorf("envelope code = %q, want %q", e.Code, CodeInternal)
+	}
+	if n := s.panics.Value(); n != 1 {
+		t.Errorf("panics_recovered = %d, want 1", n)
+	}
+	waitGateIdle(t, s)
+
+	// The panicked posting build must not have wedged the column: the
+	// retry rebuilds it and serves a complete digest.
+	res, out = post(t, srv, "/api/v1/UsedCars/query", req)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d: %v", res.StatusCode, out)
+	}
+	var digest struct {
+		Attrs []struct {
+			Values []struct {
+				Count int `json:"Count"`
+			}
+		}
+	}
+	if err := json.Unmarshal(out["digest"], &digest); err != nil {
+		t.Fatal(err)
+	}
+	if len(digest.Attrs) == 0 || len(digest.Attrs[0].Values) == 0 {
+		t.Fatalf("digest empty after recovered panic: %s", out["digest"])
+	}
+}
+
+// Scenario 3: a build that outlives the request deadline must come back
+// as a 504 timeout envelope, and the spent slow rule must leave the
+// server fast again.
+func TestChaosTimeoutMidBuild(t *testing.T) {
+	s := NewServer(WithSeed(1), WithRequestTimeout(50*time.Millisecond))
+	if err := s.Register("UsedCars", usedCarsView(t, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPTest(t, s)
+	in := fault.NewInjector().Slow(fault.PointCoreBuild, 5*time.Second, 1)
+	t.Cleanup(fault.Activate(in))
+
+	start := time.Now()
+	res, out := post(t, srv, "/api/v1/UsedCars/cad", map[string]any{"pivot": "Make", "k": 2})
+	if res.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %v", res.StatusCode, out)
+	}
+	if e := envelope(t, out); e.Code != CodeTimeout {
+		t.Errorf("envelope code = %q, want %q", e.Code, CodeTimeout)
+	}
+	// The slow rule honors the request context: the 504 arrives at the
+	// deadline, not after the full injected delay.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("timeout took %v; slow rule ignored cancellation", d)
+	}
+	waitGateIdle(t, s)
+}
+
+// Scenario 4: a client that disconnects during a slow build must not
+// leave the slot held or the build running; the server stays healthy for
+// the next client.
+func TestChaosClientCancelMidBuild(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	s, srv := newTestServer(t)
+	in := fault.NewInjector().Slow(fault.PointCoreBuild, 10*time.Second, 1)
+	t.Cleanup(fault.Activate(in))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]any{"pivot": "Make", "k": 2})
+	hreq, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/api/v1/UsedCars/cad", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		res, err := http.DefaultClient.Do(hreq)
+		if err == nil {
+			res.Body.Close()
+		}
+		done <- err
+	}()
+	// Let the request reach the injected sleep, then hang up.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("expected the canceled request to fail client-side")
+	}
+
+	waitGateIdle(t, s)
+	// The build context was canceled, so the slot freed long before the
+	// injected 10s delay; a fresh client gets a normal answer.
+	res, out := post(t, srv, "/api/v1/UsedCars/cad", map[string]any{"pivot": "Make", "k": 2})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d: %v", res.StatusCode, out)
+	}
+	waitGoroutines(t, goroutines, 4)
+}
+
+// Scenario 5: with the gate held and the wait queue at depth, an
+// uncacheable request is shed with 503, the overloaded envelope, and a
+// Retry-After hint.
+func TestChaosShedWithRetryAfter(t *testing.T) {
+	s, srv := newTestServer(t, WithMaxConcurrent(1), WithQueueDepth(1))
+	release := saturateGate(t, s)
+	defer release()
+
+	res, out := post(t, srv, "/api/v1/UsedCars/cad", map[string]any{"pivot": "Make", "k": 2})
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %v", res.StatusCode, out)
+	}
+	if e := envelope(t, out); e.Code != CodeOverloaded {
+		t.Errorf("envelope code = %q, want %q", e.Code, CodeOverloaded)
+	}
+	if ra := res.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q", ra, "1")
+	}
+	if n := s.rejected.Value(); n == 0 {
+		t.Error("rejected_total did not move")
+	}
+}
+
+// Scenario 6: a shed cad request whose fingerprint is in the cache —
+// even marked stale by a dataset re-registration — is served degraded
+// (200 + stale/shed flags) instead of 503.
+func TestChaosStaleServeUnderSaturation(t *testing.T) {
+	s, srv := newTestServer(t, WithMaxConcurrent(1), WithQueueDepth(1))
+	req := map[string]any{"pivot": "Make", "k": 2}
+	if res, out := post(t, srv, "/api/v1/UsedCars/cad", req); res.StatusCode != http.StatusOK {
+		t.Fatalf("warming build: status %d: %v", res.StatusCode, out)
+	}
+	// Re-registration marks the cached view stale: fresh requests rebuild.
+	if err := s.Register("UsedCars", usedCarsView(t, 3000)); err != nil {
+		t.Fatal(err)
+	}
+
+	release := saturateGate(t, s)
+	defer release()
+
+	res, out := post(t, srv, "/api/v1/UsedCars/cad", req)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want degraded 200; body %v", res.StatusCode, out)
+	}
+	var stale, shed bool
+	if err := json.Unmarshal(out["stale"], &stale); err != nil || !stale {
+		t.Errorf("stale = %v (%v), want true", stale, err)
+	}
+	if err := json.Unmarshal(out["shed"], &shed); err != nil || !shed {
+		t.Errorf("shed = %v (%v), want true", shed, err)
+	}
+	if n := s.staleServed.Value(); n != 1 {
+		t.Errorf("stale_served_total = %d, want 1", n)
+	}
+
+	// Once the gate frees, the same request rebuilds fresh.
+	release()
+	res, out = post(t, srv, "/api/v1/UsedCars/cad", req)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("post-saturation status = %d: %v", res.StatusCode, out)
+	}
+	if _, degraded := out["shed"]; degraded {
+		t.Error("post-saturation response still flagged as shed")
+	}
+}
+
+// Scenario 7: when the leader of a coalesced build panics, waiters on
+// the same fingerprint must not hang on the flight channel — they fail
+// over to building it themselves.
+func TestChaosFlightLeaderPanic(t *testing.T) {
+	s, srv := newTestServer(t)
+	// The leader sleeps at the cold-build entry (long enough for the
+	// waiter to join its flight), then panics inside the core build. The
+	// waiter retries: its own cold build finds both rules spent.
+	in := fault.NewInjector().
+		Slow(fault.PointViewcacheFill, 400*time.Millisecond, 1).
+		Panic(fault.PointCoreBuild, 1)
+	t.Cleanup(fault.Activate(in))
+
+	req := map[string]any{"pivot": "Make", "k": 2}
+	statuses := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			if i == 1 {
+				// Arrive while the leader is inside the injected sleep.
+				time.Sleep(100 * time.Millisecond)
+			}
+			body, _ := json.Marshal(req)
+			res, err := http.Post(srv.URL+"/api/v1/UsedCars/cad", "application/json", bytes.NewReader(body))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			res.Body.Close()
+			statuses <- res.StatusCode
+		}(i)
+	}
+	got := map[int]int{}
+	for i := 0; i < 2; i++ {
+		select {
+		case st := <-statuses:
+			got[st]++
+		case <-time.After(10 * time.Second):
+			t.Fatal("request hung: flight channel never settled after leader panic")
+		}
+	}
+	if got[http.StatusInternalServerError] != 1 || got[http.StatusOK] != 1 {
+		t.Fatalf("statuses = %v, want one 500 (leader) and one 200 (failed-over waiter)", got)
+	}
+	waitGateIdle(t, s)
+}
+
+// saturateGate fills the gate's only slot and its whole wait queue,
+// returning an idempotent release function. Requires a server built with
+// WithMaxConcurrent(1) and WithQueueDepth(1).
+func saturateGate(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	if err := s.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		if err := s.gate.Acquire(ctx); err == nil {
+			s.gate.Release()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue waiter never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	released := false
+	release = func() {
+		if released {
+			return
+		}
+		released = true
+		cancel()
+		<-waiterDone
+		s.gate.Release()
+	}
+	t.Cleanup(release)
+	return release
+}

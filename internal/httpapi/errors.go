@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Error codes of the v1 JSON error envelope. Clients switch on Code, not
@@ -18,6 +19,17 @@ const (
 	CodeInternal   = "internal"    // unexpected server-side failure
 )
 
+// DefaultRetryAfter is the Retry-After hint (seconds) sent with load-shed
+// 503 responses. Builds are sub-second on the benchmark datasets, so a
+// saturated queue usually clears quickly.
+const DefaultRetryAfter = 1
+
+// errBuildPanicked is the flight error coalesced waiters observe when
+// the build leader panicked: the waiters cannot re-raise the leader's
+// panic, so they fail with an internal error instead (and may retry the
+// build themselves — a panic is not known to be deterministic).
+var errBuildPanicked = errors.New("httpapi: CAD build panicked")
+
 // ErrorBody is the typed JSON error envelope every non-2xx API response
 // carries: {"error": {"code": "...", "message": "..."}}.
 type ErrorBody struct {
@@ -25,25 +37,36 @@ type ErrorBody struct {
 	Message string `json:"message"`
 }
 
-// apiError pairs an HTTP status with the envelope to send.
+// apiError pairs an HTTP status with the envelope to send. retryAfter,
+// when positive, becomes a Retry-After header — load shedding tells
+// clients when to come back instead of letting them hammer a full gate.
 type apiError struct {
-	status int
-	body   ErrorBody
+	status     int
+	body       ErrorBody
+	retryAfter int // seconds; 0 = no header
 }
 
 func (e *apiError) Error() string { return e.body.Message }
 
 func errBadRequest(err error) *apiError {
-	return &apiError{http.StatusBadRequest, ErrorBody{CodeBadRequest, err.Error()}}
+	return &apiError{status: http.StatusBadRequest, body: ErrorBody{CodeBadRequest, err.Error()}}
 }
 
 func errNotFound(format string, args ...any) *apiError {
-	return &apiError{http.StatusNotFound, ErrorBody{CodeNotFound, fmt.Sprintf(format, args...)}}
+	return &apiError{status: http.StatusNotFound, body: ErrorBody{CodeNotFound, fmt.Sprintf(format, args...)}}
 }
 
 func errOverloaded(err error) *apiError {
-	return &apiError{http.StatusServiceUnavailable, ErrorBody{CodeOverloaded,
-		fmt.Sprintf("server at concurrency limit: %v", err)}}
+	return &apiError{status: http.StatusServiceUnavailable, body: ErrorBody{CodeOverloaded,
+		fmt.Sprintf("server at concurrency limit: %v", err)}, retryAfter: DefaultRetryAfter}
+}
+
+// errInternal wraps a recovered panic (or other unexpected failure) in
+// the typed envelope. The message is intentionally generic: panic values
+// can carry internal state that does not belong in a response body.
+func errInternal() *apiError {
+	return &apiError{status: http.StatusInternalServerError,
+		body: ErrorBody{CodeInternal, "internal server error"}}
 }
 
 // errFromBuild classifies an error out of the build path: context errors
@@ -52,16 +75,21 @@ func errOverloaded(err error) *apiError {
 func errFromBuild(err error) *apiError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return &apiError{http.StatusGatewayTimeout, ErrorBody{CodeTimeout, err.Error()}}
+		return &apiError{status: http.StatusGatewayTimeout, body: ErrorBody{CodeTimeout, err.Error()}}
 	case errors.Is(err, context.Canceled):
 		// 499 is the de-facto "client closed request" status; the client
 		// is usually gone, but the envelope keeps logs and tests honest.
-		return &apiError{499, ErrorBody{CodeCanceled, err.Error()}}
+		return &apiError{status: 499, body: ErrorBody{CodeCanceled, err.Error()}}
+	case errors.Is(err, errBuildPanicked):
+		return errInternal()
 	default:
 		return errBadRequest(err)
 	}
 }
 
 func writeAPIError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeJSON(w, e.status, map[string]ErrorBody{"error": e.body})
 }

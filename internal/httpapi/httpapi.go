@@ -32,6 +32,7 @@ package httpapi
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -44,6 +45,7 @@ import (
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
 	"dbexplorer/internal/facet"
+	"dbexplorer/internal/fault"
 	"dbexplorer/internal/metrics"
 	"dbexplorer/internal/parallel"
 	"dbexplorer/internal/viewcache"
@@ -62,9 +64,11 @@ type Server struct {
 	seed    int64
 	timeout time.Duration
 
-	gate  *parallel.Gate
-	cache *viewcache.Cache[*builtView]
-	cads  *viewcache.Cache[*storedCAD]
+	gate          *parallel.Gate
+	queueDepth    int
+	queueDepthSet bool
+	cache         *viewcache.Cache[*builtView]
+	cads          *viewcache.Cache[*storedCAD]
 
 	flightMu sync.Mutex
 	flights  map[viewcache.Key]*flight
@@ -73,6 +77,8 @@ type Server struct {
 	inflight    *metrics.Gauge
 	errCount    *metrics.Counter
 	rejected    *metrics.Counter
+	panics      *metrics.Counter
+	staleServed *metrics.Counter
 	cacheHits   *metrics.Counter
 	cacheMiss   *metrics.Counter
 	coalesced   *metrics.Counter
@@ -139,9 +145,19 @@ func WithRequestTimeout(d time.Duration) Option {
 
 // WithMaxConcurrent bounds how many API requests run concurrently
 // (default: the worker-pool width, parallel.Workers()). Excess requests
-// queue until a slot frees or their deadline passes.
+// queue until a slot frees, their deadline passes, or the wait queue
+// reaches its depth bound (WithQueueDepth).
 func WithMaxConcurrent(n int) Option {
 	return func(s *Server) { s.gate = parallel.NewGate(n) }
+}
+
+// WithQueueDepth bounds how many requests may wait behind a full
+// admission gate before the server sheds load — 503 with Retry-After,
+// or a degraded cache hit where one exists (see the cad route). The
+// default is 4x the gate capacity; n <= 0 removes the bound, restoring
+// queue-until-deadline behavior.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth, s.queueDepthSet = n, true }
 }
 
 // NewServer creates an empty server; add data with Register. The zero
@@ -163,6 +179,10 @@ func NewServer(opts ...Option) *Server {
 	if s.gate == nil {
 		s.gate = parallel.NewGate(0)
 	}
+	if !s.queueDepthSet {
+		s.queueDepth = 4 * s.gate.Capacity()
+	}
+	s.gate.SetQueueDepth(s.queueDepth)
 	// Interactive views outlive the build cache: highlight/reorder ids
 	// stay valid for at least as many sessions as cached builds.
 	n := 4 * s.cache.Cap()
@@ -174,6 +194,8 @@ func NewServer(opts ...Option) *Server {
 	s.inflight = s.reg.Gauge("inflight_requests")
 	s.errCount = s.reg.Counter("errors_total")
 	s.rejected = s.reg.Counter("rejected_total")
+	s.panics = s.reg.Counter("panics_recovered")
+	s.staleServed = s.reg.Counter("stale_served_total")
 	s.cacheHits = s.reg.Counter("cad_cache_hits")
 	s.cacheMiss = s.reg.Counter("cad_cache_misses")
 	s.coalesced = s.reg.Counter("cad_build_coalesced")
@@ -205,8 +227,10 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // Register adds (or replaces) a dataset under the given name. The full
 // table is the base result set. The first registered dataset becomes the
 // default one served by the deprecated unversioned routes and the
-// embedded UI. Re-registering a name replaces its data and invalidates
-// every cached CAD View built from it.
+// embedded UI. Re-registering a name replaces its data and marks every
+// cached CAD View built from it stale: fresh requests rebuild, but while
+// the gate is saturated the cad route may still serve the stale view
+// (flagged as such) instead of shedding.
 func (s *Server) Register(name string, v *dataview.View) error {
 	if name == "" {
 		return fmt.Errorf("httpapi: empty dataset name")
@@ -226,11 +250,17 @@ func (s *Server) Register(name string, v *dataview.View) error {
 	s.datasets[name] = e
 	s.reg.Gauge("datasets_registered").Set(int64(len(s.order)))
 	s.mu.Unlock()
-	// Dropped entries only matter for observability; the count lands in
+	// Marked entries only matter for observability; the count lands in
 	// the metrics registry.
-	s.reg.Counter("cache_invalidations_total").Add(int64(s.cache.InvalidateScope(name)))
+	s.reg.Counter("cache_invalidations_total").Add(int64(s.cache.MarkStaleScope(name)))
 	return nil
 }
+
+// Drain blocks until every admitted request has released its gate slot,
+// or ctx expires. It is the second step of graceful shutdown: the HTTP
+// listener stops accepting first (http.Server.Shutdown), then Drain
+// waits out the in-flight builds.
+func (s *Server) Drain(ctx context.Context) error { return s.gate.Drain(ctx) }
 
 // dataset resolves a name ("" = default) to its registered entry.
 func (s *Server) dataset(name string) (*datasetEntry, *apiError) {
@@ -257,14 +287,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/datasets", s.api("datasets", s.handleDatasets))
 	mux.HandleFunc("GET /api/v1/{dataset}/schema", s.api("schema", s.handleSchema))
 	mux.HandleFunc("POST /api/v1/{dataset}/query", s.api("query", s.handleQuery))
-	mux.HandleFunc("POST /api/v1/{dataset}/cad", s.api("cad", s.handleCAD))
+	mux.HandleFunc("POST /api/v1/{dataset}/cad", s.apiDegraded("cad", s.handleCAD, s.shedCAD))
 	mux.HandleFunc("POST /api/v1/{dataset}/highlight", s.api("highlight", s.handleHighlight))
 	mux.HandleFunc("POST /api/v1/{dataset}/reorder", s.api("reorder", s.handleReorder))
 
 	// Deprecated unversioned aliases: same handlers, default dataset.
 	mux.HandleFunc("GET /api/schema", s.api("schema", s.handleSchema))
 	mux.HandleFunc("POST /api/query", s.api("query", s.handleQuery))
-	mux.HandleFunc("POST /api/cad", s.api("cad", s.handleCAD))
+	mux.HandleFunc("POST /api/cad", s.apiDegraded("cad", s.handleCAD, s.shedCAD))
 	mux.HandleFunc("POST /api/highlight", s.api("highlight", s.handleHighlight))
 	mux.HandleFunc("POST /api/reorder", s.api("reorder", s.handleReorder))
 
@@ -277,10 +307,22 @@ func (s *Server) Handler() http.Handler {
 // handlerFunc is one API endpoint running inside a request lifecycle.
 type handlerFunc func(ctx context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError
 
+// shedFunc is a route's graceful-degradation fallback, consulted when
+// the admission gate sheds the request (queue at depth). It reports
+// whether it produced a response; false falls through to the 503.
+type shedFunc func(ctx context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) bool
+
 // api wraps an endpoint with the request lifecycle: per-route counters
 // and latency histogram, in-flight gauge, dataset resolution, request
-// deadline, and an admission-gate slot held for the handler's duration.
+// deadline, panic containment, and an admission-gate slot held for the
+// handler's duration.
 func (s *Server) api(route string, h handlerFunc) http.HandlerFunc {
+	return s.apiDegraded(route, h, nil)
+}
+
+// apiDegraded is api plus a load-shedding fallback for routes that can
+// answer degraded (e.g. cad serving a stale cached view).
+func (s *Server) apiDegraded(route string, h handlerFunc, shed shedFunc) http.HandlerFunc {
 	reqs := s.reg.Counter("requests_" + route + "_total")
 	lat := s.reg.Histogram("latency_"+route+"_seconds", metrics.DefBuckets())
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -296,7 +338,16 @@ func (s *Server) api(route string, h handlerFunc) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
 		}
-		apiErr := func() *apiError {
+		apiErr := func() (aerr *apiError) {
+			// Panic containment: a bug (or injected fault) in the build
+			// path must cost one request, not the process. The deferred
+			// gate Release runs before this recover, so no slot leaks.
+			defer func() {
+				if v := recover(); v != nil {
+					s.panics.Inc()
+					aerr = errInternal()
+				}
+			}()
 			ds, apiErr := s.dataset(r.PathValue("dataset"))
 			if apiErr != nil && route != "datasets" {
 				// The datasets listing is the one endpoint that works on an
@@ -310,6 +361,9 @@ func (s *Server) api(route string, h handlerFunc) http.HandlerFunc {
 			if !s.gate.TryAcquire() {
 				if err := s.gate.Acquire(ctx); err != nil {
 					s.rejected.Inc()
+					if errors.Is(err, parallel.ErrSaturated) && shed != nil && shed(ctx, ds, w, r) {
+						return nil
+					}
 					return errOverloaded(err)
 				}
 			}
@@ -495,6 +549,42 @@ func (s *Server) handleCAD(ctx context.Context, ds *datasetEntry, w http.Respons
 	return nil
 }
 
+// shedCAD is the cad route's graceful-degradation fallback: when the
+// admission gate sheds the request, answer from the cache anyway —
+// including entries marked stale by a dataset re-registration — rather
+// than 503. The response carries "stale" and "shed" flags so clients
+// know they got a degraded answer. Returns false (shed with 503) when
+// the request is malformed or nothing cached matches.
+func (s *Server) shedCAD(_ context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) bool {
+	var req cadRequest
+	if decode(r, &req) != nil {
+		return false
+	}
+	key, err := s.fingerprint(ds, &req)
+	if err != nil {
+		return false
+	}
+	bv, stale, ok := s.cache.GetStale(key)
+	if !ok {
+		return false
+	}
+	s.staleServed.Inc()
+	id := s.storeCAD(ds, bv.view)
+	out := *bv.view
+	out.Name = id
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"view":    &out,
+		"text":    bv.text,
+		"cached":  true,
+		"stale":   stale,
+		"shed":    true,
+		"buildMs": float64(bv.tm.Total().Microseconds()) / 1e3,
+		"timings": timingsJSON(bv.tm),
+	})
+	return true
+}
+
 func timingsJSON(tm core.Timings) map[string]float64 {
 	out := make(map[string]float64, 3)
 	for _, st := range tm.Stages() {
@@ -540,12 +630,28 @@ func (s *Server) buildCAD(ctx context.Context, ds *datasetEntry, key viewcache.K
 		s.flightMu.Unlock()
 
 		s.cacheMiss.Inc()
+		settled := false
+		defer func() {
+			if settled {
+				return
+			}
+			// The leader panicked mid-build. Fail the flight before the
+			// panic continues to the recovery middleware, so coalesced
+			// waiters get an error instead of blocking forever on a done
+			// channel that would never close.
+			f.err = errBuildPanicked
+			s.flightMu.Lock()
+			delete(s.flights, key)
+			s.flightMu.Unlock()
+			close(f.done)
+		}()
 		f.bv, f.err = s.coldBuild(ctx, ds, req)
 
 		s.flightMu.Lock()
 		delete(s.flights, key)
 		s.flightMu.Unlock()
 		close(f.done)
+		settled = true
 
 		if f.err != nil {
 			return nil, false, f.err
@@ -558,6 +664,9 @@ func (s *Server) buildCAD(ctx context.Context, ds *datasetEntry, key viewcache.K
 // coldBuild runs one full CAD View construction and records its stage
 // timings in the metrics registry.
 func (s *Server) coldBuild(ctx context.Context, ds *datasetEntry, req *cadRequest) (*builtView, error) {
+	if err := fault.Hit(ctx, fault.PointViewcacheFill); err != nil {
+		return nil, err
+	}
 	sess, err := ds.session(req.Filters)
 	if err != nil {
 		return nil, err

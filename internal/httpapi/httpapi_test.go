@@ -587,7 +587,10 @@ func TestOverloadedGate(t *testing.T) {
 }
 
 func TestConcurrentRequests(t *testing.T) {
-	srv := testServer(t)
+	// Unbounded queue: this test measures correctness under contention,
+	// not shedding, and 8 workers can exceed the default depth on small
+	// machines (shedding behavior is covered by the chaos suite).
+	_, srv := newTestServer(t, WithQueueDepth(0))
 	const workers = 8
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,17 @@
+package httpapi
+
+import (
+	"os"
+	"testing"
+
+	"dbexplorer/internal/dataset"
+)
+
+// TestMain arms the dataset alias guard for the whole serving-stack
+// suite: any handler path that mutates an index-owned posting bitmap in
+// place panics (and the chaos middleware assertions would see an
+// unexpected 500) instead of silently corrupting a shared index.
+func TestMain(m *testing.M) {
+	dataset.SetAliasGuard(true)
+	os.Exit(m.Run())
+}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -88,4 +89,153 @@ func TestGateUnbalancedReleasePanics(t *testing.T) {
 		}
 	}()
 	NewGate(1).Release()
+}
+
+func TestGateQueueDepthSheds(t *testing.T) {
+	g := NewGate(1)
+	g.SetQueueDepth(2)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the wait queue to its depth.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			err := g.Acquire(ctx)
+			if err == nil {
+				g.Release()
+			}
+			done <- err
+		}()
+	}
+	waitFor(t, func() bool { return g.Waiting() == 2 })
+
+	// The queue is at depth: further acquires fail fast with ErrSaturated
+	// instead of queueing.
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Acquire on saturated gate = %v, want ErrSaturated", err)
+	}
+
+	// Free slots never count as queueing, regardless of the depth bound.
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v", err)
+		}
+	}
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on free gate = %v", err)
+	}
+	g.Release()
+}
+
+func TestGateQueueDepthUnboundedByDefault(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Many waiters queue happily with no depth configured.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- g.Acquire(ctx) }()
+	}
+	waitFor(t, func() bool { return g.Waiting() == 8 })
+	cancel()
+	for i := 0; i < 8; i++ {
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v", err)
+		}
+	}
+	g.Release()
+}
+
+func TestGateDrainWaitsForHolders(t *testing.T) {
+	g := NewGate(3)
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain cannot finish while slots are held.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with held slots = %v, want deadline exceeded", err)
+	}
+	// A failed Drain releases whatever it partially acquired.
+	if got := g.InUse(); got != 3 {
+		t.Fatalf("InUse after failed Drain = %d, want 3", got)
+	}
+
+	// Release the holders concurrently; Drain completes and hands the
+	// capacity back.
+	go func() {
+		for i := 0; i < 3; i++ {
+			time.Sleep(5 * time.Millisecond)
+			g.Release()
+		}
+	}()
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after Drain = %d, want 0", got)
+	}
+}
+
+// TestGateCancellationStorm hammers one gate from many goroutines whose
+// contexts cancel at random points, asserting no slot is ever leaked:
+// after the storm the gate must drain to zero and still admit work.
+func TestGateCancellationStorm(t *testing.T) {
+	g := NewGate(4)
+	g.SetQueueDepth(8)
+	const goroutines = 32
+	const rounds = 50
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Vary the deadline so some acquires win a slot, some time
+				// out mid-queue, and some shed on the depth bound.
+				d := time.Duration(i+r) % 3 * 100 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				err := g.Acquire(ctx)
+				if err == nil {
+					time.Sleep(50 * time.Microsecond)
+					g.Release()
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("slots leaked by cancellation storm: InUse = %d", got)
+	}
+	if got := g.Waiting(); got != 0 {
+		t.Fatalf("waiter count leaked: Waiting = %d", got)
+	}
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("gate unusable after storm: %v", err)
+	}
+	g.Release()
+}
+
+// waitFor polls until cond holds, failing the test after 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

@@ -17,12 +17,39 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// panicBox collects the first panic raised by a pool worker so the
+// helper can re-raise it on the caller's goroutine. Without this, a
+// panicking worker kills the whole process before any recovery
+// middleware up the caller's stack (e.g. the HTTP serving layer) can
+// turn it into an error response.
+type panicBox struct {
+	once sync.Once
+	val  any
+}
+
+// capture records the panic value of the current goroutine, keeping the
+// first one when several workers panic. It must be deferred.
+func (p *panicBox) capture() {
+	if r := recover(); r != nil {
+		p.once.Do(func() { p.val = r })
+	}
+}
+
+// rethrow re-raises the captured panic, if any, with its original value
+// preserved so recovery layers can still type-switch on it.
+func (p *panicBox) rethrow() {
+	if p.val != nil {
+		panic(p.val)
+	}
+}
+
 // ForChunks splits [0, n) into at most Workers() contiguous chunks of at
 // least minChunk items each and runs fn(lo, hi) for every chunk,
 // blocking until all chunks are done. When the range is too small to
 // fill two chunks the call runs inline on the caller's goroutine, so
 // cheap inputs pay no synchronization cost. fn must be safe to call
-// concurrently for disjoint ranges.
+// concurrently for disjoint ranges. If fn panics, the first panic is
+// re-raised on the caller's goroutine after every chunk finishes.
 func ForChunks(n, minChunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -39,6 +66,7 @@ func ForChunks(n, minChunk int, fn func(lo, hi int)) {
 		return
 	}
 	size := (n + chunks - 1) / chunks
+	var pb panicBox
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
@@ -48,16 +76,20 @@ func ForChunks(n, minChunk int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pb.capture()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // Do runs fn(0) … fn(n-1) with at most Workers() goroutines pulling
 // indices from a shared counter, blocking until all calls return. Use it
 // for independent tasks of uneven cost (e.g. one CAD View pivot row per
-// index); results must be written to per-index slots by fn.
+// index); results must be written to per-index slots by fn. If fn
+// panics, a panicking worker stops pulling indices and the first panic
+// is re-raised on the caller's goroutine after all workers finish.
 func Do(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -72,6 +104,7 @@ func Do(n int, fn func(i int)) {
 		}
 		return
 	}
+	var pb panicBox
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -79,6 +112,7 @@ func Do(n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer pb.capture()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
@@ -89,4 +123,5 @@ func Do(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	pb.rethrow()
 }

@@ -57,3 +57,38 @@ func TestWorkersPositive(t *testing.T) {
 		t.Errorf("Workers() = %d", Workers())
 	}
 }
+
+func TestDoPropagatesWorkerPanic(t *testing.T) {
+	// A panic in one worker must surface on the caller's goroutine — with
+	// the original panic value, so recovery layers can type-switch on it —
+	// instead of crashing the process from inside the pool.
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if s, ok := v.(string); !ok || s != "boom-7" {
+			t.Fatalf("recovered %v (%T), want the original panic value", v, v)
+		}
+	}()
+	Do(64, func(i int) {
+		if i == 7 {
+			panic("boom-7")
+		}
+	})
+	t.Fatal("Do returned normally despite a panicking worker")
+}
+
+func TestForChunksPropagatesWorkerPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	ForChunks(10_000, 64, func(lo, hi int) {
+		if lo <= 5000 && 5000 < hi {
+			panic("chunk panic")
+		}
+	})
+	t.Fatal("ForChunks returned normally despite a panicking worker")
+}

@@ -54,8 +54,9 @@ type Cache[V any] struct {
 }
 
 type entry[V any] struct {
-	key Key
-	val V
+	key   Key
+	val   V
+	stale bool // see MarkStaleScope / GetStale
 }
 
 // New returns an LRU holding at most capacity entries. A capacity <= 0
@@ -74,16 +75,35 @@ func (c *Cache[V]) Len() int {
 	return c.ll.Len()
 }
 
-// Get returns the cached value and marks it most recently used.
+// Get returns the cached value and marks it most recently used. Entries
+// marked stale (MarkStaleScope) miss here — fresh reads never observe an
+// outdated result — but remain reachable through GetStale for callers
+// that would rather degrade than shed.
 func (c *Cache[V]) Get(k Key) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.m[k]; ok {
+	if el, ok := c.m[k]; ok && !el.Value.(*entry[V]).stale {
 		c.ll.MoveToFront(el)
 		return el.Value.(*entry[V]).val, true
 	}
 	var zero V
 	return zero, false
+}
+
+// GetStale returns the cached value even if it has been marked stale,
+// along with the staleness flag. Graceful degradation uses this: when
+// the build path is saturated, serving a slightly-outdated view beats a
+// 503. The entry is marked most recently used either way.
+func (c *Cache[V]) GetStale(k Key) (v V, stale, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*entry[V])
+		return e.val, e.stale, true
+	}
+	var zero V
+	return zero, false, false
 }
 
 // Put inserts or replaces the value for k, evicting the least recently
@@ -95,7 +115,9 @@ func (c *Cache[V]) Put(k Key, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[k]; ok {
-		el.Value.(*entry[V]).val = v
+		e := el.Value.(*entry[V])
+		e.val = v
+		e.stale = false // a fresh value supersedes any stale mark
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -125,6 +147,26 @@ func (c *Cache[V]) InvalidateScope(scope string) int {
 		el = next
 	}
 	return dropped
+}
+
+// MarkStaleScope flags every entry of the scope as stale instead of
+// dropping it, returning how many were flagged (already-stale entries
+// count too). Stale entries miss Get but stay available via GetStale
+// until evicted or overwritten by Put — the degradation window between
+// "dataset changed" and "views rebuilt".
+func (c *Cache[V]) MarkStaleScope(scope string) int {
+	prefix := Key(scope + scopeSep)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	marked := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[V])
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			e.stale = true
+			marked++
+		}
+	}
+	return marked
 }
 
 // Clear empties the cache.

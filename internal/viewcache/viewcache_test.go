@@ -107,3 +107,61 @@ func TestClear(t *testing.T) {
 		t.Error("cleared entry still retrievable")
 	}
 }
+
+func TestMarkStaleScope(t *testing.T) {
+	c := New[int](8)
+	a1 := NewKey("a", "f1")
+	a2 := NewKey("a", "f2")
+	b1 := NewKey("b", "f1")
+	c.Put(a1, 1)
+	c.Put(a2, 2)
+	c.Put(b1, 3)
+
+	if marked := c.MarkStaleScope("a"); marked != 2 {
+		t.Fatalf("marked %d entries, want 2", marked)
+	}
+	// Stale entries miss Get...
+	if _, ok := c.Get(a1); ok {
+		t.Fatal("Get returned a stale entry")
+	}
+	// ...but other scopes are untouched...
+	if v, ok := c.Get(b1); !ok || v != 3 {
+		t.Fatalf("unrelated scope affected: %d, %v", v, ok)
+	}
+	// ...and GetStale still serves them, flagged.
+	v, stale, ok := c.GetStale(a1)
+	if !ok || !stale || v != 1 {
+		t.Fatalf("GetStale = (%d, %v, %v), want (1, true, true)", v, stale, ok)
+	}
+	// A fresh GetStale on a live entry reports stale=false.
+	if _, stale, ok := c.GetStale(b1); !ok || stale {
+		t.Fatalf("GetStale on a fresh entry reported stale=%v, ok=%v", stale, ok)
+	}
+	// Put supersedes the stale mark.
+	c.Put(a1, 10)
+	if v, ok := c.Get(a1); !ok || v != 10 {
+		t.Fatalf("Put did not clear staleness: %d, %v", v, ok)
+	}
+	// Entries still count toward capacity and remain evictable.
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestStaleEntriesEvictNormally(t *testing.T) {
+	c := New[int](2)
+	k1, k2, k3 := NewKey("s", "1"), NewKey("s", "2"), NewKey("s", "3")
+	c.Put(k1, 1)
+	c.Put(k2, 2)
+	c.MarkStaleScope("s")
+	c.Put(k3, 3) // evicts the LRU stale entry
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, _, ok := c.GetStale(k1); ok {
+		t.Fatal("LRU stale entry survived eviction")
+	}
+	if _, stale, ok := c.GetStale(k2); !ok || !stale {
+		t.Fatalf("expected k2 to remain, stale: got %v, %v", stale, ok)
+	}
+}
