@@ -141,6 +141,32 @@ func BenchmarkFig8ResultSize(b *testing.B) {
 	}
 }
 
+// BenchmarkCADViewBuildPath contrasts the row-scan reference pipeline
+// with the bitmap-native build (auto cost dispatch) on the Figure-8
+// worst case, at the 40K full-table result. Same output byte for byte —
+// the equivalence corpus asserts it — so the delta is pure pipeline
+// cost.
+func BenchmarkCADViewBuildPath(b *testing.B) {
+	fixtures(b)
+	for _, bench := range []struct {
+		name string
+		path core.BuildPath
+	}{
+		{"Scan", core.PathScan},
+		{"Bitmap", core.PathAuto},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := fig8Config(15)
+			cfg.Path = bench.path
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Build(carView, carRows, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig9GeneratedIUnits sweeps the number of generated IUnits l
 // at a fixed 10K result (Figure 9).
 func BenchmarkFig9GeneratedIUnits(b *testing.B) {

@@ -20,9 +20,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -47,6 +49,7 @@ func main() {
 		maxConc = flag.Int("max-concurrent", 0, "max concurrent API requests (0 = worker-pool width)")
 		queue   = flag.Int("queue-depth", 0, "requests allowed to wait for a slot before shedding (0 = 4x max-concurrent)")
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		debug   = flag.String("debug-addr", "", "private listen address for pprof/metrics/expvar (empty disables)")
 	)
 	flag.Parse()
 
@@ -82,10 +85,36 @@ func main() {
 			table.Name(), table.NumRows(), *addr, table.Name())
 	}
 
+	if *debug != "" {
+		serveDebug(*debug, srv)
+	}
+
 	fmt.Printf("DBExplorer serving on http://%s/  (metrics: http://%s/debug/metrics)\n", *addr, *addr)
 	if err := run(*addr, *drain, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// serveDebug starts the private observability listener: pprof profiles,
+// the metrics snapshot, and expvar, on their own address so profiling
+// endpoints are never exposed through the public API port. Off unless
+// -debug-addr is set; a listen failure degrades to a warning rather than
+// taking the serving process down.
+func serveDebug(addr string, srv *httpapi.Server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/metrics", srv.Metrics())
+	mux.Handle("/debug/vars", expvar.Handler())
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: debug listener on %s failed: %v\n", addr, err)
+		}
+	}()
+	fmt.Printf("debug endpoints on http://%s/debug/pprof/ (private)\n", addr)
 }
 
 // run serves until SIGINT/SIGTERM, then shuts down gracefully: stop

@@ -66,10 +66,62 @@ func EncodeSparse(v *dataview.View, rows dataset.RowSet, attrs []string) (*Spars
 		Dim:     dim,
 		Offsets: enc.Offsets,
 	}
+	codes := make([][]int32, len(cols))
+	for a, c := range cols {
+		codes[a] = c.Codes()
+	}
 	for i, r := range rows {
 		row := sp.Codes[i*sp.A : (i+1)*sp.A]
-		for a, c := range cols {
-			row[a] = int32(c.Code(r))
+		for a := range codes {
+			row[a] = codes[a][r]
+		}
+	}
+	return sp, enc, nil
+}
+
+// EncodeSparseBitmap encodes the given attributes over the rows of bm in
+// sparse form, reading posting bitmaps instead of per-row code lookups:
+// for each attribute, each code's posting set is intersected with bm and
+// its rows scattered into the code matrix at their rank within bm (a
+// prefix-popcount rank table makes the position an O(1) lookup). Point i
+// corresponds to the i-th smallest row of bm, so the result is identical
+// to EncodeSparse over bm.ToRowSet(). Work scales with Σcards·words
+// rather than rows·attrs, which wins when the row set is a large slice
+// of the table.
+func EncodeSparseBitmap(v *dataview.View, bm *dataset.Bitmap, attrs []string) (*SparsePoints, *Encoding, error) {
+	if len(attrs) == 0 {
+		return nil, nil, fmt.Errorf("cluster: no attributes to encode")
+	}
+	enc := &Encoding{Attrs: append([]string(nil), attrs...)}
+	cols := make([]*dataview.Column, len(attrs))
+	dim := 0
+	for i, name := range attrs {
+		c, err := v.Column(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = c
+		enc.Offsets = append(enc.Offsets, dim)
+		enc.Cards = append(enc.Cards, c.Cardinality())
+		dim += c.Cardinality()
+	}
+	enc.Offsets = append(enc.Offsets, dim)
+	n := bm.Len()
+	sp := &SparsePoints{
+		Codes:   make([]int32, n*len(attrs)),
+		N:       n,
+		A:       len(attrs),
+		Dim:     dim,
+		Offsets: enc.Offsets,
+	}
+	rk := bm.Ranks()
+	for a, c := range cols {
+		posts := c.Postings()
+		for code := 0; code < c.Cardinality() && code < len(posts); code++ {
+			cc := int32(code)
+			posts[code].ForEachAnd(bm, func(r int) {
+				sp.Codes[rk.Rank(r)*sp.A+a] = cc
+			})
 		}
 	}
 	return sp, enc, nil
@@ -83,40 +135,114 @@ type groupSet struct {
 	codes  []int32 // row-major G×A, distinct tuples in first-occurrence order
 	weight []int   // weight[g] is the number of points in group g
 	of     []int32 // of[i] is the group of point i
+	rep    []int32 // rep[g] is the first point index of group g
 	g      int     // number of groups
 	a      int     // attributes per tuple
 }
 
 func (gs *groupSet) rowCodes(g int) []int32 { return gs.codes[g*gs.a : (g+1)*gs.a] }
 
-// collapse groups identical points, caching the result on sp.
+// collapse groups identical points, caching the result on sp. Groups are
+// found by per-attribute integer refinement rather than hashing whole
+// tuples: start with every point in one group, then for each attribute
+// split groups on the attribute's code via a (group, code) remap. Each
+// round assigns new group ids in point order, so after the last attribute
+// the ids sit in first-occurrence order of the full tuples — the same
+// numbering a tuple-keyed map produces — without any per-point key
+// construction. The remap is a dense array while g·card stays within a
+// small multiple of N, and falls back to a map when a refinement round
+// would blow that up (pathologically high-cardinality attributes).
 func (sp *SparsePoints) collapse() *groupSet {
 	sp.collapseOnce.Do(func() {
-		gs := &groupSet{of: make([]int32, sp.N), a: sp.A}
-		key := make([]byte, sp.A*4)
-		ids := make(map[string]int32, sp.N/4+1)
-		for i := 0; i < sp.N; i++ {
-			row := sp.RowCodes(i)
-			for a, c := range row {
-				key[a*4] = byte(c)
-				key[a*4+1] = byte(c >> 8)
-				key[a*4+2] = byte(c >> 16)
-				key[a*4+3] = byte(c >> 24)
+		n := sp.N
+		ids := make([]int32, n) // current group of each point; one group to start
+		next := make([]int32, n)
+		g := 1
+		if n == 0 {
+			g = 0
+		}
+		for a := 0; a < sp.A; a++ {
+			card := sp.Offsets[a+1] - sp.Offsets[a]
+			ng := 0
+			if keys := g * card; keys <= 4*n {
+				remap := make([]int32, keys)
+				for i := range remap {
+					remap[i] = -1
+				}
+				for i := 0; i < n; i++ {
+					k := int(ids[i])*card + int(sp.Codes[i*sp.A+a])
+					id := remap[k]
+					if id < 0 {
+						id = int32(ng)
+						remap[k] = id
+						ng++
+					}
+					next[i] = id
+				}
+			} else {
+				remap := make(map[int64]int32, g)
+				for i := 0; i < n; i++ {
+					k := int64(ids[i])*int64(card) + int64(sp.Codes[i*sp.A+a])
+					id, ok := remap[k]
+					if !ok {
+						id = int32(ng)
+						remap[k] = id
+						ng++
+					}
+					next[i] = id
+				}
 			}
-			id, ok := ids[string(key)]
-			if !ok {
-				id = int32(gs.g)
-				ids[string(key)] = id
-				gs.codes = append(gs.codes, row...)
-				gs.weight = append(gs.weight, 0)
-				gs.g++
-			}
+			ids, next = next, ids
+			g = ng
+		}
+		gs := &groupSet{
+			codes:  make([]int32, g*sp.A),
+			weight: make([]int, g),
+			of:     ids,
+			rep:    make([]int32, g),
+			g:      g,
+			a:      sp.A,
+		}
+		for i := 0; i < n; i++ {
+			id := ids[i]
 			gs.weight[id]++
-			gs.of[i] = id
+			if gs.weight[id] == 1 {
+				gs.rep[id] = int32(i)
+				copy(gs.codes[int(id)*sp.A:(int(id)+1)*sp.A], sp.RowCodes(i))
+			}
 		}
 		sp.groups = gs
 	})
 	return sp.groups
+}
+
+// CodeCountsByCluster tallies, per cluster and encoded attribute, how
+// many of the cluster's points carry each code — exactly the frequency
+// tables IUnit labeling builds by re-reading member rows, derived here
+// from the collapsed groups instead (weight[g] points at a time). assign
+// must be constant within each duplicate group, which holds for every
+// KMeans result on sp: assignment is computed per group and fanned out
+// to points. Entries of assign outside [0, k) are skipped.
+func (sp *SparsePoints) CodeCountsByCluster(assign []int, k int) [][][]int {
+	gs := sp.collapse()
+	counts := make([][][]int, k)
+	for c := range counts {
+		counts[c] = make([][]int, sp.A)
+		for a := 0; a < sp.A; a++ {
+			counts[c][a] = make([]int, sp.Offsets[a+1]-sp.Offsets[a])
+		}
+	}
+	for g := 0; g < gs.g; g++ {
+		c := assign[gs.rep[g]]
+		if c < 0 || c >= k {
+			continue
+		}
+		w := gs.weight[g]
+		for a, code := range gs.rowCodes(g) {
+			counts[c][a][code] += w
+		}
+	}
+	return counts
 }
 
 // subCollapse re-collapses the points idx (in order) against an existing
@@ -135,6 +261,7 @@ func subCollapse(full *groupSet, idx []int) *groupSet {
 			remap[fg] = id
 			gs.codes = append(gs.codes, full.rowCodes(int(fg))...)
 			gs.weight = append(gs.weight, 0)
+			gs.rep = append(gs.rep, int32(j))
 			gs.g++
 		}
 		gs.weight[id]++

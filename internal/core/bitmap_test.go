@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dbexplorer/internal/cluster"
+	"dbexplorer/internal/dataset"
+)
+
+// randomRows draws a random subset of [0, n) as a sorted row set and the
+// equivalent bitmap.
+func randomRows(rng *rand.Rand, n int) (dataset.RowSet, *dataset.Bitmap) {
+	density := 0.05 + rng.Float64()*0.9
+	bm := dataset.NewBitmap(n)
+	var rows dataset.RowSet
+	for r := 0; r < n; r++ {
+		if rng.Float64() < density {
+			bm.Add(r)
+			rows = append(rows, r)
+		}
+	}
+	return rows, bm
+}
+
+// TestResolvePivotValuesBitmapMatchesScan is the partition property test:
+// over random result subsets, both pivot resolvers must produce the same
+// value order and identical per-value row subsets — default order and
+// explicit values, categorical and numeric pivots.
+func TestResolvePivotValuesBitmapMatchesScan(t *testing.T) {
+	v, _ := miniCars(t, 500, 3)
+	n := v.Table().NumRows()
+	for _, pivot := range []string{"Make", "Price"} {
+		pivotCol, err := v.Column(pivot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 15; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*31 + 7))
+			rows, bm := randomRows(rng, n)
+			if len(rows) == 0 {
+				continue
+			}
+			var explicit []string
+			if trial%3 == 1 {
+				explicit = []string{"Alpha", "Gamma"}
+				if pivot == "Price" {
+					explicit = pivotCol.Labels()[:2]
+				}
+			}
+			wantVals, wantRows, err := resolvePivotValues(v, pivotCol, rows, explicit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotVals, gotRows, gotBms, err := resolvePivotValuesBitmap(pivotCol, bm, explicit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantVals, gotVals) {
+				t.Fatalf("pivot %s trial %d: values = %v, want %v", pivot, trial, gotVals, wantVals)
+			}
+			for _, val := range wantVals {
+				if !reflect.DeepEqual([]int(wantRows[val]), []int(gotRows[val])) {
+					t.Fatalf("pivot %s trial %d: rows[%s] = %v, want %v", pivot, trial, val, gotRows[val], wantRows[val])
+				}
+				if b := gotBms[val]; b != nil && !reflect.DeepEqual([]int(b.ToRowSet()), []int(wantRows[val])) {
+					t.Fatalf("pivot %s trial %d: bitmap[%s] disagrees with rows", pivot, trial, val)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleRowsBitmapMatchesSampleRows pins the bitmap sampler to the
+// scan sampler position for position — the sample feeds the class remap,
+// so even a reordering of identical rows would change downstream output.
+func TestSampleRowsBitmapMatchesSampleRows(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 11))
+		n := 40 + rng.Intn(500)
+		rows, bm := randomRows(rng, n)
+		if len(rows) == 0 {
+			continue
+		}
+		size := 1 + rng.Intn(len(rows)+10)
+		seed := rng.Int63() - rng.Int63()
+		want := sampleRows(rows, size, seed)
+		got := sampleRowsBitmap(bm, size, seed)
+		if !reflect.DeepEqual([]int(want), []int(got)) {
+			t.Fatalf("trial %d (n=%d size=%d seed=%d):\n got %v\nwant %v", trial, len(rows), size, seed, got, want)
+		}
+	}
+}
+
+// TestEncodeSparseBitmapMatchesEncodeSparse checks the posting-driven
+// sparse encoder produces the identical code matrix to the row scan.
+func TestEncodeSparseBitmapMatchesEncodeSparse(t *testing.T) {
+	v, _ := miniCars(t, 400, 5)
+	n := v.Table().NumRows()
+	attrs := []string{"Model", "Engine", "Price", "Color"}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 13))
+		rows, bm := randomRows(rng, n)
+		if len(rows) == 0 {
+			continue
+		}
+		want, wantEnc, err := cluster.EncodeSparse(v, rows, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotEnc, err := cluster.EncodeSparseBitmap(v, bm, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Codes, got.Codes) || want.N != got.N || want.Dim != got.Dim {
+			t.Fatalf("trial %d: sparse encodings differ", trial)
+		}
+		if !reflect.DeepEqual(wantEnc, gotEnc) {
+			t.Fatalf("trial %d: encoding metadata differs", trial)
+		}
+	}
+}
+
+// TestBuildPathsByteIdentical is the top-level bit-identity guarantee:
+// the scan, auto, and forced-bitmap pipelines must render byte-identical
+// CAD Views across a spread of configurations.
+func TestBuildPathsByteIdentical(t *testing.T) {
+	v, rows := miniCars(t, 700, 21)
+	configs := []Config{
+		{Pivot: "Make", Seed: 1},
+		{Pivot: "Make", K: 2, L: 5, Seed: 9, Parallel: true},
+		{Pivot: "Price", K: 3, Seed: 4},
+		{Pivot: "Make", PivotValues: []string{"Gamma", "Alpha"}, Seed: 2},
+		{Pivot: "Make", CompareAttrs: []string{"Color"}, MaxCompare: 3, Seed: 3},
+		{Pivot: "Make", FeatureSampleSize: 120, ClusterSampleSize: 150, Seed: 8},
+		{Pivot: "Make", AutoL: true, K: 2, Seed: 6},
+	}
+	for i, cfg := range configs {
+		scan := cfg
+		scan.Path = PathScan
+		want, _, err := Build(v, rows, scan)
+		if err != nil {
+			t.Fatalf("config %d scan: %v", i, err)
+		}
+		for _, path := range []BuildPath{PathAuto, PathBitmap} {
+			run := cfg
+			run.Path = path
+			got, _, err := Build(v, rows, run)
+			if err != nil {
+				t.Fatalf("config %d path %d: %v", i, path, err)
+			}
+			if Render(want, nil) != Render(got, nil) {
+				t.Errorf("config %d path %d: rendered CAD View differs from scan path", i, path)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("config %d path %d: CAD View structure differs from scan path", i, path)
+			}
+		}
+	}
+}

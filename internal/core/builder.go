@@ -73,9 +73,34 @@ type Config struct {
 	// identical to the sequential build (all randomness is seeded per
 	// pivot value); only wall-clock changes.
 	Parallel bool
+	// Path selects the build implementation. PathAuto (the default) runs
+	// the posting-bitmap pipeline with per-stage cost dispatch; PathScan
+	// forces the row-at-a-time reference path; PathBitmap forces bitmap
+	// algebra even where a scan would be cheaper. All three produce
+	// byte-identical CAD Views — the knob exists for equivalence tests
+	// and benchmarks.
+	Path BuildPath
 	// Labeling controls cluster label construction.
 	Labeling LabelOptions
+
+	// defaultRanker records whether Ranker was left nil and filled by
+	// withDefaults — only then may the bitmap path substitute the
+	// contingency sweep's bitmap form for the ranker call.
+	defaultRanker bool
 }
+
+// BuildPath selects between the bitmap-native build pipeline and the
+// row-scan reference implementation.
+type BuildPath int
+
+const (
+	// PathAuto uses posting bitmaps with per-candidate cost dispatch.
+	PathAuto BuildPath = iota
+	// PathScan forces the row-at-a-time reference pipeline.
+	PathScan
+	// PathBitmap forces bitmap algebra in every stage.
+	PathBitmap
+)
 
 func (c Config) withDefaults() Config {
 	if c.MaxCompare <= 0 {
@@ -98,14 +123,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Ranker == nil {
 		c.Ranker = featsel.ChiSquareContext
+		c.defaultRanker = true
 	}
 	return c
 }
 
 // Timings decomposes CAD View construction time the way Figure 8 reports
-// it: Compare Attribute selection, IUnit generation (clustering), and
-// everything else (labeling, ranking, top-k, similarity).
+// it: posting-index warm-up, Compare Attribute selection, IUnit
+// generation (clustering), and everything else (labeling, ranking,
+// top-k, similarity). Index is the one-off cost of building the posting
+// bitmaps the bitmap pipeline consumes; it lands on the first build over
+// a table and is ~0 afterwards. Keeping it as its own stage stops that
+// warm-up from being misattributed to feature selection in EXPLAIN and
+// diagnostics.
 type Timings struct {
+	Index         time.Duration
 	CompareSelect time.Duration
 	Cluster       time.Duration
 	Other         time.Duration
@@ -113,7 +145,7 @@ type Timings struct {
 
 // Total returns the end-to-end construction time.
 func (t Timings) Total() time.Duration {
-	return t.CompareSelect + t.Cluster + t.Other
+	return t.Index + t.CompareSelect + t.Cluster + t.Other
 }
 
 // Stages returns the named stage durations in report order, so metrics
@@ -127,6 +159,7 @@ func (t Timings) Stages() []struct {
 		Name string
 		D    time.Duration
 	}{
+		{"index", t.Index},
 		{"compare_select", t.CompareSelect},
 		{"cluster", t.Cluster},
 		{"other", t.Other},
@@ -163,24 +196,69 @@ func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cf
 		return nil, tm, fmt.Errorf("core: empty result set")
 	}
 
+	// The bitmap pipeline enters bitmap algebra once at the top: pack the
+	// result set and warm every column's posting sets, so the one-off
+	// posting construction is attributed to the Index stage instead of
+	// smeared over feature selection. On a warm table this stage is the
+	// cost of packing one bitmap.
+	useBitmap := cfg.Path != PathScan
+	var bm *dataset.Bitmap
+	if useBitmap {
+		start := time.Now()
+		bm = rows.Bitmap(v.Table().NumRows())
+		warmPivotPostings(v, cfg.Pivot)
+		tm.Index = time.Since(start)
+	}
+
 	// Resolve pivot values and their row subsets.
-	pivotValues, rowsByValue, err := resolvePivotValues(v, pivotCol, rows, cfg.PivotValues)
+	var (
+		pivotValues []string
+		rowsByValue map[string]dataset.RowSet
+		bmByValue   map[string]*dataset.Bitmap
+	)
+	if useBitmap {
+		pivotValues, rowsByValue, bmByValue, err = resolvePivotValuesBitmap(pivotCol, bm, cfg.PivotValues)
+	} else {
+		pivotValues, rowsByValue, err = resolvePivotValues(v, pivotCol, rows, cfg.PivotValues)
+	}
 	if err != nil {
 		return nil, tm, err
 	}
-	rowsV := make(dataset.RowSet, 0, len(rows))
-	for _, val := range pivotValues {
-		rowsV = append(rowsV, rowsByValue[val]...)
-	}
-	sort.Ints(rowsV)
-	if len(rowsV) == 0 {
-		return nil, tm, fmt.Errorf("core: no result rows carry the selected pivot values")
-	}
 
-	// Problem 1.1: Compare Attribute selection.
-	start := time.Now()
-	compareAttrs, err := selectCompareAttrs(ctx, v, rowsV, cfg)
-	tm.CompareSelect = time.Since(start)
+	// Problem 1.1: Compare Attribute selection over the rows that carry
+	// the selected pivot values.
+	var compareAttrs []string
+	if useBitmap {
+		// With default (all-present) pivot values the union of the
+		// per-value posting intersections is exactly the result set.
+		bmV := bm
+		if len(cfg.PivotValues) > 0 {
+			bmV = dataset.NewBitmap(bm.Universe())
+			for _, val := range pivotValues {
+				if b := bmByValue[val]; b != nil {
+					bmV.OrWith(b)
+				}
+			}
+		}
+		if bmV.Len() == 0 {
+			return nil, tm, fmt.Errorf("core: no result rows carry the selected pivot values")
+		}
+		start := time.Now()
+		compareAttrs, err = selectCompareAttrsBitmap(ctx, v, bmV, cfg)
+		tm.CompareSelect = time.Since(start)
+	} else {
+		rowsV := make(dataset.RowSet, 0, len(rows))
+		for _, val := range pivotValues {
+			rowsV = append(rowsV, rowsByValue[val]...)
+		}
+		sort.Ints(rowsV)
+		if len(rowsV) == 0 {
+			return nil, tm, fmt.Errorf("core: no result rows carry the selected pivot values")
+		}
+		start := time.Now()
+		compareAttrs, err = selectCompareAttrs(ctx, v, rowsV, cfg)
+		tm.CompareSelect = time.Since(start)
+	}
 	if err != nil {
 		return nil, tm, err
 	}
@@ -199,11 +277,18 @@ func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cf
 	for _, val := range pivotValues {
 		view.Rows = append(view.Rows, &PivotRow{Value: val, Count: len(rowsByValue[val])})
 	}
+	bmFor := func(val string) *dataset.Bitmap {
+		if bmByValue == nil {
+			return nil
+		}
+		return bmByValue[val]
+	}
 	if cfg.Parallel {
 		errs := make([]error, len(pivotValues))
 		times := make([]Timings, len(pivotValues))
 		parallel.Do(len(pivotValues), func(vi int) {
-			errs[vi] = buildPivotRow(ctx, v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &times[vi])
+			val := view.Rows[vi].Value
+			errs[vi] = buildPivotRow(ctx, v, view, view.Rows[vi], rowsByValue[val], bmFor(val), cfg, int64(vi), &times[vi])
 		})
 		for vi := range pivotValues {
 			if errs[vi] != nil {
@@ -214,7 +299,8 @@ func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cf
 		}
 	} else {
 		for vi := range pivotValues {
-			if err := buildPivotRow(ctx, v, view, view.Rows[vi], rowsByValue[view.Rows[vi].Value], cfg, int64(vi), &tm); err != nil {
+			val := view.Rows[vi].Value
+			if err := buildPivotRow(ctx, v, view, view.Rows[vi], rowsByValue[val], bmFor(val), cfg, int64(vi), &tm); err != nil {
 				return nil, tm, err
 			}
 		}
@@ -224,8 +310,12 @@ func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cf
 
 // buildPivotRow runs Problems 1.2 and 2 for one pivot value: encode,
 // cluster (with the fixed-l or auto-l policy), label, score, and keep
-// the diversified top-k. Timing accumulates into tm.
-func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *PivotRow, rowsVal dataset.RowSet, cfg Config, valIndex int64, tm *Timings) error {
+// the diversified top-k. Timing accumulates into tm. bmVal, when
+// non-nil, is the pivot value's row bitmap; the sparse encoding is then
+// scattered straight from posting intersections whenever that costs
+// fewer operations than the per-row scan (or always under PathBitmap) —
+// the two encoders produce identical code matrices.
+func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *PivotRow, rowsVal dataset.RowSet, bmVal *dataset.Bitmap, cfg Config, valIndex int64, tm *Timings) error {
 	if len(rowsVal) == 0 {
 		return nil
 	}
@@ -233,7 +323,13 @@ func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *Pi
 		return err
 	}
 	startCluster := time.Now()
-	points, _, err := cluster.EncodeSparse(v, rowsVal, view.CompareAttrs)
+	var points *cluster.SparsePoints
+	var err error
+	if bmVal != nil && (cfg.Path == PathBitmap || bitmapEncodeWins(v, view.CompareAttrs, bmVal, len(rowsVal))) {
+		points, _, err = cluster.EncodeSparseBitmap(v, bmVal, view.CompareAttrs)
+	} else {
+		points, _, err = cluster.EncodeSparse(v, rowsVal, view.CompareAttrs)
+	}
 	if err != nil {
 		return err
 	}
@@ -244,7 +340,7 @@ func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *Pi
 	}
 
 	startOther := time.Now()
-	candidates, err := makeIUnits(v, row.Value, rowsVal, km, view.CompareAttrs, cfg)
+	candidates, err := makeIUnits(v, row.Value, rowsVal, km, points, view.CompareAttrs, cfg)
 	if err != nil {
 		return err
 	}
@@ -344,55 +440,51 @@ func resolvePivotValues(v *dataview.View, pivotCol *dataview.Column, rows datase
 	return values, rowsByValue, nil
 }
 
-// selectCompareAttrs applies the paper's Compare Attribute policy:
-// explicitly selected attributes first, then automatically ranked ones
-// that pass the significance threshold, up to MaxCompare total.
-func selectCompareAttrs(ctx context.Context, v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]string, error) {
-	chosen := make([]string, 0, cfg.MaxCompare)
+// explicitCompareAttrs validates the user's explicit Compare Attributes
+// and enumerates the remaining automatic candidates. A nil candidate
+// slice means selection is already complete (budget filled, or nothing
+// left to rank) and chosen is the final answer.
+func explicitCompareAttrs(v *dataview.View, cfg Config) (chosen, candidates []string, err error) {
+	chosen = make([]string, 0, cfg.MaxCompare)
 	seen := map[string]bool{cfg.Pivot: true}
 	for _, attr := range cfg.CompareAttrs {
 		if attr == cfg.Pivot {
-			return nil, fmt.Errorf("core: pivot attribute %q cannot be a Compare Attribute", attr)
+			return nil, nil, fmt.Errorf("core: pivot attribute %q cannot be a Compare Attribute", attr)
 		}
 		if seen[attr] {
 			continue
 		}
 		if _, err := v.Column(attr); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		seen[attr] = true
 		chosen = append(chosen, attr)
 	}
 	if len(chosen) > cfg.MaxCompare {
-		return nil, fmt.Errorf("core: %d explicit Compare Attributes exceed LIMIT COLUMNS %d", len(chosen), cfg.MaxCompare)
+		return nil, nil, fmt.Errorf("core: %d explicit Compare Attributes exceed LIMIT COLUMNS %d", len(chosen), cfg.MaxCompare)
 	}
 	if len(chosen) == cfg.MaxCompare {
-		return chosen, nil
+		return chosen, nil, nil
 	}
-
-	var candidates []string
 	for _, col := range v.Columns() {
 		if !seen[col.Attr] {
 			candidates = append(candidates, col.Attr)
 		}
 	}
-	if len(candidates) == 0 {
-		return chosen, nil
-	}
-	rankRows := rowsV
-	if cfg.FeatureSampleSize > 0 && cfg.FeatureSampleSize < len(rankRows) {
-		rankRows = sampleRows(rankRows, cfg.FeatureSampleSize, cfg.Seed)
-	}
-	scores, err := cfg.Ranker(ctx, v, rankRows, cfg.Pivot, candidates)
-	if err != nil {
-		return nil, err
-	}
+	return chosen, candidates, nil
+}
+
+// applyScores appends ranked attributes to chosen up to the MaxCompare
+// budget: rankers with a significance test (chi-square) are cut at the
+// configured level, score-only rankers require positive weight. When
+// nothing passes the cut — e.g. a single pivot value, where no attribute
+// can contrast classes — the view still needs attributes to cluster and
+// label on, so it falls back to the ranker's top candidates.
+func applyScores(chosen []string, scores []featsel.Score, cfg Config) []string {
 	for _, s := range scores {
 		if len(chosen) == cfg.MaxCompare {
 			break
 		}
-		// Rankers with a significance test (chi-square) are cut at the
-		// configured level; score-only rankers require positive weight.
 		if s.PValue < 1 {
 			if s.PValue > cfg.Significance {
 				continue
@@ -403,10 +495,6 @@ func selectCompareAttrs(ctx context.Context, v *dataview.View, rowsV dataset.Row
 		chosen = append(chosen, s.Attr)
 	}
 	if len(chosen) == 0 {
-		// Nothing passed the relevance cut — e.g. a single pivot value,
-		// where no attribute can contrast classes. The view still needs
-		// attributes to cluster and label on, so fall back to the
-		// ranker's top candidates.
 		for _, s := range scores {
 			if len(chosen) == cfg.MaxCompare {
 				break
@@ -414,7 +502,55 @@ func selectCompareAttrs(ctx context.Context, v *dataview.View, rowsV dataset.Row
 			chosen = append(chosen, s.Attr)
 		}
 	}
-	return chosen, nil
+	return chosen
+}
+
+// selectCompareAttrs applies the paper's Compare Attribute policy:
+// explicitly selected attributes first, then automatically ranked ones
+// that pass the significance threshold, up to MaxCompare total.
+func selectCompareAttrs(ctx context.Context, v *dataview.View, rowsV dataset.RowSet, cfg Config) ([]string, error) {
+	chosen, candidates, err := explicitCompareAttrs(v, cfg)
+	if err != nil || len(candidates) == 0 {
+		return chosen, err
+	}
+	rankRows := rowsV
+	if cfg.FeatureSampleSize > 0 && cfg.FeatureSampleSize < len(rankRows) {
+		rankRows = sampleRows(rankRows, cfg.FeatureSampleSize, cfg.Seed)
+	}
+	scores, err := cfg.Ranker(ctx, v, rankRows, cfg.Pivot, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return applyScores(chosen, scores, cfg), nil
+}
+
+// selectCompareAttrsBitmap is selectCompareAttrs fed by the result-set
+// bitmap. With the default chi-square ranker and no sampling, the
+// contingency sweep runs in its bitmap form (intersect-popcount against
+// the class postings) without materializing a row set at all; feature
+// sampling draws the systematic sample straight off the bitmap; a custom
+// ranker sees exactly the row set the scan path would have passed it.
+func selectCompareAttrsBitmap(ctx context.Context, v *dataview.View, bmV *dataset.Bitmap, cfg Config) ([]string, error) {
+	chosen, candidates, err := explicitCompareAttrs(v, cfg)
+	if err != nil || len(candidates) == 0 {
+		return chosen, err
+	}
+	nV := bmV.Len()
+	var scores []featsel.Score
+	switch {
+	case cfg.FeatureSampleSize > 0 && cfg.FeatureSampleSize < nV:
+		rankRows := sampleRowsBitmap(bmV, cfg.FeatureSampleSize, cfg.Seed)
+		scores, err = cfg.Ranker(ctx, v, rankRows, cfg.Pivot, candidates)
+	case cfg.defaultRanker:
+		forceBitmap := cfg.Path == PathBitmap
+		scores, err = featsel.ChiSquareBitmapContext(ctx, v, bmV, cfg.Pivot, candidates, forceBitmap)
+	default:
+		scores, err = cfg.Ranker(ctx, v, bmV.ToRowSet(), cfg.Pivot, candidates)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return applyScores(chosen, scores, cfg), nil
 }
 
 // sampleRows takes a deterministic systematic sample of exactly
@@ -438,19 +574,174 @@ func sampleRows(rows dataset.RowSet, size int, seed int64) dataset.RowSet {
 	return out
 }
 
+// sampleRowsBitmap draws the same systematic sample as sampleRows —
+// position for position, including the wraparound order — directly from
+// the bitmap, without materializing the full row set first. The sampled
+// positions are ranks into the bitmap's ascending rows; they are sorted
+// once and filled in a single bitmap pass, with each pick landing at its
+// original sequence slot so the output order matches sampleRows exactly.
+func sampleRowsBitmap(bm *dataset.Bitmap, size int, seed int64) dataset.RowSet {
+	n := bm.Len()
+	if size >= n {
+		return bm.ToRowSet()
+	}
+	offset := int(seed % int64(n))
+	if offset < 0 {
+		offset += n
+	}
+	type pick struct{ pos, slot int }
+	wanted := make([]pick, size)
+	for j := 0; j < size; j++ {
+		wanted[j] = pick{(offset + j*n/size) % n, j}
+	}
+	sort.Slice(wanted, func(a, b int) bool { return wanted[a].pos < wanted[b].pos })
+	out := make(dataset.RowSet, size)
+	i, rank := 0, 0
+	bm.ForEach(func(r int) {
+		for i < size && wanted[i].pos == rank {
+			out[wanted[i].slot] = r
+			i++
+		}
+		rank++
+	})
+	return out
+}
+
+// resolvePivotValuesBitmap is resolvePivotValues driven by the pivot
+// column's posting sets: each pivot code's result-set rows are the
+// intersection of its posting bitmap with the result bitmap, counted by
+// fused popcount and materialized (ascending, exactly the scan path's
+// per-value subsequences) only for values that actually occur. The
+// default display order — count descending, label ascending — is a total
+// order, so it matches the scan path's sort bit for bit.
+func resolvePivotValuesBitmap(pivotCol *dataview.Column, bm *dataset.Bitmap, explicit []string) ([]string, map[string]dataset.RowSet, map[string]*dataset.Bitmap, error) {
+	posts := pivotCol.Postings()
+	rowsByValue := make(map[string]dataset.RowSet)
+	bmByValue := make(map[string]*dataset.Bitmap)
+	materialize := func(val string, code int) {
+		b := posts[code].And(bm)
+		if b.Len() == 0 {
+			return
+		}
+		rs := make(dataset.RowSet, 0, b.Len())
+		b.ForEach(func(r int) { rs = append(rs, r) })
+		rowsByValue[val] = rs
+		bmByValue[val] = b
+	}
+
+	if len(explicit) > 0 {
+		seen := make(map[string]bool)
+		var values []string
+		for _, val := range explicit {
+			if seen[val] {
+				continue
+			}
+			seen[val] = true
+			code := pivotCol.CodeOf(val)
+			if code < 0 {
+				return nil, nil, nil, fmt.Errorf("core: pivot attribute %q has no value %q", pivotCol.Attr, val)
+			}
+			values = append(values, val)
+			materialize(val, code)
+		}
+		return values, rowsByValue, bmByValue, nil
+	}
+
+	type vc struct {
+		val   string
+		count int
+	}
+	var ranked []vc
+	for code, p := range posts {
+		if n := p.AndLen(bm); n > 0 {
+			val := pivotCol.Label(code)
+			ranked = append(ranked, vc{val, n})
+			materialize(val, code)
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].val < ranked[j].val
+	})
+	values := make([]string, len(ranked))
+	for i, r := range ranked {
+		values[i] = r.val
+	}
+	return values, rowsByValue, bmByValue, nil
+}
+
+// warmPivotPostings materializes the pivot column's posting sets before
+// the partition so their construction cost lands in the Index timing
+// stage; on a warm view every call after the first is a no-op. Only the
+// pivot warms eagerly — every other posting set builds lazily behind a
+// per-stage cost dispatch (featsel's per-candidate split, the sparse
+// encoder's bitmapEncodeWins), so narrow results over wide tables never
+// pay for postings no stage ends up using.
+func warmPivotPostings(v *dataview.View, pivot string) {
+	if c, err := v.Column(pivot); err == nil {
+		c.Postings()
+	}
+}
+
+// bitmapEncodeWins estimates whether scattering the sparse encoding from
+// posting intersections beats the per-row scan for one pivot value:
+// the posting sweep streams Σcard·words fused AND words plus one ranked
+// write per (row, attribute) cell, while the scan does one cached code
+// load per cell. Attributes whose postings would have to be built first
+// count double, so a narrow pivot value never triggers a whole-column
+// posting build it cannot amortize. Both encoders produce identical code
+// matrices, so the dispatch only moves time.
+func bitmapEncodeWins(v *dataview.View, attrs []string, bmVal *dataset.Bitmap, nVal int) bool {
+	words := (bmVal.Universe() + 63) / 64
+	cost := 0
+	for _, attr := range attrs {
+		c, err := v.Column(attr)
+		if err != nil {
+			return false
+		}
+		card := c.Cardinality()
+		if !c.PostingsReady() {
+			card *= 2
+		}
+		cost += card
+	}
+	return cost*words <= nVal*len(attrs)
+}
+
 // makeIUnits converts the clustering of one pivot value's rows into
-// labeled candidate IUnits.
-func makeIUnits(v *dataview.View, pivotValue string, rowsVal dataset.RowSet, km *cluster.Result, compareAttrs []string, cfg Config) ([]*IUnit, error) {
+// labeled candidate IUnits. Label frequency tables come from the sparse
+// points' duplicate-collapsed groups — weight[g] rows at a time — rather
+// than re-reading every member row per Compare Attribute; the counts are
+// the same integers either way (groups share codes and, by construction
+// of the k-means result, cluster assignment).
+func makeIUnits(v *dataview.View, pivotValue string, rowsVal dataset.RowSet, km *cluster.Result, points *cluster.SparsePoints, compareAttrs []string, cfg Config) ([]*IUnit, error) {
+	// Partition rows by cluster into one exactly-sized backing array —
+	// per-cluster appends would reallocate log-many times per cluster on
+	// every pivot value. Full slice expressions keep a later append on one
+	// member set from clobbering its neighbor.
+	sizes := make([]int, km.K)
+	for _, a := range km.Assign {
+		sizes[a]++
+	}
+	buf := make(dataset.RowSet, len(km.Assign))
 	members := make([]dataset.RowSet, km.K)
+	off := 0
+	for c, s := range sizes {
+		members[c] = buf[off : off : off+s]
+		off += s
+	}
 	for i, a := range km.Assign {
 		members[a] = append(members[a], rowsVal[i])
 	}
+	countsBy := points.CodeCountsByCluster(km.Assign, km.K)
 	var out []*IUnit
-	for _, rows := range members {
+	for c, rows := range members {
 		if len(rows) == 0 {
 			continue
 		}
-		labels, freqs, err := buildLabels(v, compareAttrs, rows, cfg.Labeling)
+		labels, freqs, err := labelsFromCounts(v, compareAttrs, countsBy[c], len(rows), cfg.Labeling)
 		if err != nil {
 			return nil, err
 		}

@@ -236,7 +236,7 @@ func TestBuildTimings(t *testing.T) {
 	if tm.Total() <= 0 {
 		t.Errorf("timings = %+v", tm)
 	}
-	if tm.Total() != tm.CompareSelect+tm.Cluster+tm.Other {
+	if tm.Total() != tm.Index+tm.CompareSelect+tm.Cluster+tm.Other {
 		t.Error("Total() is not the sum of components")
 	}
 }

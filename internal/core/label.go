@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
 )
@@ -46,6 +44,25 @@ func (o LabelOptions) withDefaults() LabelOptions {
 // produces the ranked, grouped representative values and the full
 // code-frequency vector that Algorithm 1 similarity consumes.
 func buildLabels(v *dataview.View, compareAttrs []string, rows dataset.RowSet, opt LabelOptions) ([]Label, [][]float64, error) {
+	counts := make([][]int, len(compareAttrs))
+	for d, attr := range compareAttrs {
+		col, err := v.Column(attr)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts[d] = make([]int, col.Cardinality())
+		for _, r := range rows {
+			counts[d][col.Code(r)]++
+		}
+	}
+	return labelsFromCounts(v, compareAttrs, counts, len(rows), opt)
+}
+
+// labelsFromCounts is buildLabels over precomputed per-attribute code
+// frequency tables — the form the bitmap build produces from collapsed
+// cluster groups without re-reading member rows. counts[d] must be sized
+// to attribute d's cardinality and sum to clusterSize.
+func labelsFromCounts(v *dataview.View, compareAttrs []string, counts [][]int, clusterSize int, opt LabelOptions) ([]Label, [][]float64, error) {
 	opt = opt.withDefaults()
 	labels := make([]Label, len(compareAttrs))
 	freqs := make([][]float64, len(compareAttrs))
@@ -54,16 +71,12 @@ func buildLabels(v *dataview.View, compareAttrs []string, rows dataset.RowSet, o
 		if err != nil {
 			return nil, nil, err
 		}
-		counts := make([]int, col.Cardinality())
-		for _, r := range rows {
-			counts[col.Code(r)]++
-		}
-		freq := make([]float64, len(counts))
-		for i, c := range counts {
+		freq := make([]float64, len(counts[d]))
+		for i, c := range counts[d] {
 			freq[i] = float64(c)
 		}
 		freqs[d] = freq
-		labels[d] = Label{Attr: attr, Groups: groupValues(col, counts, len(rows), opt)}
+		labels[d] = Label{Attr: attr, Groups: groupValues(col, counts[d], clusterSize, opt)}
 	}
 	return labels, freqs, nil
 }
@@ -75,18 +88,32 @@ func groupValues(col *dataview.Column, counts []int, clusterSize int, opt LabelO
 		code  int
 		count int
 	}
-	ranked := make([]vc, 0, len(counts))
+	// Cardinalities are small post-binning; a fixed buffer keeps the
+	// ranking off the heap for every cluster × pivot value × attribute.
+	var rankBuf [24]vc
+	ranked := rankBuf[:0]
+	if len(counts) > len(rankBuf) {
+		ranked = make([]vc, 0, len(counts))
+	}
 	for code, c := range counts {
 		if c > 0 {
 			ranked = append(ranked, vc{code, c})
 		}
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].count != ranked[j].count {
-			return ranked[i].count > ranked[j].count
+	// Count descending, label ascending — a total order (labels are
+	// unique per code), sorted by insertion: ranked is at most one entry
+	// per code of one attribute, and sort.Slice's closure allocation was
+	// measurable across clusters × pivot values × attributes.
+	for i := 1; i < len(ranked); i++ {
+		v := ranked[i]
+		j := i - 1
+		for j >= 0 && (ranked[j].count < v.count ||
+			(ranked[j].count == v.count && col.Label(v.code) < col.Label(ranked[j].code))) {
+			ranked[j+1] = ranked[j]
+			j--
 		}
-		return col.Label(ranked[i].code) < col.Label(ranked[j].code)
-	})
+		ranked[j+1] = v
+	}
 
 	minCount := opt.MinSupport * float64(clusterSize)
 	var groups []LabelGroup

@@ -149,6 +149,101 @@ func TestBuildLabelsFrequencies(t *testing.T) {
 	}
 }
 
+func TestLabelsEmptyCluster(t *testing.T) {
+	// A cluster with no rows must label to empty groups, not panic or
+	// fabricate values — both from rows and from precomputed counts.
+	tbl := dataset.NewTable("t", dataset.Schema{{Name: "A", Kind: dataset.Categorical, Queriable: true}})
+	tbl.MustAppendRow("x")
+	tbl.MustAppendRow("y")
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, freqs, err := buildLabels(v, []string{"A"}, dataset.RowSet{}, LabelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels[0].Groups) != 0 {
+		t.Errorf("empty cluster produced groups %v", labels[0].Groups)
+	}
+	for _, f := range freqs[0] {
+		if f != 0 {
+			t.Errorf("empty cluster freq = %v", freqs[0])
+		}
+	}
+	colA, _ := v.Column("A")
+	labels2, _, err := labelsFromCounts(v, []string{"A"}, [][]int{make([]int, colA.Cardinality())}, 0, LabelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels2[0].Groups) != 0 {
+		t.Errorf("empty counts produced groups %v", labels2[0].Groups)
+	}
+}
+
+func TestSingleRowPivotValue(t *testing.T) {
+	// A pivot value carried by exactly one result row must still yield a
+	// pivot row with one singleton IUnit whose label is that row's values.
+	tbl := dataset.NewTable("t", dataset.Schema{
+		{Name: "Make", Kind: dataset.Categorical, Queriable: true},
+		{Name: "Body", Kind: dataset.Categorical, Queriable: true},
+	})
+	for i := 0; i < 20; i++ {
+		tbl.MustAppendRow("Common", "Sedan")
+	}
+	tbl.MustAppendRow("Rare", "Coupe")
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, _, err := Build(v, dataset.AllRows(tbl.NumRows()), Config{Pivot: "Make", K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rare *PivotRow
+	for _, r := range view.Rows {
+		if r.Value == "Rare" {
+			rare = r
+		}
+	}
+	if rare == nil || rare.Count != 1 {
+		t.Fatalf("rare pivot row = %+v", rare)
+	}
+	if len(rare.IUnits) != 1 || rare.IUnits[0].Size != 1 {
+		t.Fatalf("rare IUnits = %+v", rare.IUnits)
+	}
+	g := rare.IUnits[0].Labels[0].Groups
+	if len(g) != 1 || g[0].Values[0] != "Coupe" {
+		t.Errorf("singleton label = %+v", g)
+	}
+}
+
+func TestGroupValuesAllTiedFrequencies(t *testing.T) {
+	// Exactly tied counts all fall inside any tolerance window: one
+	// bracket, alphabetical, capped at MaxValues.
+	got := groupsOf(t, map[string]int{"d": 20, "b": 20, "a": 20, "c": 20}, LabelOptions{MaxValues: 3, MinSupport: 0.01})
+	want := [][]string{{"a", "b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups = %v, want %v", got, want)
+	}
+	// And the bracketed rendering survives to the display string.
+	l := Label{Attr: "A", Groups: []LabelGroup{{Values: []string{"a", "b", "c"}, Count: 20}}}
+	if s := l.String(); s != "[a, b, c]" {
+		t.Errorf("rendered label = %q", s)
+	}
+}
+
+func TestGroupValuesMaxValuesTruncation(t *testing.T) {
+	// Six distinct counts, display budget 4: values rank by count and the
+	// tail is cut mid-bracket if needed.
+	counts := map[string]int{"a": 60, "b": 50, "c": 40, "d": 30, "e": 20, "f": 10}
+	got := groupsOf(t, counts, LabelOptions{MaxValues: 4, MaxGroups: 6, GroupTolerance: 0.01, MinSupport: 0.001})
+	want := [][]string{{"a"}, {"b"}, {"c"}, {"d"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups = %v, want %v", got, want)
+	}
+}
+
 func TestSampleRows(t *testing.T) {
 	rows := dataset.AllRows(100)
 	s := sampleRows(rows, 10, 0)

@@ -203,6 +203,34 @@ func (b *Bitmap) AndLen(o *Bitmap) int {
 	return total
 }
 
+// AndLen3 returns |b ∩ o ∩ m| by fused popcount, without materializing
+// either intersection. Contingency cells are |posting ∩ classPosting ∩
+// result|; counting through this instead of allocating the class ∩
+// result bitmaps first removes one bitmap allocation per class from
+// every feature-selection sweep.
+func (b *Bitmap) AndLen3(o, m *Bitmap) int {
+	b.sameUniverse(o)
+	b.sameUniverse(m)
+	total := 0
+	for i, w := range b.words {
+		total += bits.OnesCount64(w & o.words[i] & m.words[i])
+	}
+	return total
+}
+
+// AndFirst returns the smallest row of b ∩ o, or -1 when the
+// intersection is empty, without materializing it. The builder uses it
+// to derive class first-occurrence order from posting bitmaps.
+func (b *Bitmap) AndFirst(o *Bitmap) int {
+	b.sameUniverse(o)
+	for i, w := range b.words {
+		if m := w & o.words[i]; m != 0 {
+			return i<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
 // ForEach calls fn for every set row in ascending order.
 func (b *Bitmap) ForEach(fn func(row int)) {
 	for i, w := range b.words {
@@ -212,6 +240,46 @@ func (b *Bitmap) ForEach(fn func(row int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// ForEachAnd calls fn for every row of b ∩ o in ascending order without
+// materializing the intersection — the fused form of And().ForEach().
+func (b *Bitmap) ForEachAnd(o *Bitmap, fn func(row int)) {
+	b.sameUniverse(o)
+	for i, w := range b.words {
+		w &= o.words[i]
+		base := i << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Ranks is a per-word prefix popcount over a bitmap: Rank answers
+// |{r ∈ b : r < row}| in O(1), which is what lets a builder scatter
+// posting-derived values into a dense array indexed by the row's
+// position within the set. Build cost is one pass over the words.
+type Ranks struct {
+	b   *Bitmap
+	pre []int32 // pre[i] = set bits in words[0:i]
+}
+
+// Ranks returns the prefix-popcount rank structure for b. The structure
+// snapshots nothing — it reads b's words on each Rank call — so b must
+// not be mutated while the Ranks is in use.
+func (b *Bitmap) Ranks() *Ranks {
+	pre := make([]int32, len(b.words)+1)
+	for i, w := range b.words {
+		pre[i+1] = pre[i] + int32(bits.OnesCount64(w))
+	}
+	return &Ranks{b: b, pre: pre}
+}
+
+// Rank returns the number of set rows strictly below row.
+func (rk *Ranks) Rank(row int) int {
+	w := row >> 6
+	return int(rk.pre[w]) + bits.OnesCount64(rk.b.words[w]&(1<<(uint(row)&63)-1))
 }
 
 // ToRowSet unpacks the bitmap into a sorted unique RowSet.

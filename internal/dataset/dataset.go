@@ -108,6 +108,10 @@ func (c *CatColumn) Len() int { return len(c.codes) }
 // Code returns the dictionary code at row i.
 func (c *CatColumn) Code(i int) int32 { return c.codes[i] }
 
+// Codes returns the backing per-row code array; callers must not modify
+// it. Row scans index it directly instead of calling Code per row.
+func (c *CatColumn) Codes() []int32 { return c.codes }
+
 // Value returns the string value at row i.
 func (c *CatColumn) Value(i int) string { return c.Dict[c.codes[i]] }
 
@@ -154,7 +158,7 @@ func (c *NumColumn) Sorted() []float64 {
 	defer c.mu.Unlock()
 	if len(c.sorted) != len(c.vals) {
 		c.sorted = append(make([]float64, 0, len(c.vals)), c.vals...)
-		sort.Float64s(c.sorted)
+		sortFloats(c.sorted)
 	}
 	return c.sorted
 }

@@ -41,6 +41,13 @@ func (r RowSet) Clone() RowSet {
 	return append(RowSet(nil), r...)
 }
 
+// Bitmap packs the set into a bitmap over universe n — the RowSet↔Bitmap
+// fast path the CAD View builder takes to enter bitmap algebra once at
+// the top instead of round-tripping through []int per stage.
+func (r RowSet) Bitmap(n int) *Bitmap {
+	return FromRowSet(n, r)
+}
+
 // Contains reports whether row id x is in the set (binary search).
 func (r RowSet) Contains(x int) bool {
 	i := sort.SearchInts(r, x)

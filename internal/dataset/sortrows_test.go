@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestSortRowsByValueMatchesComparator pins the radix sort to the
+// comparator it replaced: value ascending, ties by row ascending — over
+// duplicates, negatives, infinities, and the -0/+0 equality trap, on
+// both sides of the small-slice cutoff.
+func TestSortRowsByValueMatchesComparator(t *testing.T) {
+	pool := []float64{
+		0, math.Copysign(0, -1), 1, -1, 2.5, -2.5, 1e300, -1e300,
+		math.Inf(1), math.Inf(-1), 42, 42, 3.14,
+	}
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 1 + rng.Intn(600)
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Intn(3) == 0 {
+				vals[i] = pool[rng.Intn(len(pool))]
+			} else {
+				vals[i] = math.Round(rng.NormFloat64()*100) / 4
+			}
+		}
+		got := make([]int32, n)
+		want := make([]int32, n)
+		for i := range got {
+			got[i] = int32(i)
+			want[i] = int32(i)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			vi, vj := vals[want[i]], vals[want[j]]
+			if vi != vj {
+				return vi < vj
+			}
+			return want[i] < want[j]
+		})
+		sortRowsByValue(got, vals)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): radix order diverges from comparator\n got %v\nwant %v", trial, n, got, want)
+		}
+	}
+	sortRowsByValue(nil, nil) // empty input must not panic
+}
+
+// TestSortFloatsMatchesSortFloat64s checks the value sort against the
+// stdlib: ascending with NaNs first, across the radix cutoff.
+func TestSortFloatsMatchesSortFloat64s(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 99))
+		n := rng.Intn(700)
+		got := make([]float64, n)
+		for i := range got {
+			switch rng.Intn(10) {
+			case 0:
+				got[i] = math.NaN()
+			case 1:
+				got[i] = math.Inf(1 - 2*rng.Intn(2))
+			default:
+				got[i] = math.Round(rng.NormFloat64() * 50)
+			}
+		}
+		want := append([]float64(nil), got...)
+		sort.Float64s(want)
+		sortFloats(got)
+		for i := range want {
+			if want[i] != got[i] && !(math.IsNaN(want[i]) && math.IsNaN(got[i])) {
+				t.Fatalf("trial %d: position %d: got %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -10,8 +10,10 @@ package dataview
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"weak"
 
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/fault"
@@ -33,12 +35,19 @@ type Column struct {
 	Kind dataset.Kind
 
 	labels []string
+	tbl    *dataset.Table
 	cat    *dataset.CatColumn
 	num    *dataset.NumColumn
 	hist   *histogram.Histogram
 
 	postMu   sync.Mutex
 	postings []*dataset.Bitmap // per view code; see Postings
+
+	// numCodes caches the binned code of every row of a numeric column,
+	// filled as a by-product of the Postings build (which computes each
+	// row's code anyway). Once present, Code is an array load instead of
+	// a binary search over the histogram edges.
+	numCodes atomic.Pointer[[]int32]
 }
 
 // postingBuilds counts per-column posting-set constructions process-wide
@@ -66,12 +75,47 @@ func (c *Column) Postings() []*dataset.Bitmap {
 	if c.postings == nil {
 		fault.Check(fault.PointViewPostings)
 		n := c.rows()
+		// Categorical view codes are exactly the dictionary codes, so the
+		// table index's posting sets are this column's posting sets:
+		// delegate instead of building a second copy, which both halves
+		// the memory and lets the postings outlive the view (the index is
+		// keyed to the table, views are rebuilt per registration). The
+		// delegation is skipped when the table has grown past the view's
+		// label snapshot — then a local build over the current rows keeps
+		// the previous semantics.
+		if c.cat != nil && c.tbl != nil {
+			if ix := c.tbl.Index(); ix.Rows() == n {
+				if ps := ix.CatPostings(c.Col); len(ps) == c.Cardinality() {
+					c.postings = ps
+					return c.postings
+				}
+			}
+		}
 		postings := make([]*dataset.Bitmap, c.Cardinality())
 		for code := range postings {
 			postings[code] = dataset.NewBitmap(n)
 		}
-		for row := 0; row < n; row++ {
-			postings[c.Code(row)].Add(row)
+		if p := c.numCodes.Load(); c.num != nil && p != nil && len(*p) == n {
+			// Codes were materialized at view build (or by Codes); the
+			// posting pass is a plain scatter over them.
+			for row, code := range *p {
+				postings[code].Add(row)
+			}
+		} else {
+			var codes []int32
+			if c.num != nil {
+				codes = make([]int32, n)
+			}
+			for row := 0; row < n; row++ {
+				code := c.Code(row)
+				postings[code].Add(row)
+				if codes != nil {
+					codes[row] = int32(code)
+				}
+			}
+			if codes != nil {
+				c.numCodes.Store(&codes)
+			}
 		}
 		for _, p := range postings {
 			p.Freeze()
@@ -80,6 +124,52 @@ func (c *Column) Postings() []*dataset.Bitmap {
 		postingBuilds.Add(1)
 	}
 	return c.postings
+}
+
+// Codes returns the per-row view codes as one indexable slice: the
+// dictionary code array itself for categorical columns, and the binned
+// codes — materialized on first call and cached — for numeric columns.
+// Row scans (contingency fills, sparse encoding) index it directly;
+// the per-row Code path costs a bin binary-search on a cold numeric
+// column, which dominated repeated scans. Callers must not modify the
+// result.
+func (c *Column) Codes() []int32 {
+	if c.cat != nil {
+		return c.cat.Codes()[:c.rows()]
+	}
+	if p := c.numCodes.Load(); p != nil {
+		return *p
+	}
+	n := c.rows()
+	codes := make([]int32, n)
+	for row := range codes {
+		codes[row] = int32(c.hist.Bin(c.num.Value(row)))
+	}
+	// Concurrent builders race benignly: every build produces the same
+	// array, and the atomic store keeps readers consistent.
+	c.numCodes.Store(&codes)
+	return codes
+}
+
+// PostingsReady reports whether Postings would return without building
+// anything: the sets are memoized on the view, or (categorical columns)
+// the table index already materialized them and the view would adopt
+// them for free. Cost dispatches probe it to price a cold posting build
+// into the scan-vs-bitmap decision instead of charging the build to
+// whichever query happens to run first.
+func (c *Column) PostingsReady() bool {
+	c.postMu.Lock()
+	defer c.postMu.Unlock()
+	if c.postings != nil {
+		return true
+	}
+	if c.cat != nil && c.tbl != nil {
+		n := c.rows()
+		if ix := c.tbl.Index(); ix.Rows() == n && ix.HasCatPostings(c.Col) {
+			return len(ix.CatPostings(c.Col)) == c.Cardinality()
+		}
+	}
+	return false
 }
 
 // rows returns the number of table rows backing the column.
@@ -97,6 +187,9 @@ func (c *Column) Cardinality() int { return len(c.labels) }
 func (c *Column) Code(row int) int {
 	if c.cat != nil {
 		return int(c.cat.Code(row))
+	}
+	if p := c.numCodes.Load(); p != nil && row < len(*p) {
+		return int((*p)[row])
 	}
 	return c.hist.Bin(c.num.Value(row))
 }
@@ -161,17 +254,23 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 	errs := make([]error, len(schema))
 	parallel.Do(len(schema), func(i int) {
 		attr := schema[i]
-		col := &Column{Attr: attr.Name, Col: i, Kind: attr.Kind}
+		col := &Column{Attr: attr.Name, Col: i, Kind: attr.Kind, tbl: t}
 		if cat := t.Cat(i); cat != nil {
 			col.cat = cat
 			col.labels = append([]string(nil), cat.Dict...)
 		} else {
 			num := t.Num(i)
-			h, err := histogram.BuildSorted(num.Sorted(), opt.Bins, opt.Method)
+			// Equi-width and equi-depth bin without sorting the column
+			// (min/max and a few order statistics respectively), and the
+			// per-row codes the coded builder computes as a by-product are
+			// exactly what the first CAD View build would otherwise
+			// materialize row by row.
+			h, codes, err := histogram.BuildCoded(num.Values()[:num.Len()], opt.Bins, opt.Method)
 			if err != nil {
 				errs[i] = fmt.Errorf("dataview: binning %q: %w", attr.Name, err)
 				return
 			}
+			col.numCodes.Store(&codes)
 			col.num = num
 			col.hist = h
 			col.labels = h.Labels()
@@ -185,6 +284,71 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 		v.byName[schema[i].Name] = len(v.cols)
 		v.cols = append(v.cols, cols[i])
 	}
+	return v, nil
+}
+
+// sharedKey identifies one memoized view: the table (held weakly so the
+// cache never extends a table's lifetime) plus the binning options that
+// shape the view.
+type sharedKey struct {
+	tbl    weak.Pointer[dataset.Table]
+	bins   int
+	method histogram.Method
+}
+
+type sharedEntry struct {
+	view *View
+	rows int // row count the view was built over
+}
+
+var (
+	sharedMu    sync.Mutex
+	sharedViews = make(map[sharedKey]*sharedEntry)
+)
+
+// Shared returns the memoized coded view of t for the given options,
+// building it on first use. A view is a pure function of the table
+// snapshot and the binning options, and all of its lazy caches (postings,
+// numeric codes) are concurrency-safe, so every registration of the same
+// table can share one view — repeated sessions skip re-binning and keep
+// the warmed posting sets. The cache re-keys on row count: after appends
+// the next Shared call builds (and memoizes) a fresh view, and entries
+// are dropped when their table is garbage collected.
+func Shared(t *dataset.Table, opt Options) (*View, error) {
+	if opt.Bins == 0 {
+		opt.Bins = DefaultBins
+	}
+	key := sharedKey{tbl: weak.Make(t), bins: opt.Bins, method: opt.Method}
+	sharedMu.Lock()
+	if e, ok := sharedViews[key]; ok && e.rows == t.NumRows() {
+		sharedMu.Unlock()
+		return e.view, nil
+	}
+	sharedMu.Unlock()
+
+	// Build outside the lock; a concurrent duplicate build is harmless
+	// (the loser's view is discarded below).
+	v, err := New(t, opt)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if e, ok := sharedViews[key]; ok {
+		if e.rows == t.NumRows() {
+			return e.view, nil
+		}
+		e.view, e.rows = v, t.NumRows()
+		return v, nil
+	}
+	sharedViews[key] = &sharedEntry{view: v, rows: t.NumRows()}
+	// The key holds the table only weakly; drop the entry when the table
+	// itself is collected so transient tables don't accumulate.
+	runtime.AddCleanup(t, func(k sharedKey) {
+		sharedMu.Lock()
+		delete(sharedViews, k)
+		sharedMu.Unlock()
+	}, key)
 	return v, nil
 }
 

@@ -89,7 +89,10 @@ func (s *Session) RegisterAs(name string, t *dataset.Table) error {
 	if _, ok := s.tables[key]; ok {
 		return fmt.Errorf("engine: table %q already registered", name)
 	}
-	v, err := dataview.New(t, dataview.Options{})
+	// The coded view (and its warmed posting/code caches) is a pure
+	// function of the table snapshot, so sessions registering the same
+	// table share one via the dataview memo instead of re-binning.
+	v, err := dataview.Shared(t, dataview.Options{})
 	if err != nil {
 		return fmt.Errorf("engine: preparing table %q: %w", name, err)
 	}
@@ -305,7 +308,7 @@ func (s *Session) execSelect(st *cadql.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := comp.Select(dataset.AllRows(e.table.NumRows()))
+	rows, err := comp.SelectAll()
 	if err != nil {
 		return nil, err
 	}
@@ -438,7 +441,7 @@ func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	rows, err := comp.Select(dataset.AllRows(e.table.NumRows()))
+	rows, err := comp.SelectAll()
 	if err != nil {
 		return nil, err
 	}
@@ -503,9 +506,11 @@ func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Resu
 		return nil, err
 	}
 	fmt.Fprintf(&b, "chosen Compare Attributes: %s\n", strings.Join(view.CompareAttrs, ", "))
-	fmt.Fprintf(&b, "timings: compare-select %v, clustering %v, other %v (total %v)\n",
-		tm.CompareSelect.Round(time.Microsecond), tm.Cluster.Round(time.Microsecond),
-		tm.Other.Round(time.Microsecond), tm.Total().Round(time.Microsecond))
+	b.WriteString("timings:")
+	for _, st := range tm.Stages() {
+		fmt.Fprintf(&b, " %s %v,", strings.ReplaceAll(st.Name, "_", "-"), st.D.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, " (total %v)\n", tm.Total().Round(time.Microsecond))
 	return &Result{Kind: KindMessage, Message: strings.TrimRight(b.String(), "\n")}, nil
 }
 
@@ -531,7 +536,7 @@ func (s *Session) execCreateCADView(ctx context.Context, st *cadql.CreateCADView
 	if err != nil {
 		return nil, err
 	}
-	rows, err := comp.Select(dataset.AllRows(e.table.NumRows()))
+	rows, err := comp.SelectAll()
 	if err != nil {
 		return nil, err
 	}

@@ -208,6 +208,37 @@ func (c *Compiled) Select(rows dataset.RowSet) (dataset.RowSet, error) {
 	return out, nil
 }
 
+// SelectAll returns the full-table rows satisfying the predicate —
+// exactly Select(dataset.AllRows(t.NumRows())), without materializing a
+// row id per table row just to verify and discard it. Statement
+// execution starts every WHERE from the whole table, so the input set
+// was pure overhead: the vectorized path unpacks the result bitmap
+// directly, and the interpreted path scans row ids instead of a slice.
+func (c *Compiled) SelectAll() (dataset.RowSet, error) {
+	n := c.t.NumRows()
+	if c.e == nil {
+		return dataset.AllRows(n), nil
+	}
+	if !c.vectorized {
+		out := make(dataset.RowSet, 0, n)
+		for r := 0; r < n; r++ {
+			ok, err := c.e.Eval(c.t, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	bm, _, err := c.evalBitmap(c.t.Index(), c.e)
+	if err != nil {
+		return nil, err
+	}
+	return bm.ToRowSet(), nil
+}
+
 // evalBitmap recursively lowers the expression to bitmap algebra. The
 // shared result reports whether the bitmap aliases an index-owned
 // posting set (categorical equality leaves); shared results are

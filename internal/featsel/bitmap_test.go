@@ -1,0 +1,148 @@
+package featsel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// randomView builds a table with random shape for the property tests:
+// a class attribute plus a handful of categorical candidates of varying
+// cardinality and one numeric candidate, all filled with random values.
+func randomView(t *testing.T, rng *rand.Rand) (*dataview.View, int, []string) {
+	t.Helper()
+	n := 50 + rng.Intn(750)
+	nCats := 2 + rng.Intn(3)
+	schema := dataset.Schema{{Name: "Class", Kind: dataset.Categorical, Queriable: true}}
+	cards := make([]int, nCats)
+	candidates := make([]string, 0, nCats+1)
+	for j := 0; j < nCats; j++ {
+		name := fmt.Sprintf("C%d", j)
+		schema = append(schema, dataset.Attribute{Name: name, Kind: dataset.Categorical, Queriable: true})
+		cards[j] = 2 + rng.Intn(40) // spans both sides of the cost dispatch
+		candidates = append(candidates, name)
+	}
+	schema = append(schema, dataset.Attribute{Name: "Num", Kind: dataset.Numeric, Queriable: true})
+	candidates = append(candidates, "Num")
+	tbl := dataset.NewTable("prop", schema)
+	nClasses := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		row := make([]any, 0, len(schema))
+		row = append(row, fmt.Sprintf("k%d", rng.Intn(nClasses)))
+		for j := 0; j < nCats; j++ {
+			row = append(row, fmt.Sprintf("v%d", rng.Intn(cards[j])))
+		}
+		row = append(row, rng.NormFloat64()*25)
+		tbl.MustAppendRow(row...)
+	}
+	v, err := dataview.New(tbl, dataview.Options{Bins: 2 + rng.Intn(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, n, candidates
+}
+
+// randomSubset draws a random row subset at a random density, as both a
+// row set and the equivalent bitmap.
+func randomSubset(rng *rand.Rand, n int) (dataset.RowSet, *dataset.Bitmap) {
+	density := 0.05 + rng.Float64()*0.9
+	bm := dataset.NewBitmap(n)
+	var rows dataset.RowSet
+	for r := 0; r < n; r++ {
+		if rng.Float64() < density {
+			bm.Add(r)
+			rows = append(rows, r)
+		}
+	}
+	return rows, bm
+}
+
+// TestFillTablesBitmapMatchesScan is the white-box property test the
+// bitmap contingency path is held to: over random tables and random
+// filters, the posting-bitmap fill — both cost-dispatched and forced —
+// must reproduce the row-scan fill cell for cell.
+func TestFillTablesBitmapMatchesScan(t *testing.T) {
+	ctx := context.Background()
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		v, n, candidates := randomView(t, rng)
+		rows, bm := randomSubset(rng, n)
+		if len(rows) == 0 {
+			continue
+		}
+		cols, err := resolveCandidates(v, "Class", candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, nClasses, err := classCodes(v, rows, "Class")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fillTablesScan(ctx, cols, rows, cls, nClasses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, force := range []bool{false, true} {
+			got, gotClasses, err := fillTablesBitmap(ctx, v, cols, bm, "Class", force)
+			if err != nil {
+				t.Fatalf("trial %d force=%v: %v", trial, force, err)
+			}
+			if gotClasses != nClasses {
+				t.Fatalf("trial %d force=%v: nClasses = %d, want %d", trial, force, gotClasses, nClasses)
+			}
+			for j := range cols {
+				for x := range want[j].Counts {
+					for y := range want[j].Counts[x] {
+						if got[j].Counts[x][y] != want[j].Counts[x][y] {
+							t.Fatalf("trial %d force=%v: candidate %s cell (%d,%d) = %d, want %d",
+								trial, force, candidates[j], x, y, got[j].Counts[x][y], want[j].Counts[x][y])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitmapRankersMatchScan checks the exported bitmap entry points
+// end to end: identical Score slices — attribute order, statistic, and
+// p-value — to the scan-path rankers over random inputs.
+func TestBitmapRankersMatchScan(t *testing.T) {
+	ctx := context.Background()
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*104729 + 1))
+		v, n, candidates := randomView(t, rng)
+		rows, bm := randomSubset(rng, n)
+		if len(rows) == 0 {
+			continue
+		}
+		chiScan, err := ChiSquareContext(ctx, v, rows, "Class", candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chiBm, err := ChiSquareBitmapContext(ctx, v, bm, "Class", candidates, trial%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miScan, err := MutualInformationContext(ctx, v, rows, "Class", candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miBm, err := MutualInformationBitmapContext(ctx, v, bm, "Class", candidates, trial%2 == 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range chiScan {
+			if chiScan[i] != chiBm[i] {
+				t.Fatalf("trial %d: chi score %d = %+v, want %+v", trial, i, chiBm[i], chiScan[i])
+			}
+			if miScan[i] != miBm[i] {
+				t.Fatalf("trial %d: mi score %d = %+v, want %+v", trial, i, miBm[i], miScan[i])
+			}
+		}
+	}
+}

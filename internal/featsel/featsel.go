@@ -91,17 +91,21 @@ const minConcurrentCandidates = 8
 // a contingency fill chunk.
 const ctxCheckRows = 1 << 14
 
-// fillTables builds one contingency table per candidate column in a
+// fillTablesScan builds one contingency table per candidate column in a
 // single sweep over the rows (instead of one sweep per candidate), with
 // the sweep chunked over the worker pool when it is large. Table cells
 // are integer counts, so the chunk merge is order-independent and the
 // result is identical to a sequential fill. The sweep checks ctx every
 // ctxCheckRows rows — the contingency fill is the Compare-Attribute
 // stage's cancellation checkpoint — and returns ctx's error when done.
-func fillTables(ctx context.Context, cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasses int) ([]*stats.ContingencyTable, error) {
+// This is the reference path; fillTablesBitmap produces identical tables
+// from posting bitmaps (asserted cell-for-cell by the equivalence tests).
+func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasses int) ([]*stats.ContingencyTable, error) {
 	tables := make([]*stats.ContingencyTable, len(cols))
+	codes := make([][]int32, len(cols))
 	for j, col := range cols {
 		tables[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
+		codes[j] = col.Codes()
 	}
 	if len(rows)*len(cols) < fillWork {
 		for i, r := range rows {
@@ -111,8 +115,8 @@ func fillTables(ctx context.Context, cols []*dataview.Column, rows dataset.RowSe
 				}
 			}
 			c := cls[i]
-			for j, col := range cols {
-				tables[j].Add(col.Code(r), c)
+			for j := range codes {
+				tables[j].Add(int(codes[j][r]), c)
 			}
 		}
 		return tables, nil
@@ -132,8 +136,8 @@ func fillTables(ctx context.Context, cols []*dataview.Column, rows dataset.RowSe
 			}
 			r := rows[i]
 			c := cls[i]
-			for j, col := range cols {
-				local[j].Add(col.Code(r), c)
+			for j := range codes {
+				local[j].Add(int(codes[j][r]), c)
 			}
 		}
 		mu.Lock()
@@ -151,6 +155,136 @@ func fillTables(ctx context.Context, cols []*dataview.Column, rows dataset.RowSe
 		return nil, ctx.Err()
 	}
 	return tables, nil
+}
+
+// classBitmaps derives the contingency columns from posting bitmaps: one
+// full-table class posting per class value present in bm, ordered by the
+// class's first row within bm. Cells later intersect these with bm in
+// the same fused popcount (AndLen3), so the postings are returned as
+// aliases instead of materialized class ∩ bm intersections. Rows ascend
+// within a bitmap, so first-row order is exactly the first-occurrence
+// order classCodes produces over a sorted row set — the remap, and
+// therefore every downstream float summation order, matches the scan
+// path bit for bit.
+func classBitmaps(v *dataview.View, bm *dataset.Bitmap, classAttr string) ([]*dataset.Bitmap, []int, error) {
+	cc, err := v.Column(classAttr)
+	if err != nil {
+		return nil, nil, err
+	}
+	posts := cc.Postings()
+	type cls struct{ code, first int }
+	present := make([]cls, 0, len(posts))
+	for code, p := range posts {
+		if f := p.AndFirst(bm); f >= 0 {
+			present = append(present, cls{code, f})
+		}
+	}
+	sort.Slice(present, func(i, j int) bool { return present[i].first < present[j].first })
+	bmps := make([]*dataset.Bitmap, len(present))
+	codes := make([]int, len(present))
+	for y, c := range present {
+		bmps[y] = posts[c.code]
+		codes[y] = c.code
+	}
+	return bmps, codes, nil
+}
+
+// scanCostRatio calibrates the per-candidate dispatch between the two
+// fill strategies: one coded-row lookup costs roughly this many fused
+// AND+popcount word operations (cached codes are array loads, posting
+// words stream at ~1.5ns on the dev box). A candidate fills by bitmap
+// when card·classes·words beats rows·scanCostRatio.
+const scanCostRatio = 6
+
+// fillTablesBitmap builds the same contingency tables as fillTablesScan
+// by bitmap algebra: cell (x, y) of candidate j is the fused
+// intersect-popcount |posting_j[x] ∩ classBmp[y]|, no row enumerated.
+// Work scales with card·classes·words instead of rows·candidates, so the
+// caller dispatches per candidate on estimated cost: candidates whose
+// posting sweep would cost more than the row sweep (high cardinality,
+// small row sets) fall back to one shared fillTablesScan over the
+// materialized rows. Cells are exact counts either way, so the split is
+// invisible in the output. Cancellation is checked per candidate.
+func fillTablesBitmap(ctx context.Context, v *dataview.View, cols []*dataview.Column, bm *dataset.Bitmap, classAttr string, forceBitmap bool) ([]*stats.ContingencyTable, int, error) {
+	clsBmps, clsCodes, err := classBitmaps(v, bm, classAttr)
+	if err != nil {
+		return nil, 0, err
+	}
+	nClasses := len(clsBmps)
+	nRows := bm.Len()
+	words := (bm.Universe() + 63) / 64
+
+	tables := make([]*stats.ContingencyTable, len(cols))
+	byBitmap := make([]bool, len(cols))
+	var catCols []int
+	for j, col := range cols {
+		// A candidate whose postings are not yet materialized must promise
+		// roughly double the win before the bitmap branch is worth the
+		// one-time posting build it triggers; warm candidates fill by
+		// bitmap whenever the sweep itself is cheaper than the row scan.
+		cost := col.Cardinality() * nClasses * words
+		if !col.PostingsReady() {
+			cost *= 2
+		}
+		byBitmap[j] = forceBitmap || cost <= nRows*scanCostRatio
+		if byBitmap[j] && col.Kind == dataset.Categorical {
+			catCols = append(catCols, col.Col)
+		}
+	}
+	// Build the chosen categorical postings as one batch under the table
+	// index's lock; the per-candidate Postings() calls below then adopt
+	// them. Scan-side candidates never build postings at all.
+	if len(catCols) > 0 {
+		v.Table().Index().PostingsAll(catCols)
+	}
+	var scanCols []*dataview.Column
+	var scanIdx []int
+	for j, col := range cols {
+		if !byBitmap[j] {
+			scanCols = append(scanCols, col)
+			scanIdx = append(scanIdx, j)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		t := stats.NewContingencyTable(col.Cardinality(), nClasses)
+		posts := col.Postings()
+		for x := 0; x < col.Cardinality() && x < len(posts); x++ {
+			for y, cb := range clsBmps {
+				if n := posts[x].AndLen3(cb, bm); n > 0 {
+					t.Counts[x][y] = n
+				}
+			}
+		}
+		tables[j] = t
+	}
+	if len(scanCols) > 0 {
+		// Shared row sweep for the candidates where scanning is cheaper.
+		// The class remap below reproduces classCodes' first-occurrence
+		// numbering (clsBmps are already in that order).
+		cc, err := v.Column(classAttr)
+		if err != nil {
+			return nil, 0, err
+		}
+		remap := make([]int, cc.Cardinality())
+		for y, code := range clsCodes {
+			remap[code] = y
+		}
+		rows := bm.ToRowSet()
+		cls := make([]int, len(rows))
+		for i, r := range rows {
+			cls[i] = remap[cc.Code(r)]
+		}
+		scanTables, err := fillTablesScan(ctx, scanCols, rows, cls, nClasses)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, j := range scanIdx {
+			tables[j] = scanTables[i]
+		}
+	}
+	return tables, nClasses, nil
 }
 
 // rankEach computes out[j] = score(j) for every candidate, concurrently
@@ -198,10 +332,38 @@ func ChiSquareContext(ctx context.Context, v *dataview.View, rows dataset.RowSet
 	if err != nil {
 		return nil, err
 	}
-	tables, err := fillTables(ctx, cols, rows, cls, nClasses)
+	tables, err := fillTablesScan(ctx, cols, rows, cls, nClasses)
 	if err != nil {
 		return nil, err
 	}
+	return chiScores(tables, candidates)
+}
+
+// ChiSquareBitmapContext is ChiSquareContext with the row subset given as
+// a bitmap: contingency tables come from posting-bitmap algebra (see
+// fillTablesBitmap) and the scores are identical to the scan path's. The
+// bitmap must be over the table's row universe. forceBitmap disables the
+// per-candidate cost dispatch and fills every table by bitmap — callers
+// that must exercise the bitmap machinery end to end (forced-path
+// equivalence runs) set it; production callers leave it false.
+func ChiSquareBitmapContext(ctx context.Context, v *dataview.View, bm *dataset.Bitmap, classAttr string, candidates []string, forceBitmap bool) ([]Score, error) {
+	cols, err := resolveCandidates(v, classAttr, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if bm.Len() == 0 {
+		return nil, fmt.Errorf("featsel: empty row set")
+	}
+	tables, _, err := fillTablesBitmap(ctx, v, cols, bm, classAttr, forceBitmap)
+	if err != nil {
+		return nil, err
+	}
+	return chiScores(tables, candidates)
+}
+
+// chiScores turns per-candidate contingency tables into the sorted
+// chi-square ranking; shared by the scan and bitmap entry points.
+func chiScores(tables []*stats.ContingencyTable, candidates []string) ([]Score, error) {
 	out, err := rankEach(len(candidates), func(j int) (Score, error) {
 		res, err := stats.ChiSquare(tables[j])
 		if err != nil {
@@ -236,11 +398,37 @@ func MutualInformationContext(ctx context.Context, v *dataview.View, rows datase
 	if err != nil {
 		return nil, err
 	}
-	n := float64(len(rows))
-	tables, err := fillTables(ctx, cols, rows, cls, nClasses)
+	tables, err := fillTablesScan(ctx, cols, rows, cls, nClasses)
 	if err != nil {
 		return nil, err
 	}
+	return miScores(tables, candidates, nClasses, len(rows))
+}
+
+// MutualInformationBitmapContext is MutualInformationContext with the row
+// subset given as a bitmap; tables come from posting-bitmap algebra and
+// the scores are identical to the scan path's. forceBitmap is as in
+// ChiSquareBitmapContext.
+func MutualInformationBitmapContext(ctx context.Context, v *dataview.View, bm *dataset.Bitmap, classAttr string, candidates []string, forceBitmap bool) ([]Score, error) {
+	cols, err := resolveCandidates(v, classAttr, candidates)
+	if err != nil {
+		return nil, err
+	}
+	nRows := bm.Len()
+	if nRows == 0 {
+		return nil, fmt.Errorf("featsel: empty row set")
+	}
+	tables, nClasses, err := fillTablesBitmap(ctx, v, cols, bm, classAttr, forceBitmap)
+	if err != nil {
+		return nil, err
+	}
+	return miScores(tables, candidates, nClasses, nRows)
+}
+
+// miScores turns per-candidate contingency tables into the sorted mutual
+// information ranking; shared by the scan and bitmap entry points.
+func miScores(tables []*stats.ContingencyTable, candidates []string, nClasses, nRows int) ([]Score, error) {
+	n := float64(nRows)
 	out, err := rankEach(len(candidates), func(j int) (Score, error) {
 		// The joint, x, and y marginals are the integer cells of the
 		// candidate's contingency table, so MI reduces to one pass over

@@ -105,8 +105,19 @@ func (h *Histogram) Bin(v float64) int {
 	if v >= h.Edges[n] {
 		return n - 1
 	}
-	// Find the last edge <= v.
-	i := sort.SearchFloat64s(h.Edges, v)
+	// Find the last edge <= v: an inlined sort.SearchFloat64s (same
+	// loop, same result), since the closure-calling generic search
+	// dominated whole-column code materialization.
+	lo, hi := 0, len(h.Edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.Edges[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	if i < len(h.Edges) && h.Edges[i] == v {
 		if i == n {
 			return n - 1
