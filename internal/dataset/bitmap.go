@@ -5,26 +5,33 @@ import (
 	"sync/atomic"
 )
 
-// Bitmap is a fixed-universe row set: bit i is set when row i belongs to
-// the set. It is the vectorized counterpart of RowSet — set algebra runs
-// word-wise over packed uint64s (64 rows per operation) instead of
-// row-at-a-time merges, which is what makes compiled predicate
-// evaluation and cached facet filter stacks scale with words, not rows.
+// Bitmap is a fixed-universe row set: row i belongs to the set when its
+// bit is set. It is the vectorized counterpart of RowSet — but instead
+// of one flat array of uint64 words, the universe is split into 64K-row
+// chunks each stored as a hybrid container (sorted uint16 array, packed
+// bitmap words, or run intervals; see container.go) chosen by the
+// chunk's population. Sparse sets therefore cost memory and set-algebra
+// time proportional to their cardinality, not to the universe: a
+// 0.1%-selectivity posting over a million rows is a handful of small
+// arrays, and intersecting two of them gallops through the shorter one
+// instead of streaming rows/64 words.
 //
 // A Bitmap is created for a universe of n rows ({0, ..., n-1}) and all
 // binary operations require both operands to share that universe; mixing
 // universes is a programming error and panics. Conversion to and from
 // RowSet is lossless: both representations are canonical (a row is
 // either in or out), so FromRowSet followed by ToRowSet returns the
-// original sorted unique rows.
+// original sorted unique rows regardless of which container form each
+// chunk happens to be in.
 type Bitmap struct {
-	words []uint64
-	n     int // universe size in bits
+	cs []container // one per 64K chunk; the last chunk may be partial
+	n  int         // universe size in bits
 
 	// frozen marks index-owned bitmaps (posting sets) that outside code
-	// must never mutate: the same words back every query that touches
-	// the posting. Mutators panic on frozen bitmaps when the alias guard
-	// is enabled (tests); Clone always returns a mutable copy.
+	// must never mutate: the same containers back every query that
+	// touches the posting. Mutators panic on frozen bitmaps when the
+	// alias guard is enabled (tests); Clone always returns a mutable
+	// copy.
 	frozen bool
 }
 
@@ -39,9 +46,16 @@ func SetAliasGuard(on bool) (prev bool) {
 	return aliasGuard.Swap(on)
 }
 
-// Freeze marks the bitmap as index-owned: with the alias guard enabled,
-// any in-place mutation panics. It returns b for chaining.
+// Freeze marks the bitmap as index-owned — with the alias guard enabled,
+// any in-place mutation panics — and compacts each chunk into its
+// cheapest container form (sorted tails become exact-size arrays,
+// clustered or head-heavy chunks become runs). It returns b for
+// chaining. Freeze is the owner's final build step; the set is
+// unchanged.
 func (b *Bitmap) Freeze() *Bitmap {
+	for i := range b.cs {
+		b.cs[i].optimize()
+	}
 	b.frozen = true
 	return b
 }
@@ -59,16 +73,16 @@ func NewBitmap(n int) *Bitmap {
 	if n < 0 {
 		panic("dataset: negative bitmap universe")
 	}
-	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+	return &Bitmap{cs: make([]container, (n+chunkMask)>>chunkBits), n: n}
 }
 
-// FullBitmap returns the bitmap with every row of the universe set.
+// FullBitmap returns the bitmap with every row of the universe set —
+// one run container per chunk.
 func FullBitmap(n int) *Bitmap {
 	b := NewBitmap(n)
-	for i := range b.words {
-		b.words[i] = ^uint64(0)
+	for i := range b.cs {
+		b.cs[i] = fullContainer(b.chunkLim(i))
 	}
-	b.clearTail()
 	return b
 }
 
@@ -81,24 +95,39 @@ func FromRowSet(n int, rows RowSet) *Bitmap {
 	return b
 }
 
-// clearTail zeroes the bits past the universe end in the last word, so
-// complement and popcount never see phantom rows.
-func (b *Bitmap) clearTail() {
-	if rem := b.n % 64; rem != 0 && len(b.words) > 0 {
-		b.words[len(b.words)-1] &= (uint64(1) << rem) - 1
+// chunkLim returns the number of universe rows chunk i covers (chunkSize
+// for all but possibly the last chunk).
+func (b *Bitmap) chunkLim(i int) int {
+	if lim := b.n - i<<chunkBits; lim < chunkSize {
+		return lim
 	}
+	return chunkSize
 }
 
 // Universe returns the universe size n the bitmap was created for.
 func (b *Bitmap) Universe() int { return b.n }
 
-// Add sets row i.
+// MemoryBytes returns the bytes of backing storage the bitmap holds —
+// the payload the posting-memory gauge aggregates, excluding the fixed
+// struct headers. Hybrid containers make this proportional to the
+// chunk populations rather than a flat rows/8.
+func (b *Bitmap) MemoryBytes() int {
+	total := 0
+	for i := range b.cs {
+		total += b.cs[i].memoryBytes()
+	}
+	return total
+}
+
+// Add sets row i, promoting the chunk's container when it outgrows its
+// representation (array → packed words past arrayMaxCard, or earlier
+// under random-order insertion).
 func (b *Bitmap) Add(i int) {
 	b.checkMutable()
 	if i < 0 || i >= b.n {
 		panic("dataset: bitmap row out of universe")
 	}
-	b.words[i>>6] |= 1 << (uint(i) & 63)
+	b.cs[i>>chunkBits].add(uint16(i & chunkMask))
 }
 
 // Contains reports whether row i is set. Rows outside the universe are
@@ -107,21 +136,26 @@ func (b *Bitmap) Contains(i int) bool {
 	if i < 0 || i >= b.n {
 		return false
 	}
-	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+	return b.cs[i>>chunkBits].contains(uint16(i & chunkMask))
 }
 
-// Len returns the set cardinality (population count over all words).
+// Len returns the set cardinality. Containers cache their population,
+// so this is O(chunks), not O(rows).
 func (b *Bitmap) Len() int {
 	total := 0
-	for _, w := range b.words {
-		total += bits.OnesCount64(w)
+	for i := range b.cs {
+		total += int(b.cs[i].card)
 	}
 	return total
 }
 
-// Clone returns a copy of b.
+// Clone returns a mutable copy of b.
 func (b *Bitmap) Clone() *Bitmap {
-	return &Bitmap{words: append([]uint64(nil), b.words...), n: b.n}
+	out := &Bitmap{cs: make([]container, len(b.cs)), n: b.n}
+	for i := range b.cs {
+		out.cs[i] = b.cs[i].clone()
+	}
+	return out
 }
 
 // sameUniverse panics unless o shares b's universe.
@@ -134,9 +168,9 @@ func (b *Bitmap) sameUniverse(o *Bitmap) {
 // And returns the intersection b ∩ o as a new bitmap.
 func (b *Bitmap) And(o *Bitmap) *Bitmap {
 	b.sameUniverse(o)
-	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
-	for i, w := range b.words {
-		out.words[i] = w & o.words[i]
+	out := &Bitmap{cs: make([]container, len(b.cs)), n: b.n}
+	for i := range b.cs {
+		out.cs[i] = andContainers(&b.cs[i], &o.cs[i])
 	}
 	return out
 }
@@ -146,8 +180,15 @@ func (b *Bitmap) And(o *Bitmap) *Bitmap {
 func (b *Bitmap) AndWith(o *Bitmap) *Bitmap {
 	b.checkMutable()
 	b.sameUniverse(o)
-	for i := range b.words {
-		b.words[i] &= o.words[i]
+	for i := range b.cs {
+		if b.cs[i].card == 0 {
+			continue
+		}
+		if o.cs[i].card == 0 {
+			b.cs[i] = container{}
+			continue
+		}
+		b.cs[i] = andContainers(&b.cs[i], &o.cs[i])
 	}
 	return b
 }
@@ -155,9 +196,9 @@ func (b *Bitmap) AndWith(o *Bitmap) *Bitmap {
 // Or returns the union b ∪ o as a new bitmap.
 func (b *Bitmap) Or(o *Bitmap) *Bitmap {
 	b.sameUniverse(o)
-	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
-	for i, w := range b.words {
-		out.words[i] = w | o.words[i]
+	out := &Bitmap{cs: make([]container, len(b.cs)), n: b.n}
+	for i := range b.cs {
+		out.cs[i] = orContainers(&b.cs[i], &o.cs[i])
 	}
 	return out
 }
@@ -166,8 +207,11 @@ func (b *Bitmap) Or(o *Bitmap) *Bitmap {
 func (b *Bitmap) OrWith(o *Bitmap) *Bitmap {
 	b.checkMutable()
 	b.sameUniverse(o)
-	for i := range b.words {
-		b.words[i] |= o.words[i]
+	for i := range b.cs {
+		if o.cs[i].card == 0 {
+			continue
+		}
+		b.cs[i] = orContainers(&b.cs[i], &o.cs[i])
 	}
 	return b
 }
@@ -175,35 +219,35 @@ func (b *Bitmap) OrWith(o *Bitmap) *Bitmap {
 // AndNot returns the difference b \ o as a new bitmap.
 func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 	b.sameUniverse(o)
-	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
-	for i, w := range b.words {
-		out.words[i] = w &^ o.words[i]
+	out := &Bitmap{cs: make([]container, len(b.cs)), n: b.n}
+	for i := range b.cs {
+		out.cs[i] = andNotContainers(&b.cs[i], &o.cs[i])
 	}
 	return out
 }
 
 // Not returns the complement of b within its universe.
 func (b *Bitmap) Not() *Bitmap {
-	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
-	for i, w := range b.words {
-		out.words[i] = ^w
+	out := &Bitmap{cs: make([]container, len(b.cs)), n: b.n}
+	for i := range b.cs {
+		out.cs[i] = notContainer(&b.cs[i], b.chunkLim(i))
 	}
-	out.clearTail()
 	return out
 }
 
 // AndLen returns |b ∩ o| without materializing the intersection — the
-// facet digest's per-code counting primitive.
+// facet digest's per-code counting primitive. Sparse×sparse pairs
+// gallop; dense pairs popcount fused words, as before.
 func (b *Bitmap) AndLen(o *Bitmap) int {
 	b.sameUniverse(o)
 	total := 0
-	for i, w := range b.words {
-		total += bits.OnesCount64(w & o.words[i])
+	for i := range b.cs {
+		total += andLenContainers(&b.cs[i], &o.cs[i])
 	}
 	return total
 }
 
-// AndLen3 returns |b ∩ o ∩ m| by fused popcount, without materializing
+// AndLen3 returns |b ∩ o ∩ m| by fused counting, without materializing
 // either intersection. Contingency cells are |posting ∩ classPosting ∩
 // result|; counting through this instead of allocating the class ∩
 // result bitmaps first removes one bitmap allocation per class from
@@ -212,8 +256,8 @@ func (b *Bitmap) AndLen3(o, m *Bitmap) int {
 	b.sameUniverse(o)
 	b.sameUniverse(m)
 	total := 0
-	for i, w := range b.words {
-		total += bits.OnesCount64(w & o.words[i] & m.words[i])
+	for i := range b.cs {
+		total += andLen3Containers(&b.cs[i], &o.cs[i], &m.cs[i])
 	}
 	return total
 }
@@ -223,9 +267,9 @@ func (b *Bitmap) AndLen3(o, m *Bitmap) int {
 // to derive class first-occurrence order from posting bitmaps.
 func (b *Bitmap) AndFirst(o *Bitmap) int {
 	b.sameUniverse(o)
-	for i, w := range b.words {
-		if m := w & o.words[i]; m != 0 {
-			return i<<6 + bits.TrailingZeros64(m)
+	for i := range b.cs {
+		if v := andFirstContainers(&b.cs[i], &o.cs[i]); v >= 0 {
+			return i<<chunkBits + v
 		}
 	}
 	return -1
@@ -233,12 +277,8 @@ func (b *Bitmap) AndFirst(o *Bitmap) int {
 
 // ForEach calls fn for every set row in ascending order.
 func (b *Bitmap) ForEach(fn func(row int)) {
-	for i, w := range b.words {
-		base := i << 6
-		for w != 0 {
-			fn(base + bits.TrailingZeros64(w))
-			w &= w - 1
-		}
+	for i := range b.cs {
+		b.cs[i].forEach(i<<chunkBits, fn)
 	}
 }
 
@@ -246,40 +286,57 @@ func (b *Bitmap) ForEach(fn func(row int)) {
 // materializing the intersection — the fused form of And().ForEach().
 func (b *Bitmap) ForEachAnd(o *Bitmap, fn func(row int)) {
 	b.sameUniverse(o)
-	for i, w := range b.words {
-		w &= o.words[i]
-		base := i << 6
-		for w != 0 {
-			fn(base + bits.TrailingZeros64(w))
-			w &= w - 1
+	for i := range b.cs {
+		forEachAndContainers(&b.cs[i], &o.cs[i], i<<chunkBits, fn)
+	}
+}
+
+// Ranks is a prefix-popcount structure over a bitmap: Rank answers
+// |{r ∈ b : r < row}| in O(1) for dense chunks and O(log card) for
+// sparse ones, which is what lets a builder scatter posting-derived
+// values into a dense array indexed by the row's position within the
+// set. Build cost is one pass over the containers.
+type Ranks struct {
+	b        *Bitmap
+	chunkPre []int32   // chunkPre[i] = members in chunks [0, i)
+	wordPre  [][]int32 // per packed chunk: members in words [0, w); nil otherwise
+}
+
+// Ranks returns the rank structure for b. The per-chunk prefixes are
+// snapshotted at build; b must not be mutated while the Ranks is in use.
+func (b *Bitmap) Ranks() *Ranks {
+	rk := &Ranks{
+		b:        b,
+		chunkPre: make([]int32, len(b.cs)+1),
+		wordPre:  make([][]int32, len(b.cs)),
+	}
+	for i := range b.cs {
+		c := &b.cs[i]
+		rk.chunkPre[i+1] = rk.chunkPre[i] + c.card
+		if c.kind == bitmapK {
+			pre := make([]int32, bitmapWords)
+			acc := int32(0)
+			for w, x := range c.words {
+				pre[w] = acc
+				acc += int32(bits.OnesCount64(x))
+			}
+			rk.wordPre[i] = pre
 		}
 	}
-}
-
-// Ranks is a per-word prefix popcount over a bitmap: Rank answers
-// |{r ∈ b : r < row}| in O(1), which is what lets a builder scatter
-// posting-derived values into a dense array indexed by the row's
-// position within the set. Build cost is one pass over the words.
-type Ranks struct {
-	b   *Bitmap
-	pre []int32 // pre[i] = set bits in words[0:i]
-}
-
-// Ranks returns the prefix-popcount rank structure for b. The structure
-// snapshots nothing — it reads b's words on each Rank call — so b must
-// not be mutated while the Ranks is in use.
-func (b *Bitmap) Ranks() *Ranks {
-	pre := make([]int32, len(b.words)+1)
-	for i, w := range b.words {
-		pre[i+1] = pre[i] + int32(bits.OnesCount64(w))
-	}
-	return &Ranks{b: b, pre: pre}
+	return rk
 }
 
 // Rank returns the number of set rows strictly below row.
 func (rk *Ranks) Rank(row int) int {
-	w := row >> 6
-	return int(rk.pre[w]) + bits.OnesCount64(rk.b.words[w]&(1<<(uint(row)&63)-1))
+	ch := row >> chunkBits
+	c := &rk.b.cs[ch]
+	low := uint16(row & chunkMask)
+	if c.kind == bitmapK {
+		w := low >> 6
+		return int(rk.chunkPre[ch]) + int(rk.wordPre[ch][w]) +
+			bits.OnesCount64(c.words[w]&(1<<(low&63)-1))
+	}
+	return int(rk.chunkPre[ch]) + c.rank(low)
 }
 
 // ToRowSet unpacks the bitmap into a sorted unique RowSet.

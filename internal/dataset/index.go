@@ -28,6 +28,7 @@ type Index struct {
 
 	mu    sync.Mutex
 	cat   [][]*Bitmap // per column: posting bitmap per dictionary code
+	freqs [][]int32   // per categorical column: rows per dictionary code
 	order [][]int32   // per numeric column: rows ascending by value, NaNs last
 	valid []int       // per numeric column: count of non-NaN rows in order
 }
@@ -57,6 +58,7 @@ func (t *Table) Index() *Index {
 			t:     t,
 			n:     t.n,
 			cat:   make([][]*Bitmap, len(t.schema)),
+			freqs: make([][]int32, len(t.schema)),
 			order: make([][]int32, len(t.schema)),
 			valid: make([]int, len(t.schema)),
 		}
@@ -99,6 +101,58 @@ func (ix *Index) CatPostings(col int) []*Bitmap {
 		catPostingBuilds.Add(1)
 	}
 	return ix.cat[col]
+}
+
+// CatFreqs returns the per-dictionary-code row frequencies of the
+// categorical column at col (nil for numeric columns), computed with
+// one pass over the codes on first use. These are the leaf-cardinality
+// estimates the cost-based predicate planner orders And children by —
+// much cheaper to build than the posting bitmaps themselves, and exact:
+// freq[code] is precisely |CatEq(col, code)|. When the postings are
+// already materialized their cached cardinalities are reused instead of
+// rescanning the column.
+func (ix *Index) CatFreqs(col int) []int32 {
+	c := ix.t.cats[col]
+	if c == nil {
+		return nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.freqs[col] == nil {
+		freqs := make([]int32, c.Cardinality())
+		if postings := ix.cat[col]; postings != nil {
+			for code, p := range postings {
+				freqs[code] = int32(p.Len())
+			}
+		} else {
+			for _, code := range c.codes[:ix.n] {
+				freqs[code]++
+			}
+		}
+		ix.freqs[col] = freqs
+	}
+	return ix.freqs[col]
+}
+
+// MemoryBytes returns the bytes of backing storage held by everything
+// the index has materialized so far: posting bitmaps (container-aware,
+// via Bitmap.MemoryBytes) and numeric sorted orders. The /debug/metrics
+// posting-memory gauge sums this across registered datasets, so the
+// compression hybrid containers buy on skewed columns is observable in
+// production, not just in benches.
+func (ix *Index) MemoryBytes() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	total := 0
+	for _, postings := range ix.cat {
+		for _, p := range postings {
+			total += p.MemoryBytes()
+		}
+	}
+	for _, order := range ix.order {
+		total += len(order) * 4
+	}
+	return total
 }
 
 // HasCatPostings reports whether the categorical column's posting sets
@@ -194,28 +248,42 @@ func (ix *Index) rangeBitmap(order []int32, lo, hi int) *Bitmap {
 	return b
 }
 
+// numRangeBounds returns the sorted order plus the [from, to) window of
+// rows whose value lies in [lo, hi] — the shared probe behind both the
+// materializing range lookups and the count-only planner estimates.
+func (ix *Index) numRangeBounds(col int, lo, hi float64) (order []int32, from, to int) {
+	order, valid := ix.numOrder(col)
+	vals := ix.t.nums[col].vals
+	from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= lo })
+	to = sort.Search(valid, func(i int) bool { return vals[order[i]] > hi })
+	return order, from, to
+}
+
 // NumRange returns the rows whose numeric column lies in [lo, hi], both
 // ends inclusive (SQL BETWEEN). NaN cells never match.
 func (ix *Index) NumRange(col int, lo, hi float64) *Bitmap {
-	order, valid := ix.numOrder(col)
-	vals := ix.t.nums[col].vals
-	from := sort.Search(valid, func(i int) bool { return vals[order[i]] >= lo })
-	to := sort.Search(valid, func(i int) bool { return vals[order[i]] > hi })
+	order, from, to := ix.numRangeBounds(col, lo, hi)
 	if from >= to {
 		return NewBitmap(ix.n)
 	}
 	return ix.rangeBitmap(order, from, to)
 }
 
-// NumCmpRange translates a numeric comparison against constant c into a
-// bitmap. eq selects the rows equal to c; the remaining operators select
-// the sorted prefix or suffix bounded by c. The caller composes Ne as the
-// complement of the eq set, which — like the scalar evaluator — treats
-// NaN cells as unequal to every constant.
-func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *Bitmap {
+// NumRangeLen returns |NumRange(col, lo, hi)| from two binary searches,
+// without packing a bitmap — the planner's exact cardinality probe.
+func (ix *Index) NumRangeLen(col int, lo, hi float64) int {
+	_, from, to := ix.numRangeBounds(col, lo, hi)
+	if from >= to {
+		return 0
+	}
+	return to - from
+}
+
+// numCmpBounds returns the sorted order plus the [from, to) window a
+// numeric comparison against constant c selects (see NumCmpRange).
+func (ix *Index) numCmpBounds(col int, c float64, includeEq, below, above bool) (order []int32, from, to int) {
 	order, valid := ix.numOrder(col)
 	vals := ix.t.nums[col].vals
-	var from, to int
 	switch {
 	case below: // v < c, or v <= c with includeEq
 		from = 0
@@ -235,8 +303,28 @@ func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *
 		from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
 		to = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
 	}
+	return order, from, to
+}
+
+// NumCmpRange translates a numeric comparison against constant c into a
+// bitmap. eq selects the rows equal to c; the remaining operators select
+// the sorted prefix or suffix bounded by c. The caller composes Ne as the
+// complement of the eq set, which — like the scalar evaluator — treats
+// NaN cells as unequal to every constant.
+func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *Bitmap {
+	order, from, to := ix.numCmpBounds(col, c, includeEq, below, above)
 	if from >= to {
 		return NewBitmap(ix.n)
 	}
 	return ix.rangeBitmap(order, from, to)
+}
+
+// NumCmpRangeLen returns |NumCmpRange(...)| from the same binary
+// searches without materializing the bitmap.
+func (ix *Index) NumCmpRangeLen(col int, c float64, includeEq, below, above bool) int {
+	_, from, to := ix.numCmpBounds(col, c, includeEq, below, above)
+	if from >= to {
+		return 0
+	}
+	return to - from
 }

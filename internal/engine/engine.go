@@ -453,6 +453,14 @@ func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Resu
 	}
 	fmt.Fprintf(&b, "where: %s, selectivity %.4f\n", plan,
 		float64(len(rows))/float64(e.table.NumRows()))
+	if c.Where != nil {
+		// The cost-chosen evaluation order with per-leaf cardinality
+		// estimates: And children print cheapest-first, exactly as the
+		// vectorized evaluator folds them.
+		for _, line := range strings.Split(comp.Explain(), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
 	fmt.Fprintf(&b, "result set: %d of %d tuples\n", len(rows), e.table.NumRows())
 	if len(rows) == 0 {
 		return &Result{Kind: KindMessage, Message: b.String()}, nil

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"dbexplorer/internal/cadql"
@@ -99,6 +100,31 @@ func TestExplainReportsPlan(t *testing.T) {
 	}
 	if want := "vectorized (posting bitmaps)"; !containsLine(r.Message, want) {
 		t.Fatalf("explain output missing %q:\n%s", want, r.Message)
+	}
+}
+
+// TestExplainReportsCostOrder: on a conjunction, EXPLAIN must surface
+// the cost-based plan — the cheapest-first And ordering with per-leaf
+// cardinality estimates — not just the evaluator name.
+func TestExplainReportsCostOrder(t *testing.T) {
+	s := newSession(t)
+	r, err := s.Exec("EXPLAIN CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM UsedCars WHERE BodyType = SUV AND Price > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"children cheapest-first", "est "} {
+		if !strings.Contains(r.Message, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, r.Message)
+		}
+	}
+	// The SUV equality is rarer than Price > 0, so it must print first
+	// inside the plan tree (the echoed WHERE text above the plan keeps
+	// source order, so only look past the AND header line).
+	plan := r.Message[strings.Index(r.Message, "children cheapest-first"):]
+	iBody := strings.Index(plan, "BodyType")
+	iPrice := strings.Index(plan, "Price > 0")
+	if iBody < 0 || iPrice < 0 || iBody > iPrice {
+		t.Fatalf("And children not printed cheapest-first:\n%s", r.Message)
 	}
 }
 

@@ -12,6 +12,8 @@ package expr
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"dbexplorer/internal/dataset"
 )
@@ -300,17 +302,33 @@ func (c *Compiled) evalBitmap(ix *dataset.Index, e Expr) (bm *dataset.Bitmap, sh
 			// The interpreter's empty conjunction is vacuously true.
 			return dataset.FullBitmap(ix.Rows()), false, nil
 		}
-		acc, accShared, err := c.evalBitmap(ix, n.Kids[0])
+		// Cost-based ordering: evaluate children cheapest-first so the
+		// running intersection collapses to a sparse set as early as
+		// possible — every later And then costs the small side's
+		// cardinality, not the chunk width. Conjunction is commutative,
+		// so the result is bit-identical to source order.
+		kids := c.orderByEstimate(ix, n.Kids)
+		acc, accShared, err := c.evalBitmap(ix, kids[0])
 		if err != nil {
 			return nil, false, err
 		}
-		for _, k := range n.Kids[1:] {
+		for _, k := range kids[1:] {
+			if acc.Len() == 0 {
+				// Empty intermediate: the conjunction is decided, skip
+				// the remaining children (their bindings were validated
+				// at Compile, so no error surface is lost).
+				break
+			}
 			kb, _, err := c.evalBitmap(ix, k)
 			if err != nil {
 				return nil, false, err
 			}
-			acc = acc.And(kb) // allocates: acc is owned from here on
-			accShared = false
+			if accShared {
+				acc = acc.And(kb) // allocates: acc is owned from here on
+				accShared = false
+			} else {
+				acc.AndWith(kb) // fold in place, no per-step allocation
+			}
 		}
 		return acc, accShared, nil
 	case *Or:
@@ -339,5 +357,155 @@ func (c *Compiled) evalBitmap(ix *dataset.Index, e Expr) (bm *dataset.Bitmap, sh
 		return kb.Not(), false, nil
 	default:
 		return nil, false, fmt.Errorf("expr: %T is not vectorizable", e)
+	}
+}
+
+// orderByEstimate returns the children sorted ascending by estimated
+// cardinality (stable, so equal estimates keep source order). With a
+// single child there is nothing to order and the input is returned.
+func (c *Compiled) orderByEstimate(ix *dataset.Index, kids []Expr) []Expr {
+	if len(kids) < 2 {
+		return kids
+	}
+	type ranked struct {
+		e   Expr
+		est int
+	}
+	rs := make([]ranked, len(kids))
+	for i, k := range kids {
+		rs[i] = ranked{k, c.estimate(ix, k)}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].est < rs[j].est })
+	out := make([]Expr, len(kids))
+	for i, r := range rs {
+		out[i] = r.e
+	}
+	return out
+}
+
+// estimate returns the expected cardinality of e over the index's
+// universe. Leaf estimates are exact: categorical equality and IN read
+// the dictionary frequencies (Index.CatFreqs — one column pass, far
+// cheaper than building the postings being priced), numeric comparisons
+// and BETWEEN are two binary searches over the value-sorted order.
+// Combining nodes use the standard independence-free bounds — And takes
+// the minimum child, Or the capped sum, Not the complement — which is
+// all the planner needs: only the relative order of And children
+// matters, and the bounds preserve it. Nodes the planner cannot price
+// (bind failures, foreign node types) estimate as the full universe, so
+// they sort last and never mask a cheap leaf.
+func (c *Compiled) estimate(ix *dataset.Index, e Expr) int {
+	n := ix.Rows()
+	switch node := e.(type) {
+	case *Cmp:
+		b, err := c.cmpBindFor(node)
+		if err != nil {
+			return n
+		}
+		if b.cat != nil {
+			eq := 0
+			if freqs := ix.CatFreqs(b.col); b.code >= 0 && int(b.code) < len(freqs) {
+				eq = int(freqs[b.code])
+			}
+			if node.Op == Eq {
+				return eq
+			}
+			return n - eq // Ne
+		}
+		switch node.Op {
+		case Eq:
+			return ix.NumCmpRangeLen(b.col, node.Num, true, false, false)
+		case Ne:
+			return n - ix.NumCmpRangeLen(b.col, node.Num, true, false, false)
+		case Lt:
+			return ix.NumCmpRangeLen(b.col, node.Num, false, true, false)
+		case Le:
+			return ix.NumCmpRangeLen(b.col, node.Num, true, true, false)
+		case Gt:
+			return ix.NumCmpRangeLen(b.col, node.Num, false, false, true)
+		case Ge:
+			return ix.NumCmpRangeLen(b.col, node.Num, true, false, true)
+		}
+		return n
+	case *Between:
+		b, err := c.betweenBindFor(node)
+		if err != nil {
+			return n
+		}
+		return ix.NumRangeLen(b.col, node.Lo, node.Hi)
+	case *In:
+		b, err := c.inBindFor(node)
+		if err != nil {
+			return n
+		}
+		freqs := ix.CatFreqs(b.col)
+		total := 0
+		for code, ok := range b.member {
+			if ok && code < len(freqs) {
+				total += int(freqs[code])
+			}
+		}
+		return total
+	case *And:
+		if len(node.Kids) == 0 {
+			return n
+		}
+		est := n
+		for _, k := range node.Kids {
+			if ke := c.estimate(ix, k); ke < est {
+				est = ke
+			}
+		}
+		return est
+	case *Or:
+		est := 0
+		for _, k := range node.Kids {
+			est += c.estimate(ix, k)
+			if est >= n {
+				return n
+			}
+		}
+		return est
+	case *Not:
+		return n - c.estimate(ix, node.Kid)
+	default:
+		return n
+	}
+}
+
+// Explain renders the compiled evaluation plan: one line per node with
+// its estimated cardinality, And children printed in the cost-chosen
+// (cheapest-first) order the evaluator will use. The engine's EXPLAIN
+// statement embeds this under its "where:" line.
+func (c *Compiled) Explain() string {
+	if c.e == nil {
+		return "true (select everything)"
+	}
+	if !c.vectorized {
+		return "interpreted (row scan): " + c.e.String()
+	}
+	var b strings.Builder
+	c.explainNode(c.t.Index(), c.e, 0, &b)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (c *Compiled) explainNode(ix *dataset.Index, e Expr, depth int, b *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	switch n := e.(type) {
+	case *And:
+		fmt.Fprintf(b, "%sAND (est %d rows, children cheapest-first)\n", indent, c.estimate(ix, e))
+		for _, k := range c.orderByEstimate(ix, n.Kids) {
+			c.explainNode(ix, k, depth+1, b)
+		}
+	case *Or:
+		fmt.Fprintf(b, "%sOR (est %d rows)\n", indent, c.estimate(ix, e))
+		for _, k := range n.Kids {
+			c.explainNode(ix, k, depth+1, b)
+		}
+	case *Not:
+		fmt.Fprintf(b, "%sNOT (est %d rows)\n", indent, c.estimate(ix, e))
+		c.explainNode(ix, n.Kid, depth+1, b)
+	default:
+		fmt.Fprintf(b, "%s%s (est %d rows)\n", indent, e.String(), c.estimate(ix, e))
 	}
 }

@@ -209,7 +209,10 @@ func NewServer(opts ...Option) *Server {
 // observeSelectivity records what fraction of the base result set a
 // filter stack kept, and refreshes the lazily-built-index gauges — how
 // many categorical posting sets, numeric sort orders, and view-level
-// posting sets exist process-wide.
+// posting sets exist process-wide, and how many bytes of posting
+// storage this server's registered datasets hold (container-aware, so
+// the compression hybrid containers deliver on skewed columns shows up
+// here, not just in benches).
 func (s *Server) observeSelectivity(kept, base int) {
 	if base > 0 {
 		s.selectivity.Observe(float64(kept) / float64(base))
@@ -218,6 +221,24 @@ func (s *Server) observeSelectivity(kept, base int) {
 	s.reg.Gauge("index_cat_posting_builds").Set(cat)
 	s.reg.Gauge("index_num_order_builds").Set(ord)
 	s.reg.Gauge("view_posting_builds").Set(dataview.PostingStats())
+	s.reg.Gauge("index_posting_memory_bytes").Set(s.postingMemoryBytes())
+}
+
+// postingMemoryBytes sums Index.MemoryBytes over the registered
+// datasets' tables — the level the index_posting_memory_bytes gauge
+// reports at /debug/metrics.
+func (s *Server) postingMemoryBytes() int64 {
+	s.mu.Lock()
+	entries := make([]*datasetEntry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	total := int64(0)
+	for _, e := range entries {
+		total += int64(e.view.Table().Index().MemoryBytes())
+	}
+	return total
 }
 
 // Metrics returns the server's metrics registry, for embedding or
@@ -298,7 +319,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/highlight", s.api("highlight", s.handleHighlight))
 	mux.HandleFunc("POST /api/reorder", s.api("reorder", s.handleReorder))
 
-	mux.Handle("GET /debug/metrics", s.reg)
+	// Refresh the posting-memory gauge at scrape time: postings build
+	// lazily during requests, so a value captured when a request started
+	// would miss everything that request materialized.
+	mux.Handle("GET /debug/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Gauge("index_posting_memory_bytes").Set(s.postingMemoryBytes())
+		s.reg.ServeHTTP(w, r)
+	}))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux

@@ -487,6 +487,11 @@ func TestCacheSpeedupAndMetrics(t *testing.T) {
 			t.Errorf("histogram %s missing or empty: %s", h, snap[h])
 		}
 	}
+	// The cold build materialized index postings, so the container-aware
+	// posting-memory gauge must report a positive footprint.
+	if counter("index_posting_memory_bytes") <= 0 {
+		t.Error("index_posting_memory_bytes gauge not set after cold build")
+	}
 	// /debug/vars serves after PublishExpvar without panicking, twice.
 	s.Metrics().PublishExpvar("dbexplorer-test")
 	s.Metrics().PublishExpvar("dbexplorer-test")
