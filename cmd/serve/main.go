@@ -50,6 +50,7 @@ func main() {
 		queue   = flag.Int("queue-depth", 0, "requests allowed to wait for a slot before shedding (0 = 4x max-concurrent)")
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		debug   = flag.String("debug-addr", "", "private listen address for pprof/metrics/expvar (empty disables)")
+		warmSug = flag.Bool("warm-suggest", false, "mine suggestion models and build posting sets at startup instead of on first /suggest request")
 	)
 	flag.Parse()
 
@@ -83,6 +84,14 @@ func main() {
 		}
 		fmt.Printf("registered %-12s %6d tuples  http://%s/api/v1/%s/schema\n",
 			table.Name(), table.NumRows(), *addr, table.Name())
+	}
+
+	if *warmSug {
+		start := time.Now()
+		if err := srv.WarmSuggest(context.Background()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("suggestion models warmed in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *debug != "" {

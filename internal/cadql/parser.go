@@ -14,8 +14,19 @@ func Parse(input string) (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	return parseToks(toks, nil)
+}
+
+// parseToks runs the recursive-descent parse over lexed tokens. A
+// non-nil recorder turns on recovery mode: every failed token test is
+// recorded as an expectation at its position (farthest position wins),
+// and completed WHERE predicates plus FROM tables are captured for the
+// suggestion service. With rec == nil the behavior and error messages
+// are exactly the classic Parse path.
+func parseToks(toks []token, rec *recorder) (Stmt, error) {
+	p := &parser{toks: toks, rec: rec}
 	var stmt Stmt
+	var err error
 	switch {
 	case p.peekKeyword("SELECT"):
 		stmt, err = p.parseSelect()
@@ -55,6 +66,14 @@ func Parse(input string) (Stmt, error) {
 type parser struct {
 	toks []token
 	pos  int
+
+	// rec, when non-nil, collects the expectations behind every failed
+	// token test (recovery mode; see recover.go). curAttr/curOp hold the
+	// predicate context while parsePredicate runs, so value and number
+	// expectations know which attribute they complete.
+	rec     *recorder
+	curAttr string
+	curOp   string
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -67,9 +86,26 @@ func (p *parser) next() token {
 	return t
 }
 
+// want records a failed expectation at the current token (recovery mode
+// only). Value and number expectations carry the predicate context.
+func (p *parser) want(category, label string) {
+	if p.rec == nil {
+		return
+	}
+	e := Expectation{Label: label, Category: category}
+	if category == ExpectValue || category == ExpectNumber || category == ExpectOp {
+		e.Attr, e.Op = p.curAttr, p.curOp
+	}
+	p.rec.want(p.pos, e)
+}
+
 func (p *parser) peekKeyword(kw string) bool {
 	t := p.peek()
-	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		return true
+	}
+	p.want(ExpectKeyword, strings.ToUpper(kw))
+	return false
 }
 
 func (p *parser) acceptKeyword(kw string) bool {
@@ -93,6 +129,7 @@ func (p *parser) acceptPunct(s string) bool {
 		p.pos++
 		return true
 	}
+	p.want(ExpectPunct, s)
 	return false
 }
 
@@ -109,6 +146,7 @@ func (p *parser) acceptOp(s string) bool {
 		p.pos++
 		return true
 	}
+	p.want(ExpectOp, s)
 	return false
 }
 
@@ -120,12 +158,30 @@ func (p *parser) expectIdent(what string) (string, error) {
 		p.pos++
 		return t.text, nil
 	}
+	p.want(identCategory(what), what)
 	return "", fmt.Errorf("cadql: expected %s, got %s", what, t)
+}
+
+// identCategory maps expectIdent's description to an expectation
+// category, so the suggestion layer knows whether an attribute name, a
+// table name, or a value literal completes the statement.
+func identCategory(what string) string {
+	switch {
+	case strings.Contains(what, "attribute"), what == "column name":
+		return ExpectAttribute
+	case strings.Contains(what, "table"):
+		return ExpectTable
+	case strings.Contains(what, "value"):
+		return ExpectValue
+	default:
+		return ExpectName
+	}
 }
 
 func (p *parser) expectNumber(what string) (float64, error) {
 	t := p.peek()
 	if t.kind != tokNumber {
+		p.want(ExpectNumber, what)
 		return 0, fmt.Errorf("cadql: expected %s, got %s", what, t)
 	}
 	p.pos++
@@ -197,6 +253,9 @@ func (p *parser) parseFromList() ([]string, error) {
 		}
 		tables = append(tables, name)
 		if !p.acceptPunct(",") {
+			if p.rec != nil {
+				p.rec.tables = append(p.rec.tables, tables...)
+			}
 			return tables, nil
 		}
 	}
@@ -446,14 +505,28 @@ func (p *parser) parseDrop() (Stmt, error) {
 	return &DropStmt{View: name}, nil
 }
 
-// parseOr parses a WHERE clause disjunction.
-func (p *parser) parseOr() (expr.Expr, error) {
+// parseOr parses a WHERE clause disjunction. In recovery mode every
+// predicate completed inside a genuine disjunction is marked as such —
+// the suggestion prefix only trusts conjunctively binding predicates.
+func (p *parser) parseOr() (e expr.Expr, err error) {
+	mark, sawOr := 0, false
+	if p.rec != nil {
+		mark = len(p.rec.preds)
+		defer func() {
+			if sawOr {
+				for i := mark; i < len(p.rec.preds); i++ {
+					p.rec.preds[i].disjunct = true
+				}
+			}
+		}()
+	}
 	left, err := p.parseAnd()
 	if err != nil {
 		return nil, err
 	}
 	kids := []expr.Expr{left}
 	for p.acceptKeyword("OR") {
+		sawOr = true
 		right, err := p.parseAnd()
 		if err != nil {
 			return nil, err
@@ -487,6 +560,14 @@ func (p *parser) parseAnd() (expr.Expr, error) {
 
 func (p *parser) parseUnary() (expr.Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if p.rec != nil {
+			mark := len(p.rec.preds)
+			defer func() {
+				for i := mark; i < len(p.rec.preds); i++ {
+					p.rec.preds[i].negated = true
+				}
+			}()
+		}
 		kid, err := p.parseUnary()
 		if err != nil {
 			return nil, err
@@ -506,13 +587,24 @@ func (p *parser) parseUnary() (expr.Expr, error) {
 	return p.parsePredicate()
 }
 
+// recordPred captures one completed predicate for the suggestion prefix
+// (recovery mode only).
+func (p *parser) recordPred(e expr.Expr) {
+	if p.rec != nil {
+		p.rec.preds = append(p.rec.preds, recPred{e: e})
+	}
+}
+
 func (p *parser) parsePredicate() (expr.Expr, error) {
 	attr, err := p.expectIdent("attribute name")
 	if err != nil {
 		return nil, err
 	}
+	p.curAttr = attr
+	defer func() { p.curAttr, p.curOp = "", "" }()
 	switch {
 	case p.acceptKeyword("BETWEEN"):
+		p.curOp = "BETWEEN"
 		lo, err := p.expectNumber("BETWEEN lower bound")
 		if err != nil {
 			return nil, err
@@ -524,8 +616,11 @@ func (p *parser) parsePredicate() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &expr.Between{Attr: attr, Lo: lo, Hi: hi}, nil
+		e := &expr.Between{Attr: attr, Lo: lo, Hi: hi}
+		p.recordPred(e)
+		return e, nil
 	case p.acceptKeyword("IN"):
+		p.curOp = "IN"
 		if err := p.expectPunct("("); err != nil {
 			return nil, err
 		}
@@ -543,13 +638,17 @@ func (p *parser) parsePredicate() (expr.Expr, error) {
 		if err := p.expectPunct(")"); err != nil {
 			return nil, err
 		}
-		return &expr.In{Attr: attr, Values: values}, nil
+		e := &expr.In{Attr: attr, Values: values}
+		p.recordPred(e)
+		return e, nil
 	default:
 		t := p.peek()
 		if t.kind != tokOp {
+			p.want(ExpectOp, "comparison operator")
 			return nil, fmt.Errorf("cadql: expected comparison operator after %q, got %s", attr, t)
 		}
 		p.pos++
+		p.curOp = t.text
 		var op expr.CmpOp
 		switch t.text {
 		case "=":
@@ -571,13 +670,18 @@ func (p *parser) parsePredicate() (expr.Expr, error) {
 		switch v.kind {
 		case tokNumber:
 			p.pos++
-			return &expr.Cmp{Attr: attr, Op: op, Str: v.text, Num: v.num}, nil
+			e := &expr.Cmp{Attr: attr, Op: op, Str: v.text, Num: v.num}
+			p.recordPred(e)
+			return e, nil
 		case tokIdent, tokString:
 			p.pos++
 			// Literal resolves by column type at validation: categorical
 			// columns match Str, numeric columns reject NaN.
-			return &expr.Cmp{Attr: attr, Op: op, Str: v.text, Num: math.NaN()}, nil
+			e := &expr.Cmp{Attr: attr, Op: op, Str: v.text, Num: math.NaN()}
+			p.recordPred(e)
+			return e, nil
 		default:
+			p.want(ExpectValue, "literal")
 			return nil, fmt.Errorf("cadql: expected literal after %s, got %s", t.text, v)
 		}
 	}

@@ -1,0 +1,175 @@
+package cadql
+
+import (
+	"fmt"
+	"strings"
+
+	"dbexplorer/internal/expr"
+)
+
+// Expectation categories. The suggestion service switches on Category to
+// decide what completes the statement at the frontier: keywords and
+// syntax come straight from the grammar, attribute/table/value/number
+// positions are filled from the data.
+const (
+	ExpectKeyword   = "keyword"   // Label is the keyword text (uppercase)
+	ExpectOp        = "op"        // a comparison operator position
+	ExpectPunct     = "punct"     // structural punctuation (Label is the token)
+	ExpectAttribute = "attribute" // an attribute (column) name
+	ExpectTable     = "table"     // a table name
+	ExpectValue     = "value"     // a value literal; Attr/Op give context
+	ExpectNumber    = "number"    // a numeric literal; Attr may give context
+	ExpectName      = "name"      // some other identifier (CADVIEW name, ...)
+)
+
+// Expectation is one viable token class at the recovery frontier: what
+// the parser would have accepted at the farthest position it reached.
+type Expectation struct {
+	// Label is the token text for keyword/op/punct expectations and the
+	// parser's description otherwise ("attribute name", "LIMIT count").
+	Label string
+	// Category is one of the Expect* constants.
+	Category string
+	// Attr and Op carry the predicate context of value and number
+	// expectations: which attribute (and under which operator) the
+	// literal would complete. Empty outside predicates.
+	Attr string
+	Op   string
+}
+
+// ParseError is the typed error of a failed recovery-mode parse: the
+// byte offset of the frontier, the offending token, and every token
+// class that would have been accepted there. httpapi surfaces it as the
+// {code: "parse_error", pos, expected[]} envelope.
+type ParseError struct {
+	// Pos is the byte offset of the frontier in the input.
+	Pos int
+	// Got is the token found at the frontier ("" at end of input).
+	Got string
+	// Expected are display labels of the viable token classes.
+	Expected []string
+	// Msg is the classic parser error message.
+	Msg string
+}
+
+// Error renders the classic message plus the expectation hint.
+func (e *ParseError) Error() string {
+	if len(e.Expected) == 0 {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s (expected: %s)", e.Msg, strings.Join(e.Expected, ", "))
+}
+
+// recPred is one completed WHERE predicate with its binding context:
+// predicates inside a disjunction or under NOT do not conjunctively
+// constrain the result set and are excluded from the suggestion prefix.
+type recPred struct {
+	e        expr.Expr
+	disjunct bool
+	negated  bool
+}
+
+// recorder accumulates recovery state during one parse: the expectation
+// frontier (farthest token position any test failed at, with the set of
+// expectations recorded there) plus completed predicates and tables.
+type recorder struct {
+	at     int // token index of the frontier; -1 = no failed test yet
+	exps   []Expectation
+	preds  []recPred
+	tables []string
+}
+
+// want records an expectation at tokIdx. Only the farthest position is
+// kept: a failure deeper in the input supersedes everything before it,
+// which is exactly the "expected token set at the error position" a
+// recursive-descent parser can report for free.
+func (r *recorder) want(tokIdx int, e Expectation) {
+	if tokIdx < r.at {
+		return
+	}
+	if tokIdx > r.at {
+		r.at = tokIdx
+		r.exps = r.exps[:0]
+	}
+	for _, have := range r.exps {
+		if have == e {
+			return
+		}
+	}
+	r.exps = append(r.exps, e)
+}
+
+// Recovery is the result of a recovery-mode parse. Exactly one of Stmt
+// and Err is non-nil. Even on success the expectation set is populated:
+// it then lists the token classes that could extend the statement (AND,
+// OR, ORDER, LIMIT, ...), which is what statement completion wants for
+// an input that happens to parse.
+type Recovery struct {
+	// Stmt is the parsed statement when the input is complete and valid.
+	Stmt Stmt
+	// Err is the typed parse error when it is not.
+	Err *ParseError
+	// Pos is the byte offset of the frontier (end of input on success).
+	Pos int
+	// Got is the token at the frontier ("" when the frontier is EOF).
+	Got string
+	// AtEnd reports whether the frontier is the end of the input — the
+	// completion case, as opposed to a syntax error mid-statement.
+	AtEnd bool
+	// Expected are the viable token classes at the frontier.
+	Expected []Expectation
+	// Conjuncts are the completed WHERE predicates that conjunctively
+	// bind the result set (predicates under OR or NOT are excluded).
+	// Each element is an *expr.Cmp, *expr.In, or *expr.Between.
+	Conjuncts []expr.Expr
+	// Tables are the FROM tables parsed so far.
+	Tables []string
+}
+
+// ExpectedLabels returns the display labels of the expectation set.
+func (r *Recovery) ExpectedLabels() []string {
+	out := make([]string, len(r.Expected))
+	for i, e := range r.Expected {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// Recover parses input in recovery mode: instead of stopping at the
+// first syntax error it reports the expectation frontier — the farthest
+// position reached and every token class viable there — together with
+// the statement context accumulated up to that point (conjunctive WHERE
+// predicates, FROM tables). It never fails: an unlexable input yields a
+// Recovery whose Err has no expectations.
+func Recover(input string) *Recovery {
+	out := &Recovery{AtEnd: true, Pos: len(input)}
+	toks, err := lex(input)
+	if err != nil {
+		out.AtEnd = false
+		out.Err = &ParseError{Pos: len(input), Msg: err.Error()}
+		return out
+	}
+	rec := &recorder{at: -1}
+	stmt, perr := parseToks(toks, rec)
+	if rec.at >= 0 {
+		t := toks[rec.at]
+		out.Pos = t.pos
+		out.AtEnd = t.kind == tokEOF
+		if t.kind != tokEOF {
+			out.Got = t.text
+		}
+		out.Expected = append([]Expectation(nil), rec.exps...)
+	}
+	for _, pr := range rec.preds {
+		if !pr.disjunct && !pr.negated {
+			out.Conjuncts = append(out.Conjuncts, pr.e)
+		}
+	}
+	out.Tables = rec.tables
+	if perr != nil {
+		out.Err = &ParseError{Pos: out.Pos, Got: out.Got, Expected: out.ExpectedLabels(), Msg: perr.Error()}
+	} else {
+		out.Stmt = stmt
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package cadql
+
+import (
+	"strings"
+	"testing"
+
+	"dbexplorer/internal/expr"
+)
+
+// labels flattens the expectation set for containment checks.
+func labels(r *Recovery) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range r.Expected {
+		out[e.Category+":"+e.Label] = true
+	}
+	return out
+}
+
+func TestRecoverEmptyInput(t *testing.T) {
+	r := Recover("")
+	if r.Err == nil {
+		t.Fatal("want parse error on empty input")
+	}
+	if !r.AtEnd {
+		t.Error("frontier should be at end of input")
+	}
+	got := labels(r)
+	for _, kw := range []string{"SELECT", "CREATE", "HIGHLIGHT", "REORDER", "SHOW", "DESCRIBE", "DROP", "EXPLAIN"} {
+		if !got["keyword:"+kw] {
+			t.Errorf("expected keyword %s missing from %v", kw, r.ExpectedLabels())
+		}
+	}
+}
+
+func TestRecoverValuePosition(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Make = ")
+	if r.Err == nil {
+		t.Fatal("want parse error")
+	}
+	if !r.AtEnd {
+		t.Errorf("AtEnd = false, want true (pos %d, got %q)", r.Pos, r.Got)
+	}
+	var val *Expectation
+	for i := range r.Expected {
+		if r.Expected[i].Category == ExpectValue {
+			val = &r.Expected[i]
+		}
+	}
+	if val == nil {
+		t.Fatalf("no value expectation in %+v", r.Expected)
+	}
+	if val.Attr != "Make" || val.Op != "=" {
+		t.Errorf("value context = (%q, %q), want (Make, =)", val.Attr, val.Op)
+	}
+	if len(r.Tables) != 1 || r.Tables[0] != "cars" {
+		t.Errorf("tables = %v, want [cars]", r.Tables)
+	}
+}
+
+func TestRecoverOperatorPosition(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Price ")
+	got := labels(r)
+	if !got["op:comparison operator"] {
+		t.Errorf("missing operator expectation: %v", r.Expected)
+	}
+	if !got["keyword:BETWEEN"] || !got["keyword:IN"] {
+		t.Errorf("missing BETWEEN/IN keywords: %v", r.ExpectedLabels())
+	}
+}
+
+func TestRecoverAttributePosition(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE ")
+	found := false
+	for _, e := range r.Expected {
+		if e.Category == ExpectAttribute {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no attribute expectation in %+v", r.Expected)
+	}
+}
+
+func TestRecoverConjunctPrefix(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Make = Ford AND Price < 20000 AND BodyType = ")
+	if len(r.Conjuncts) != 2 {
+		t.Fatalf("conjuncts = %d, want 2 (%v)", len(r.Conjuncts), r.Conjuncts)
+	}
+	cmp, ok := r.Conjuncts[0].(*expr.Cmp)
+	if !ok || cmp.Attr != "Make" || cmp.Str != "Ford" {
+		t.Errorf("first conjunct = %#v, want Make = Ford", r.Conjuncts[0])
+	}
+}
+
+func TestRecoverDisjunctExcluded(t *testing.T) {
+	// Predicates inside an OR do not conjunctively bind; the completion
+	// of the second branch must not be restricted by the first.
+	r := Recover("SELECT * FROM cars WHERE BodyType = SUV AND (Make = Ford OR Make = ")
+	if len(r.Conjuncts) != 1 {
+		t.Fatalf("conjuncts = %v, want only BodyType = SUV", r.Conjuncts)
+	}
+	if c := r.Conjuncts[0].(*expr.Cmp); c.Attr != "BodyType" {
+		t.Errorf("conjunct attr = %q, want BodyType", c.Attr)
+	}
+}
+
+func TestRecoverNegatedExcluded(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE NOT Make = Ford AND BodyType = ")
+	if len(r.Conjuncts) != 0 {
+		t.Fatalf("conjuncts = %v, want none (NOT branch excluded)", r.Conjuncts)
+	}
+}
+
+func TestRecoverCompleteStatementContinuations(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Make = Ford")
+	if r.Err != nil {
+		t.Fatalf("unexpected parse error: %v", r.Err)
+	}
+	if r.Stmt == nil {
+		t.Fatal("statement should have parsed")
+	}
+	got := labels(r)
+	for _, kw := range []string{"AND", "OR", "ORDER", "LIMIT"} {
+		if !got["keyword:"+kw] {
+			t.Errorf("continuation %s missing from %v", kw, r.ExpectedLabels())
+		}
+	}
+	if len(r.Conjuncts) != 1 {
+		t.Errorf("conjuncts = %d, want 1", len(r.Conjuncts))
+	}
+}
+
+func TestRecoverMidStatementError(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Make = Ford ORDER Price")
+	if r.Err == nil {
+		t.Fatal("want parse error")
+	}
+	if r.AtEnd {
+		t.Error("frontier should not be at end (BY missing before Price)")
+	}
+	if r.Got != "Price" {
+		t.Errorf("got token = %q, want Price", r.Got)
+	}
+	if !labels(r)["keyword:BY"] {
+		t.Errorf("expected BY, have %v", r.ExpectedLabels())
+	}
+	if r.Err.Pos != strings.Index("SELECT * FROM cars WHERE Make = Ford ORDER Price", "Price") {
+		t.Errorf("pos = %d", r.Err.Pos)
+	}
+}
+
+func TestRecoverLexError(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Make = 'unterminated")
+	if r.Err == nil {
+		t.Fatal("want error for unterminated string")
+	}
+	if len(r.Expected) != 0 {
+		t.Errorf("lex errors carry no expectations, got %v", r.Expected)
+	}
+}
+
+func TestRecoverBetweenBounds(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Price BETWEEN ")
+	var num *Expectation
+	for i := range r.Expected {
+		if r.Expected[i].Category == ExpectNumber {
+			num = &r.Expected[i]
+		}
+	}
+	if num == nil {
+		t.Fatalf("no number expectation in %+v", r.Expected)
+	}
+	if num.Attr != "Price" || num.Op != "BETWEEN" {
+		t.Errorf("number context = (%q, %q), want (Price, BETWEEN)", num.Attr, num.Op)
+	}
+}
+
+func TestRecoverInList(t *testing.T) {
+	r := Recover("SELECT * FROM cars WHERE Make IN (Ford, ")
+	var val *Expectation
+	for i := range r.Expected {
+		if r.Expected[i].Category == ExpectValue {
+			val = &r.Expected[i]
+		}
+	}
+	if val == nil {
+		t.Fatalf("no value expectation in %+v", r.Expected)
+	}
+	if val.Attr != "Make" || val.Op != "IN" {
+		t.Errorf("value context = (%q, %q), want (Make, IN)", val.Attr, val.Op)
+	}
+}
+
+// TestRecoverMatchesParse asserts recovery mode accepts and rejects
+// exactly what Parse does, over every statement shape the parser tests
+// exercise.
+func TestRecoverMatchesParse(t *testing.T) {
+	inputs := []string{
+		"SELECT * FROM UsedCars WHERE Make = 'Land Rover' AND Price <= 30K LIMIT 10",
+		"CREATE CADVIEW v AS SET pivot = Make SELECT * FROM UsedCars WHERE Price BETWEEN 10K AND 20K",
+		"SHOW TABLES",
+		"DESCRIBE UsedCars;",
+		"DROP CADVIEW CompareMakes",
+		"SELECT * FROM a,",
+		"SELECT FROM",
+		"CREATE CADVIEW v AS SET pivot = ",
+		"garbage input here",
+		"",
+	}
+	for _, in := range inputs {
+		_, perr := Parse(in)
+		r := Recover(in)
+		if (perr == nil) != (r.Err == nil) {
+			t.Errorf("%q: Parse err=%v, Recover err=%v — must agree", in, perr, r.Err)
+		}
+		if perr == nil && r.Stmt == nil {
+			t.Errorf("%q: Recover dropped the statement", in)
+		}
+	}
+}

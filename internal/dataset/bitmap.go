@@ -339,6 +339,46 @@ func (rk *Ranks) Rank(row int) int {
 	return int(rk.chunkPre[ch]) + c.rank(low)
 }
 
+// Slice returns the rows ranked [offset, offset+limit) in ascending row
+// order — one page of the bitmap. Chunks before the page are skipped by
+// their cached cardinality, so paging deep into a large result set
+// costs proportional to the page, not the offset. limit < 0 means "to
+// the end".
+func (b *Bitmap) Slice(offset, limit int) RowSet {
+	if offset < 0 {
+		offset = 0
+	}
+	if limit == 0 {
+		return RowSet{}
+	}
+	capHint := limit
+	if n := b.Len() - offset; capHint < 0 || capHint > n {
+		capHint = n
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	out := make(RowSet, 0, capHint)
+	r := 0 // rank of the next row each forEach visit reports
+	for i := range b.cs {
+		card := int(b.cs[i].card)
+		if card == 0 || r+card <= offset {
+			r += card
+			continue
+		}
+		if limit >= 0 && r >= offset+limit {
+			break
+		}
+		b.cs[i].forEach(i<<chunkBits, func(v int) {
+			if r >= offset && (limit < 0 || r < offset+limit) {
+				out = append(out, v)
+			}
+			r++
+		})
+	}
+	return out
+}
+
 // ToRowSet unpacks the bitmap into a sorted unique RowSet.
 func (b *Bitmap) ToRowSet() RowSet {
 	out := make(RowSet, 0, b.Len())

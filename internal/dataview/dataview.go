@@ -358,11 +358,34 @@ func (v *View) Table() *dataset.Table { return v.table }
 // Columns returns all coded columns in schema order.
 func (v *View) Columns() []*Column { return v.cols }
 
+// UnknownAttrError is the typed error for a name that resolves to no
+// attribute of the view. The serving layer maps it (through any
+// wrapping) to the {code: "bad_attribute"} envelope.
+type UnknownAttrError struct {
+	Attr string
+}
+
+func (e *UnknownAttrError) Error() string {
+	return fmt.Sprintf("dataview: no attribute %q", e.Attr)
+}
+
+// UnknownValueError is the typed error for a value label that resolves
+// to no code of an attribute — same envelope treatment as
+// UnknownAttrError, with both the attribute and the offending value.
+type UnknownValueError struct {
+	Attr  string
+	Value string
+}
+
+func (e *UnknownValueError) Error() string {
+	return fmt.Sprintf("dataview: attribute %q has no value %q", e.Attr, e.Value)
+}
+
 // Column returns the named coded column, or an error.
 func (v *View) Column(name string) (*Column, error) {
 	i, ok := v.byName[name]
 	if !ok {
-		return nil, fmt.Errorf("dataview: no attribute %q", name)
+		return nil, &UnknownAttrError{Attr: name}
 	}
 	return v.cols[i], nil
 }

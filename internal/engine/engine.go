@@ -209,6 +209,12 @@ func (s *Session) Exec(query string) (*Result, error) {
 func (s *Session) ExecContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := cadql.Parse(query)
 	if err != nil {
+		// Re-parse in recovery mode for the typed error: position, the
+		// offending token, and the token categories accepted there. The
+		// extra parse only happens on the error path.
+		if rec := cadql.Recover(query); rec.Err != nil {
+			return nil, rec.Err
+		}
 		return nil, err
 	}
 	return s.ExecStmtContext(ctx, stmt)

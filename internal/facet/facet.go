@@ -279,7 +279,7 @@ func (s *Session) Select(attr, value string) error {
 	}
 	code := col.CodeOf(value)
 	if code < 0 {
-		return fmt.Errorf("facet: attribute %q has no value %q", attr, value)
+		return &dataview.UnknownValueError{Attr: attr, Value: value}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -389,6 +389,31 @@ func (s *Session) Rows() dataset.RowSet {
 	bm := s.currentBitmap()
 	s.mu.Unlock()
 	return bm.ToRowSet()
+}
+
+// Page returns the result rows ranked [offset, offset+limit) in row
+// order, plus the total result count. Only the page is materialized;
+// rows before it are skipped by cached chunk cardinalities
+// (Bitmap.Slice). limit < 0 means "to the end".
+func (s *Session) Page(offset, limit int) (dataset.RowSet, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.selected) == 0 {
+		total := len(s.base)
+		if offset < 0 {
+			offset = 0
+		}
+		if offset > total {
+			offset = total
+		}
+		end := total
+		if limit >= 0 && offset+limit < end {
+			end = offset + limit
+		}
+		return append(dataset.RowSet(nil), s.base[offset:end]...), total
+	}
+	bm := s.currentBitmap()
+	return bm.Slice(offset, limit), bm.Len()
 }
 
 // Count returns the current result-set size (a popcount over the

@@ -41,6 +41,14 @@ const (
 	// PointViewcacheFill fires in httpapi's cold build, after the CAD
 	// View is built and immediately before it is published to the cache.
 	PointViewcacheFill Point = "httpapi.viewcache.fill"
+	// PointSuggestModel fires at the top of suggest.BuildModel, before
+	// the FD/Bayes-net mining runs — the suggest service must degrade to
+	// selectivity-only ranking when the model cannot be built.
+	PointSuggestModel Point = "suggest.BuildModel"
+	// PointSuggestRank fires once per candidate attribute inside the
+	// suggest ranking loops (drill-down and completion), so chaos
+	// scenarios can slow or cancel a request mid-rank.
+	PointSuggestRank Point = "suggest.rank"
 )
 
 // action is what a rule does when its window matches.

@@ -6,17 +6,22 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"dbexplorer/internal/cadql"
+	"dbexplorer/internal/dataview"
 )
 
 // Error codes of the v1 JSON error envelope. Clients switch on Code, not
 // on the human-readable message.
 const (
-	CodeBadRequest = "bad_request" // malformed body, unknown attribute/value, invalid config
-	CodeNotFound   = "not_found"   // unknown dataset, CAD view id, or route
-	CodeOverloaded = "overloaded"  // admission gate full for the whole request budget
-	CodeTimeout    = "timeout"     // request deadline exceeded mid-build
-	CodeCanceled   = "canceled"    // client went away mid-build
-	CodeInternal   = "internal"    // unexpected server-side failure
+	CodeBadRequest   = "bad_request"   // malformed body or invalid config
+	CodeParseError   = "parse_error"   // CADQL syntax error; carries pos + expected
+	CodeBadAttribute = "bad_attribute" // unknown attribute or value; carries attr
+	CodeNotFound     = "not_found"     // unknown dataset, CAD view id, or route
+	CodeOverloaded   = "overloaded"    // admission gate full for the whole request budget
+	CodeTimeout      = "timeout"       // request deadline exceeded mid-build
+	CodeCanceled     = "canceled"      // client went away mid-build
+	CodeInternal     = "internal"      // unexpected server-side failure
 )
 
 // DefaultRetryAfter is the Retry-After hint (seconds) sent with load-shed
@@ -31,10 +36,16 @@ const DefaultRetryAfter = 1
 var errBuildPanicked = errors.New("httpapi: CAD build panicked")
 
 // ErrorBody is the typed JSON error envelope every non-2xx API response
-// carries: {"error": {"code": "...", "message": "..."}}.
+// carries: {"error": {"code": "...", "message": "..."}}. parse_error
+// additionally carries the byte position of the syntax error and the
+// token categories that would have been accepted there; bad_attribute
+// names the offending attribute.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Pos      *int     `json:"pos,omitempty"`
+	Expected []string `json:"expected,omitempty"`
+	Attr     string   `json:"attr,omitempty"`
 }
 
 // apiError pairs an HTTP status with the envelope to send. retryAfter,
@@ -48,17 +59,51 @@ type apiError struct {
 
 func (e *apiError) Error() string { return e.body.Message }
 
+// errBadRequest classifies a request-level error into the typed
+// envelope: CADQL parse errors carry position and expected-token hints,
+// unknown attribute/value errors carry the attribute name, everything
+// else is a generic bad_request.
 func errBadRequest(err error) *apiError {
-	return &apiError{status: http.StatusBadRequest, body: ErrorBody{CodeBadRequest, err.Error()}}
+	var perr *cadql.ParseError
+	if errors.As(err, &perr) {
+		pos := perr.Pos
+		return &apiError{status: http.StatusBadRequest, body: ErrorBody{
+			Code:     CodeParseError,
+			Message:  perr.Error(),
+			Pos:      &pos,
+			Expected: perr.Expected,
+		}}
+	}
+	var aerr *dataview.UnknownAttrError
+	if errors.As(err, &aerr) {
+		return &apiError{status: http.StatusBadRequest, body: ErrorBody{
+			Code:    CodeBadAttribute,
+			Message: err.Error(),
+			Attr:    aerr.Attr,
+		}}
+	}
+	var verr *dataview.UnknownValueError
+	if errors.As(err, &verr) {
+		return &apiError{status: http.StatusBadRequest, body: ErrorBody{
+			Code:    CodeBadAttribute,
+			Message: err.Error(),
+			Attr:    verr.Attr,
+		}}
+	}
+	return &apiError{status: http.StatusBadRequest,
+		body: ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
 }
 
 func errNotFound(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusNotFound, body: ErrorBody{CodeNotFound, fmt.Sprintf(format, args...)}}
+	return &apiError{status: http.StatusNotFound,
+		body: ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}}
 }
 
 func errOverloaded(err error) *apiError {
-	return &apiError{status: http.StatusServiceUnavailable, body: ErrorBody{CodeOverloaded,
-		fmt.Sprintf("server at concurrency limit: %v", err)}, retryAfter: DefaultRetryAfter}
+	return &apiError{status: http.StatusServiceUnavailable, body: ErrorBody{
+		Code:    CodeOverloaded,
+		Message: fmt.Sprintf("server at concurrency limit: %v", err),
+	}, retryAfter: DefaultRetryAfter}
 }
 
 // errInternal wraps a recovered panic (or other unexpected failure) in
@@ -66,20 +111,22 @@ func errOverloaded(err error) *apiError {
 // can carry internal state that does not belong in a response body.
 func errInternal() *apiError {
 	return &apiError{status: http.StatusInternalServerError,
-		body: ErrorBody{CodeInternal, "internal server error"}}
+		body: ErrorBody{Code: CodeInternal, Message: "internal server error"}}
 }
 
 // errFromBuild classifies an error out of the build path: context errors
 // become timeout/canceled, everything else is a caller mistake (the
-// builder validates its inputs) and maps to bad_request.
+// builder validates its inputs) and maps through errBadRequest's typed
+// classification.
 func errFromBuild(err error) *apiError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return &apiError{status: http.StatusGatewayTimeout, body: ErrorBody{CodeTimeout, err.Error()}}
+		return &apiError{status: http.StatusGatewayTimeout,
+			body: ErrorBody{Code: CodeTimeout, Message: err.Error()}}
 	case errors.Is(err, context.Canceled):
 		// 499 is the de-facto "client closed request" status; the client
 		// is usually gone, but the envelope keeps logs and tests honest.
-		return &apiError{status: 499, body: ErrorBody{CodeCanceled, err.Error()}}
+		return &apiError{status: 499, body: ErrorBody{Code: CodeCanceled, Message: err.Error()}}
 	case errors.Is(err, errBuildPanicked):
 		return errInternal()
 	default:

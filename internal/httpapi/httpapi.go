@@ -35,6 +35,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -48,6 +49,7 @@ import (
 	"dbexplorer/internal/fault"
 	"dbexplorer/internal/metrics"
 	"dbexplorer/internal/parallel"
+	"dbexplorer/internal/suggest"
 	"dbexplorer/internal/viewcache"
 )
 
@@ -91,12 +93,19 @@ type Server struct {
 	nextID   int
 }
 
-// datasetEntry is one registered dataset: its discretized view and full
-// row set.
+// datasetEntry is one registered dataset: its discretized view, full
+// row set, and lazily-built suggestion service. Re-registering a
+// dataset replaces the whole entry, so the suggester (and its mined
+// model) can never outlive the data it was built from.
 type datasetEntry struct {
 	name string
 	view *dataview.View
 	base dataset.RowSet
+
+	// sugMu guards the lazy suggester build; concurrent first requests
+	// coalesce on the mutex instead of mining the model twice.
+	sugMu sync.Mutex
+	sug   *suggest.Suggester
 }
 
 // builtView is one cached CAD View build: the view, its stage timings,
@@ -311,13 +320,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/{dataset}/cad", s.apiDegraded("cad", s.handleCAD, s.shedCAD))
 	mux.HandleFunc("POST /api/v1/{dataset}/highlight", s.api("highlight", s.handleHighlight))
 	mux.HandleFunc("POST /api/v1/{dataset}/reorder", s.api("reorder", s.handleReorder))
+	mux.HandleFunc("POST /api/v1/{dataset}/suggest", s.api("suggest", s.handleSuggest))
 
-	// Deprecated unversioned aliases: same handlers, default dataset.
-	mux.HandleFunc("GET /api/schema", s.api("schema", s.handleSchema))
-	mux.HandleFunc("POST /api/query", s.api("query", s.handleQuery))
-	mux.HandleFunc("POST /api/cad", s.apiDegraded("cad", s.handleCAD, s.shedCAD))
-	mux.HandleFunc("POST /api/highlight", s.api("highlight", s.handleHighlight))
-	mux.HandleFunc("POST /api/reorder", s.api("reorder", s.handleReorder))
+	// Deprecated unversioned aliases: same handlers, default dataset,
+	// plus Deprecation/Sunset headers and a counter (see docs/API.md for
+	// the migration path; the aliases go away at the Sunset date).
+	mux.HandleFunc("GET /api/schema", s.deprecated("/api/v1/{dataset}/schema", s.api("schema", s.handleSchema)))
+	mux.HandleFunc("POST /api/query", s.deprecated("/api/v1/{dataset}/query", s.api("query", s.handleQuery)))
+	mux.HandleFunc("POST /api/cad", s.deprecated("/api/v1/{dataset}/cad", s.apiDegraded("cad", s.handleCAD, s.shedCAD)))
+	mux.HandleFunc("POST /api/highlight", s.deprecated("/api/v1/{dataset}/highlight", s.api("highlight", s.handleHighlight)))
+	mux.HandleFunc("POST /api/reorder", s.deprecated("/api/v1/{dataset}/reorder", s.api("reorder", s.handleReorder)))
+	mux.HandleFunc("POST /api/suggest", s.deprecated("/api/v1/{dataset}/suggest", s.api("suggest", s.handleSuggest)))
 
 	// Refresh the posting-memory gauge at scrape time: postings build
 	// lazily during requests, so a value captured when a request started
@@ -329,6 +342,34 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
+}
+
+// Deprecation metadata for the unversioned /api/* aliases (RFC 9745 /
+// RFC 8594): the Deprecation header dates when the aliases were
+// deprecated, Sunset when they will be removed. docs/API.md carries the
+// migration guide.
+const (
+	// DeprecationDate is when the unversioned aliases were deprecated
+	// (2025-02-01, as a Unix timestamp per RFC 9745).
+	DeprecationDate = "@1738368000"
+	// SunsetDate is when the unversioned aliases will stop being served.
+	SunsetDate = "Mon, 01 Feb 2027 00:00:00 GMT"
+)
+
+// deprecated wraps an unversioned alias route with Deprecation/Sunset
+// headers, a Link to the versioned successor route, and the
+// deprecated_api_requests_total counter, so operators can watch alias
+// traffic drain before the sunset.
+func (s *Server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := s.reg.Counter("deprecated_api_requests_total")
+	link := fmt.Sprintf("<%s>; rel=\"successor-version\"", successor)
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctr.Inc()
+		w.Header().Set("Deprecation", DeprecationDate)
+		w.Header().Set("Sunset", SunsetDate)
+		w.Header().Set("Link", link)
+		h(w, r)
+	}
 }
 
 // handlerFunc is one API endpoint running inside a request lifecycle.
@@ -493,8 +534,18 @@ func (s *Server) handleSchema(_ context.Context, ds *datasetEntry, w http.Respon
 	return nil
 }
 
+// Paging bounds for the query route: limit defaults to
+// DefaultPageLimit when the request omits it and is clamped to
+// MaxPageLimit — a page is a UI screenful, not a bulk-export channel.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
 type queryRequest struct {
 	Filters []Filter `json:"filters"`
+	Limit   int      `json:"limit,omitempty"`
+	Offset  int      `json:"offset,omitempty"`
 }
 
 func (s *Server) handleQuery(_ context.Context, ds *datasetEntry, w http.ResponseWriter, r *http.Request) *apiError {
@@ -502,19 +553,63 @@ func (s *Server) handleQuery(_ context.Context, ds *datasetEntry, w http.Respons
 	if apiErr := decode(r, &req); apiErr != nil {
 		return apiErr
 	}
+	if req.Limit < 0 {
+		return errBadRequest(fmt.Errorf("limit must be >= 0, got %d", req.Limit))
+	}
+	if req.Offset < 0 {
+		return errBadRequest(fmt.Errorf("offset must be >= 0, got %d", req.Offset))
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = DefaultPageLimit
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
 	sess, err := ds.session(req.Filters)
 	if err != nil {
 		return errBadRequest(err)
 	}
-	count := sess.Count()
-	s.observeSelectivity(count, len(ds.base))
+	page, total := sess.Page(req.Offset, limit)
+	s.observeSelectivity(total, len(ds.base))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"count":  count,
+		"count":  total,
+		"total":  total,
+		"offset": req.Offset,
+		"limit":  limit,
+		"rows":   renderRows(ds.view.Table(), page),
 		"digest": sess.Digest(),
 		"panel":  sess.PanelDigest(),
 		"phase":  (&facet.TPFacet{Session: sess}).SuggestPhase(0).String(),
 	})
 	return nil
+}
+
+// renderRows materializes one page of table rows as JSON objects. NaN
+// (missing numeric) renders as null — encoding/json rejects NaN.
+func renderRows(t *dataset.Table, rows dataset.RowSet) []map[string]any {
+	schema := t.Schema()
+	out := make([]map[string]any, 0, len(rows))
+	for _, row := range rows {
+		obj := make(map[string]any, len(schema)+1)
+		obj["_row"] = row
+		for col, attr := range schema {
+			if cat := t.Cat(col); cat != nil {
+				obj[attr.Name] = cat.Value(row)
+				continue
+			}
+			if num := t.Num(col); num != nil {
+				v := num.Value(row)
+				if math.IsNaN(v) {
+					obj[attr.Name] = nil
+				} else {
+					obj[attr.Name] = v
+				}
+			}
+		}
+		out = append(out, obj)
+	}
+	return out
 }
 
 type cadRequest struct {

@@ -188,14 +188,14 @@ func TestErrorEnvelope(t *testing.T) {
 	if e := envelope(t, out); e.Code != CodeNotFound || e.Message == "" {
 		t.Errorf("envelope = %+v", e)
 	}
-	// Bad filter: bad_request with both code and message populated.
+	// Bad filter: typed bad_attribute envelope naming the attribute.
 	res2, out2 := post(t, srv, "/api/v1/UsedCars/query", map[string]any{
 		"filters": []map[string]any{{"attr": "Nope", "values": []string{"x"}}},
 	})
 	if res2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad filter status = %d", res2.StatusCode)
 	}
-	if e := envelope(t, out2); e.Code != CodeBadRequest || e.Message == "" {
+	if e := envelope(t, out2); e.Code != CodeBadAttribute || e.Message == "" || e.Attr != "Nope" {
 		t.Errorf("envelope = %+v", e)
 	}
 }
@@ -321,7 +321,7 @@ func TestCADHighlightReorderFlow(t *testing.T) {
 		t.Errorf("reorder unknown id status = %d", res.StatusCode)
 	}
 	res, out = post(t, srv, "/api/cad", map[string]any{"pivot": "Nope"})
-	if res.StatusCode != http.StatusBadRequest || envelope(t, out).Code != CodeBadRequest {
+	if res.StatusCode != http.StatusBadRequest || envelope(t, out).Code != CodeBadAttribute {
 		t.Errorf("cad unknown pivot status = %d", res.StatusCode)
 	}
 }

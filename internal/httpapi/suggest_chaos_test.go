@@ -1,0 +1,157 @@
+package httpapi
+
+// Chaos scenarios for the suggest route: saturation shedding,
+// cancellation mid-ranking, and model staleness across dataset
+// re-registration. Same contract as the main chaos suite — typed
+// envelopes, no slot leaks, no goroutine leaks, process survives.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbexplorer/internal/fault"
+)
+
+// Scenario: the gate is saturated and its queue full — suggest requests
+// must shed with a 503 overloaded envelope and a Retry-After hint, not
+// queue forever.
+func TestChaosSuggestShedsUnderSaturation(t *testing.T) {
+	s, srv := newTestServer(t, WithMaxConcurrent(1), WithQueueDepth(1))
+	release := saturateGate(t, s)
+
+	res, out := post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{
+		"filters": []map[string]any{{"attr": "Make", "values": []string{"Ford"}}},
+	})
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %v", res.StatusCode, out)
+	}
+	if e := envelope(t, out); e.Code != CodeOverloaded {
+		t.Errorf("envelope code = %q, want %q", e.Code, CodeOverloaded)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	// Releasing the gate restores service.
+	release()
+	waitGateIdle(t, s)
+	res, out = post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{
+		"filters": []map[string]any{{"attr": "Make", "values": []string{"Ford"}}},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d: %v", res.StatusCode, out)
+	}
+}
+
+// Scenario: the client walks away while the ranking loop is mid-flight.
+// The slow rule stalls each PointSuggestRank hit; the request context
+// fires first, the handler unwinds through the ranking loop's ctx
+// checks, and the server remains healthy for the next request.
+func TestChaosSuggestCancellationMidRank(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	s, srv := newTestServer(t)
+
+	// Build the model and warm the postings first, so the slow rule
+	// only governs the ranking loop, not the model build.
+	res, out := post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{"filters": []map[string]any{}})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status = %d: %v", res.StatusCode, out)
+	}
+
+	in := fault.NewInjector().Slow(fault.PointSuggestRank, 30*time.Second, 1)
+	restore := fault.Activate(in)
+	defer restore()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	body, _ := json.Marshal(map[string]any{"filters": []map[string]any{}})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/api/v1/UsedCars/suggest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request should have been cut off by its context")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if hits := in.Hits(fault.PointSuggestRank); hits == 0 {
+		t.Error("slow rule never reached the ranking loop")
+	}
+	restore()
+
+	// The canceled request released its slot; service continues.
+	waitGateIdle(t, s)
+	res, out = post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{"filters": []map[string]any{}})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d: %v", res.StatusCode, out)
+	}
+	waitGoroutines(t, goroutines, 4)
+}
+
+// Scenario: a dataset is re-registered (new data under the same name)
+// and the replacement model build fails at the fault point. The suggest
+// route must not serve the old dataset's model: it degrades to
+// selectivity-only ranking for that request, counts the failure, and
+// recovers (rebuilding the model) once the fault clears.
+func TestChaosSuggestStaleModelAfterReRegister(t *testing.T) {
+	s, srv := newTestServer(t)
+
+	degraded := func() bool {
+		t.Helper()
+		res, out := post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{
+			"filters": []map[string]any{{"attr": "Make", "values": []string{"Ford"}}},
+		})
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %v", res.StatusCode, out)
+		}
+		var d bool
+		if err := json.Unmarshal(out["degraded"], &d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	if degraded() {
+		t.Fatal("first request should have built the model")
+	}
+	if n := s.reg.Counter("suggest_model_builds_total").Value(); n != 1 {
+		t.Fatalf("model builds = %d, want 1", n)
+	}
+
+	// Re-register with fresh data: the cached suggester must go with it.
+	if err := s.Register("UsedCars", usedCarsView(t, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector().Fail(fault.PointSuggestModel, errors.New("injected: model store down"), 1)
+	t.Cleanup(fault.Activate(in))
+
+	// With the rebuild failing, the route degrades rather than serving
+	// the stale pre-re-registration model.
+	if !degraded() {
+		t.Fatal("suggest served an undegraded answer while the model build was failing — stale model?")
+	}
+	if n := s.reg.Counter("suggest_model_failures_total").Value(); n != 1 {
+		t.Errorf("model failures = %d, want 1", n)
+	}
+
+	// The fail rule is spent: the next request rebuilds the model from
+	// the new data and full ranking returns.
+	if degraded() {
+		t.Fatal("model never recovered after the fault cleared")
+	}
+	if n := s.reg.Counter("suggest_model_builds_total").Value(); n != 2 {
+		t.Errorf("model builds = %d, want 2 (one per registration)", n)
+	}
+	waitGateIdle(t, s)
+}

@@ -1,0 +1,333 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// suggestBody decodes the suggest response's inner payloads.
+type suggestCompletion struct {
+	Pos        int      `json:"pos"`
+	AtEnd      bool     `json:"atEnd"`
+	Expected   []string `json:"expected"`
+	Candidates []struct {
+		Text        string  `json:"text"`
+		Category    string  `json:"category"`
+		Attr        string  `json:"attr"`
+		Count       int     `json:"count"`
+		Selectivity float64 `json:"selectivity"`
+		Score       float64 `json:"score"`
+		DeadEnd     bool    `json:"deadEnd"`
+	} `json:"candidates"`
+}
+
+type suggestDrilldown struct {
+	Total   int  `json:"total"`
+	DeadEnd bool `json:"deadEnd"`
+	Attrs   []struct {
+		Attr         string  `json:"attr"`
+		Score        float64 `json:"score"`
+		PValue       float64 `json:"pValue"`
+		DeterminedBy string  `json:"determinedBy"`
+		Values       []struct {
+			Value   string `json:"value"`
+			Count   int    `json:"count"`
+			DeadEnd bool   `json:"deadEnd"`
+		} `json:"values"`
+	} `json:"attrs"`
+}
+
+func TestSuggestCompletionEndpoint(t *testing.T) {
+	srv := testServer(t)
+	res, out := post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{
+		"statement": "SELECT * FROM UsedCars WHERE Make = ",
+		"limit":     20,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", res.StatusCode, out["error"])
+	}
+	var mode string
+	if err := json.Unmarshal(out["mode"], &mode); err != nil || mode != "complete" {
+		t.Fatalf("mode = %q (%v)", mode, err)
+	}
+	var c suggestCompletion
+	if err := json.Unmarshal(out["completion"], &c); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AtEnd {
+		t.Error("frontier should be at end of statement")
+	}
+	values := 0
+	for _, cand := range c.Candidates {
+		if cand.Category == "value" {
+			values++
+			if cand.Attr != "Make" {
+				t.Errorf("value candidate attr = %q", cand.Attr)
+			}
+			if !cand.DeadEnd && cand.Count <= 0 {
+				t.Errorf("live candidate %q has count %d", cand.Text, cand.Count)
+			}
+		}
+	}
+	if values == 0 {
+		t.Fatalf("no value candidates in %+v", c.Candidates)
+	}
+}
+
+func TestSuggestDrilldownEndpoint(t *testing.T) {
+	srv := testServer(t)
+	filters := []map[string]any{{"attr": "BodyType", "values": []string{"SUV"}}}
+	res, out := post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{"filters": filters})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", res.StatusCode, out["error"])
+	}
+	var d suggestDrilldown
+	if err := json.Unmarshal(out["drilldown"], &d); err != nil {
+		t.Fatal(err)
+	}
+	// The drill-down total must agree with the query route on the same
+	// filter set.
+	_, qout := post(t, srv, "/api/v1/UsedCars/query", map[string]any{"filters": filters})
+	var qtotal int
+	if err := json.Unmarshal(qout["total"], &qtotal); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total != qtotal {
+		t.Errorf("drilldown total = %d, query total = %d", d.Total, qtotal)
+	}
+	if d.DeadEnd || d.Total == 0 {
+		t.Fatalf("SUV filter should not be a dead end (total %d)", d.Total)
+	}
+	for _, a := range d.Attrs {
+		if a.Attr == "BodyType" {
+			t.Error("already-filtered attribute recommended")
+		}
+		if a.Attr == "Engine" {
+			t.Error("non-queriable attribute recommended")
+		}
+		for _, v := range a.Values {
+			if v.DeadEnd {
+				t.Errorf("dead-end value %s=%s not pruned by default", a.Attr, v.Value)
+			}
+		}
+	}
+	if len(d.Attrs) == 0 {
+		t.Fatal("no attribute recommendations")
+	}
+}
+
+func TestSuggestModesAreExclusive(t *testing.T) {
+	srv := testServer(t)
+	res, out := post(t, srv, "/api/v1/UsedCars/suggest", map[string]any{
+		"statement": "SELECT * FROM UsedCars WHERE Make = ",
+		"filters":   []map[string]any{{"attr": "Make", "values": []string{"Ford"}}},
+	})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", res.StatusCode)
+	}
+	if e := envelope(t, out); e.Code != CodeBadRequest {
+		t.Errorf("code = %q", e.Code)
+	}
+}
+
+// TestTypedErrorEnvelopes is the table-driven contract for the typed
+// error codes: parse_error carries pos + expected, bad_attribute names
+// the attribute, plain bad_request stays generic.
+func TestTypedErrorEnvelopes(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name     string
+		path     string
+		body     map[string]any
+		wantCode string
+		wantPos  bool
+		wantExp  bool
+		wantAttr string
+	}{
+		{
+			name:     "suggest statement syntax error",
+			path:     "/api/v1/UsedCars/suggest",
+			body:     map[string]any{"statement": "SELECT * FROM UsedCars WHERE Make = Ford ORDER Price"},
+			wantCode: CodeParseError,
+			wantPos:  true,
+			wantExp:  true,
+		},
+		{
+			name:     "suggest statement lex error",
+			path:     "/api/v1/UsedCars/suggest",
+			body:     map[string]any{"statement": "SELECT * FROM UsedCars WHERE Make = 'oops"},
+			wantCode: CodeParseError,
+			wantPos:  true,
+		},
+		{
+			name:     "suggest unknown attribute in conjunct",
+			path:     "/api/v1/UsedCars/suggest",
+			body:     map[string]any{"statement": "SELECT * FROM UsedCars WHERE Nope = Ford AND Make = "},
+			wantCode: CodeBadAttribute,
+			wantAttr: "Nope",
+		},
+		{
+			name:     "suggest unknown value in filter",
+			path:     "/api/v1/UsedCars/suggest",
+			body:     map[string]any{"filters": []map[string]any{{"attr": "Make", "values": []string{"Nonesuch"}}}},
+			wantCode: CodeBadAttribute,
+			wantAttr: "Make",
+		},
+		{
+			name:     "query unknown attribute",
+			path:     "/api/v1/UsedCars/query",
+			body:     map[string]any{"filters": []map[string]any{{"attr": "Nope", "values": []string{"x"}}}},
+			wantCode: CodeBadAttribute,
+			wantAttr: "Nope",
+		},
+		{
+			name:     "query negative limit",
+			path:     "/api/v1/UsedCars/query",
+			body:     map[string]any{"limit": -1},
+			wantCode: CodeBadRequest,
+		},
+		{
+			name:     "suggest negative limit",
+			path:     "/api/v1/UsedCars/suggest",
+			body:     map[string]any{"limit": -2},
+			wantCode: CodeBadRequest,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, out := post(t, srv, tc.path, tc.body)
+			if res.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", res.StatusCode)
+			}
+			e := envelope(t, out)
+			if e.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", e.Code, tc.wantCode)
+			}
+			if e.Message == "" {
+				t.Error("message empty")
+			}
+			if tc.wantPos && e.Pos == nil {
+				t.Error("pos missing from parse_error envelope")
+			}
+			if tc.wantExp && len(e.Expected) == 0 {
+				t.Error("expected tokens missing from parse_error envelope")
+			}
+			if e.Attr != tc.wantAttr {
+				t.Errorf("attr = %q, want %q", e.Attr, tc.wantAttr)
+			}
+		})
+	}
+}
+
+func TestQueryPaging(t *testing.T) {
+	_, srv := newTestServer(t)
+	page := func(body map[string]any) (int, int, int, []map[string]any) {
+		t.Helper()
+		res, out := post(t, srv, "/api/v1/UsedCars/query", body)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", res.StatusCode, out["error"])
+		}
+		var total, offset, limit int
+		var rows []map[string]any
+		for k, into := range map[string]any{"total": &total, "offset": &offset, "limit": &limit, "rows": &rows} {
+			if err := json.Unmarshal(out[k], into); err != nil {
+				t.Fatalf("%s: %v", k, err)
+			}
+		}
+		return total, offset, limit, rows
+	}
+
+	// Default limit applies when the request omits it.
+	total, _, limit, rows := page(map[string]any{})
+	if total != 3000 {
+		t.Fatalf("total = %d, want 3000", total)
+	}
+	if limit != DefaultPageLimit || len(rows) != DefaultPageLimit {
+		t.Errorf("default page: limit=%d rows=%d, want %d", limit, len(rows), DefaultPageLimit)
+	}
+
+	// Oversized limits clamp to the cap.
+	_, _, limit, rows = page(map[string]any{"limit": MaxPageLimit * 10})
+	if limit != MaxPageLimit || len(rows) != MaxPageLimit {
+		t.Errorf("clamped page: limit=%d rows=%d, want %d", limit, len(rows), MaxPageLimit)
+	}
+
+	// Consecutive pages are disjoint and in row order.
+	_, _, _, p1 := page(map[string]any{"limit": 5, "offset": 0})
+	_, _, _, p2 := page(map[string]any{"limit": 5, "offset": 5})
+	if len(p1) != 5 || len(p2) != 5 {
+		t.Fatalf("page sizes = %d, %d", len(p1), len(p2))
+	}
+	last := -1
+	for _, r := range append(append([]map[string]any{}, p1...), p2...) {
+		row := int(r["_row"].(float64))
+		if row <= last {
+			t.Fatalf("rows out of order or overlapping: %d after %d", row, last)
+		}
+		last = row
+	}
+
+	// Offset past the end yields an empty page but the true total.
+	total, _, _, rows = page(map[string]any{"offset": 100000})
+	if total != 3000 || len(rows) != 0 {
+		t.Errorf("past-the-end: total=%d rows=%d", total, len(rows))
+	}
+
+	// Filtered paging: page sizes sum to the filtered total.
+	filters := []map[string]any{{"attr": "BodyType", "values": []string{"SUV"}}}
+	ftotal, _, _, _ := page(map[string]any{"filters": filters})
+	got := 0
+	for off := 0; ; off += 97 {
+		_, _, _, rows := page(map[string]any{"filters": filters, "limit": 97, "offset": off})
+		got += len(rows)
+		if len(rows) < 97 {
+			break
+		}
+	}
+	if got != ftotal {
+		t.Errorf("paged rows sum = %d, filtered total = %d", got, ftotal)
+	}
+}
+
+func TestDeprecatedAliasHeaders(t *testing.T) {
+	s, srv := newTestServer(t)
+	before := s.reg.Counter("deprecated_api_requests_total").Value()
+
+	res, err := http.Get(srv.URL + "/api/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("alias status = %d", res.StatusCode)
+	}
+	if res.Header.Get("Deprecation") != DeprecationDate {
+		t.Errorf("Deprecation = %q, want %q", res.Header.Get("Deprecation"), DeprecationDate)
+	}
+	if res.Header.Get("Sunset") != SunsetDate {
+		t.Errorf("Sunset = %q, want %q", res.Header.Get("Sunset"), SunsetDate)
+	}
+	if link := res.Header.Get("Link"); link != `</api/v1/{dataset}/schema>; rel="successor-version"` {
+		t.Errorf("Link = %q", link)
+	}
+	if got := s.reg.Counter("deprecated_api_requests_total").Value(); got != before+1 {
+		t.Errorf("deprecated counter = %d, want %d", got, before+1)
+	}
+
+	// The versioned route must NOT carry deprecation headers.
+	res2, err := http.Get(srv.URL + "/api/v1/UsedCars/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if res2.Header.Get("Deprecation") != "" || res2.Header.Get("Sunset") != "" {
+		t.Error("versioned route carries deprecation headers")
+	}
+
+	// The suggest alias is deprecated too.
+	res3, _ := post(t, srv, "/api/suggest", map[string]any{"filters": []map[string]any{}})
+	if res3.Header.Get("Deprecation") == "" {
+		t.Error("suggest alias missing Deprecation header")
+	}
+}
