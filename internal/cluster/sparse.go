@@ -66,14 +66,15 @@ func EncodeSparse(v *dataview.View, rows dataset.RowSet, attrs []string) (*Spars
 		Dim:     dim,
 		Offsets: enc.Offsets,
 	}
-	codes := make([][]int32, len(cols))
+	codes := make([][][]int32, len(cols))
 	for a, c := range cols {
-		codes[a] = c.Codes()
+		codes[a] = c.CodeSegs()
 	}
 	for i, r := range rows {
 		row := sp.Codes[i*sp.A : (i+1)*sp.A]
+		s, off := r>>dataset.SegmentBits, r&dataset.SegmentMask
 		for a := range codes {
-			row[a] = codes[a][r]
+			row[a] = codes[a][s][off]
 		}
 	}
 	return sp, enc, nil

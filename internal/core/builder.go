@@ -393,11 +393,7 @@ func fitClusters(ctx context.Context, points *cluster.SparsePoints, cfg Config, 
 // value's row subset. Explicit values are validated against the column
 // domain; the default order is descending result-set frequency.
 func resolvePivotValues(v *dataview.View, pivotCol *dataview.Column, rows dataset.RowSet, explicit []string) ([]string, map[string]dataset.RowSet, error) {
-	byCode := make(map[int]dataset.RowSet)
-	for _, r := range rows {
-		c := pivotCol.Code(r)
-		byCode[c] = append(byCode[c], r)
-	}
+	byCode := partitionRowsByCode(pivotCol, rows)
 	rowsByValue := make(map[string]dataset.RowSet)
 
 	if len(explicit) > 0 {
@@ -438,6 +434,54 @@ func resolvePivotValues(v *dataview.View, pivotCol *dataview.Column, rows datase
 		values[i] = r.val
 	}
 	return values, rowsByValue, nil
+}
+
+// pivotPartitionMin is the result-set size below which the pivot
+// partition runs serially; smaller sets don't amortize the per-segment
+// map merge.
+const pivotPartitionMin = 1 << 15
+
+// partitionRowsByCode groups a sorted row set by pivot code, one morsel
+// per storage segment: each segment's rows partition into a local map
+// with the segment's code slice hoisted out of the loop, and per-code
+// slices then concatenate in segment order. Over an ascending row set
+// that reproduces the serial append order exactly, so the per-value
+// subsequences are bit-identical to a single sequential sweep.
+func partitionRowsByCode(pivotCol *dataview.Column, rows dataset.RowSet) map[int]dataset.RowSet {
+	byCode := make(map[int]dataset.RowSet)
+	if len(rows) == 0 {
+		return byCode
+	}
+	segs := pivotCol.CodeSegs()
+	first := rows[0] >> dataset.SegmentBits
+	nSpan := rows[len(rows)-1]>>dataset.SegmentBits - first + 1
+	if nSpan <= 1 || len(rows) < pivotPartitionMin {
+		for _, r := range rows {
+			c := int(segs[r>>dataset.SegmentBits][r&dataset.SegmentMask])
+			byCode[c] = append(byCode[c], r)
+		}
+		return byCode
+	}
+	locals := make([]map[int]dataset.RowSet, nSpan)
+	parallel.Do(nSpan, func(k int) {
+		span := rows.SegmentSpan(first + k)
+		if len(span) == 0 {
+			return
+		}
+		seg := segs[first+k]
+		m := make(map[int]dataset.RowSet, 16)
+		for _, r := range span {
+			c := int(seg[r&dataset.SegmentMask])
+			m[c] = append(m[c], r)
+		}
+		locals[k] = m
+	})
+	for _, m := range locals {
+		for c, rs := range m {
+			byCode[c] = append(byCode[c], rs...)
+		}
+	}
+	return byCode
 }
 
 // explicitCompareAttrs validates the user's explicit Compare Attributes
@@ -647,17 +691,32 @@ func resolvePivotValuesBitmap(pivotCol *dataview.Column, bm *dataset.Bitmap, exp
 		return values, rowsByValue, bmByValue, nil
 	}
 
+	// Count every code first (cheap fused popcounts), then materialize
+	// the surviving values' intersections concurrently — each writes its
+	// own slot, and the maps are assembled after the pool drains.
 	type vc struct {
+		code  int
 		val   string
 		count int
 	}
+	counts := make([]int, len(posts))
+	parallel.Do(len(posts), func(code int) { counts[code] = posts[code].AndLen(bm) })
 	var ranked []vc
-	for code, p := range posts {
-		if n := p.AndLen(bm); n > 0 {
-			val := pivotCol.Label(code)
-			ranked = append(ranked, vc{val, n})
-			materialize(val, code)
+	for code, n := range counts {
+		if n > 0 {
+			ranked = append(ranked, vc{code, pivotCol.Label(code), n})
 		}
+	}
+	bms := make([]*dataset.Bitmap, len(ranked))
+	rss := make([]dataset.RowSet, len(ranked))
+	parallel.Do(len(ranked), func(i int) {
+		b := posts[ranked[i].code].And(bm)
+		bms[i] = b
+		rss[i] = b.ToRowSet()
+	})
+	for i, r := range ranked {
+		rowsByValue[r.val] = rss[i]
+		bmByValue[r.val] = bms[i]
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].count != ranked[j].count {

@@ -3,6 +3,8 @@ package dataset
 import (
 	"math/bits"
 	"sync/atomic"
+
+	"dbexplorer/internal/parallel"
 )
 
 // Bitmap is a fixed-universe row set: row i belongs to the set when its
@@ -87,12 +89,94 @@ func FullBitmap(n int) *Bitmap {
 }
 
 // FromRowSet packs a sorted unique row set over universe n into a bitmap.
+// Each 64K segment's span of the set becomes that segment's container
+// directly (sorted offsets → exact-size array, dense spans → packed
+// words), and large sets pack their segments in parallel on the shared
+// pool — this is the builder's entry into bitmap algebra, so packing a
+// million-row result must not cost a million promotion-checked Adds.
+// Inputs that violate the RowSet contract (unsorted or duplicated) fall
+// back to the per-row Add path with identical set semantics.
 func FromRowSet(n int, rows RowSet) *Bitmap {
 	b := NewBitmap(n)
-	for _, r := range rows {
-		b.Add(r)
+	if len(rows) == 0 {
+		return b
+	}
+	if rows[0] < 0 || rows[len(rows)-1] >= n {
+		panic("dataset: bitmap row out of universe")
+	}
+	ok := true
+	if len(rows) >= parallelPackMin && len(b.cs) > 1 {
+		var bad atomic.Bool
+		parallel.Do(len(b.cs), func(s int) {
+			c, packed := packSpan(rows.SegmentSpan(s))
+			if !packed {
+				bad.Store(true)
+				return
+			}
+			b.cs[s] = c
+		})
+		ok = !bad.Load()
+	} else {
+		lo := 0
+		for s := 0; ok && s < len(b.cs); s++ {
+			hi := lo
+			lim := (s + 1) << chunkBits
+			for hi < len(rows) && rows[hi] < lim {
+				hi++
+			}
+			var c container
+			c, ok = packSpan(rows[lo:hi])
+			if ok {
+				b.cs[s] = c
+			}
+			lo = hi
+		}
+	}
+	if !ok {
+		for i := range b.cs {
+			b.cs[i] = container{}
+		}
+		for _, r := range rows {
+			b.Add(r)
+		}
 	}
 	return b
+}
+
+// parallelPackMin is the set size past which FromRowSet packs segments
+// on the worker pool instead of inline.
+const parallelPackMin = 1 << 16
+
+// packSpan builds the container for one segment's span of a row set.
+// It reports false when the span is not strictly ascending (contract
+// violation); the caller then falls back to the Add path.
+func packSpan(span RowSet) (container, bool) {
+	cnt := len(span)
+	if cnt == 0 {
+		return container{}, true
+	}
+	prev := -1
+	if cnt > arrayMaxCard {
+		w := make([]uint64, bitmapWords)
+		for _, r := range span {
+			if r <= prev {
+				return container{}, false
+			}
+			prev = r
+			off := r & chunkMask
+			w[off>>6] |= 1 << (uint(off) & 63)
+		}
+		return container{kind: bitmapK, card: int32(cnt), words: w}, true
+	}
+	arr := make([]uint16, cnt)
+	for i, r := range span {
+		if r <= prev {
+			return container{}, false
+		}
+		prev = r
+		arr[i] = uint16(r & chunkMask)
+	}
+	return container{kind: arrayK, card: int32(cnt), array: arr}, true
 }
 
 // chunkLim returns the number of universe rows chunk i covers (chunkSize
@@ -137,6 +221,37 @@ func (b *Bitmap) Contains(i int) bool {
 		return false
 	}
 	return b.cs[i>>chunkBits].contains(uint16(i & chunkMask))
+}
+
+// FilterRowSet returns the subsequence of rows contained in b, in input
+// order. Runs of rows within one segment resolve against that segment's
+// container directly — one bounds check and container dispatch per
+// segment run instead of per row — and empty segments skip their whole
+// run. Out-of-universe rows are dropped, as Contains would.
+func (b *Bitmap) FilterRowSet(rows RowSet) RowSet {
+	out := make(RowSet, 0, len(rows))
+	for i := 0; i < len(rows); {
+		r := rows[i]
+		if r < 0 || r >= b.n {
+			i++
+			continue
+		}
+		s := r >> chunkBits
+		c := &b.cs[s]
+		if c.card == 0 {
+			for i < len(rows) && rows[i]>>chunkBits == s {
+				i++
+			}
+			continue
+		}
+		for i < len(rows) && rows[i]>>chunkBits == s {
+			if c.contains(uint16(rows[i] & chunkMask)) {
+				out = append(out, rows[i])
+			}
+			i++
+		}
+	}
+	return out
 }
 
 // Len returns the set cardinality. Containers cache their population,
@@ -280,6 +395,24 @@ func (b *Bitmap) ForEach(fn func(row int)) {
 	for i := range b.cs {
 		b.cs[i].forEach(i<<chunkBits, fn)
 	}
+}
+
+// NumSegments returns the number of 64K-row segments (containers) the
+// bitmap's universe spans — the morsel count for segment-parallel
+// consumers. It equals dataset.NumSegments(b.Universe()).
+func (b *Bitmap) NumSegments() int { return len(b.cs) }
+
+// SegmentLen returns the number of set rows in segment s without
+// iterating them; morsel schedulers use it to skip empty segments and
+// size work items.
+func (b *Bitmap) SegmentLen(s int) int { return int(b.cs[s].card) }
+
+// ForEachInSegment calls fn for every set row of segment s in ascending
+// order, with global row ids. Segment-parallel consumers fan one
+// goroutine per segment over the shared pool and iterate their morsel
+// through this instead of a global ForEach.
+func (b *Bitmap) ForEachInSegment(s int, fn func(row int)) {
+	b.cs[s].forEach(s<<chunkBits, fn)
 }
 
 // ForEachAnd calls fn for every row of b ∩ o in ascending order without

@@ -162,11 +162,16 @@ func (c *container) optimize() {
 		*c = container{}
 		return
 	}
-	nRuns := c.countRuns()
-	runBytes, arrayBytes, bitmapBytes := nRuns*4, int(c.card)*2, bitmapWords*8
+	arrayBytes, bitmapBytes := int(c.card)*2, bitmapWords*8
 	if int(c.card) > arrayMaxCard {
 		arrayBytes = bitmapBytes + 1 // array form not allowed past the threshold
 	}
+	// Run form only wins below this run count; the counting scan stops
+	// as soon as the budget is exceeded, which on incompressible chunks
+	// (fresh posting scatters, random data) is a fraction of the chunk.
+	runCap := min(arrayBytes, bitmapBytes)/4 + 1
+	nRuns := c.countRuns(runCap)
+	runBytes := nRuns * 4
 	switch {
 	case runBytes < arrayBytes && runBytes < bitmapBytes:
 		if c.kind != runK {
@@ -199,8 +204,10 @@ func (c *container) optimize() {
 	}
 }
 
-// countRuns returns the number of maximal runs of consecutive members.
-func (c *container) countRuns() int {
+// countRuns counts the container's maximal runs of consecutive members,
+// giving up once the count exceeds cap (the return is then ≥ cap but no
+// longer exact — callers use cap as a "run form cannot win" threshold).
+func (c *container) countRuns(cap int) int {
 	switch c.kind {
 	case arrayK:
 		n := 0
@@ -208,6 +215,9 @@ func (c *container) countRuns() int {
 		for _, v := range c.array {
 			if int(v) != prev+1 {
 				n++
+				if n > cap {
+					return n
+				}
 			}
 			prev = int(v)
 		}
@@ -220,6 +230,9 @@ func (c *container) countRuns() int {
 		for _, w := range c.words {
 			// Run starts are set bits whose predecessor bit is clear.
 			n += bits.OnesCount64(w &^ (w<<1 | carry))
+			if n > cap {
+				return n
+			}
 			carry = w >> 63
 		}
 		return n

@@ -18,6 +18,41 @@ import (
 	"sync"
 )
 
+// Segment geometry: column storage is split into fixed-size 64K-row
+// segments, deliberately equal to the Bitmap chunk size (container.go's
+// chunkBits) so one storage segment maps to exactly one posting
+// container. That alignment is what makes morsel-per-segment builds
+// cheap: a worker that scans segment s produces container s of every
+// posting it touches, with no cross-segment carry, and the per-segment
+// results concatenate (bitmap containers, sorted orders) or add
+// (frequencies, contingency cells) into the global answer.
+//
+// Segments are also the seam for incremental ingest: appends only ever
+// touch the last segment, so earlier segments — and every per-segment
+// index structure over them — are immutable.
+const (
+	// SegmentBits is log2 of the rows per storage segment.
+	SegmentBits = chunkBits
+	// SegmentSize is the number of rows per storage segment (the last
+	// segment of a column may be partial).
+	SegmentSize = 1 << SegmentBits
+	// SegmentMask extracts the segment-local offset from a row id:
+	// row == seg<<SegmentBits | off.
+	SegmentMask = SegmentSize - 1
+)
+
+// NumSegments returns the number of segments covering n rows.
+func NumSegments(n int) int { return (n + SegmentMask) >> SegmentBits }
+
+// SegmentRows returns the number of rows segment s holds out of n total
+// (SegmentSize for all but possibly the last segment).
+func SegmentRows(s, n int) int {
+	if lim := n - s<<SegmentBits; lim < SegmentSize {
+		return lim
+	}
+	return SegmentSize
+}
+
 // Kind distinguishes the two attribute types DBExplorer understands.
 type Kind int
 
@@ -79,10 +114,13 @@ func (s Schema) Names() []string {
 }
 
 // CatColumn is a dictionary-encoded categorical column. Codes index into
-// Dict; the dictionary preserves first-seen order.
+// Dict; the dictionary preserves first-seen order. Codes are stored in
+// fixed-size 64K-row segments (SegmentSize); only the last segment ever
+// grows, so earlier segments stay immutable once full.
 type CatColumn struct {
 	Dict  []string
-	codes []int32
+	segs  [][]int32
+	n     int
 	index map[string]int32
 }
 
@@ -99,21 +137,45 @@ func (c *CatColumn) Append(v string) {
 		c.Dict = append(c.Dict, v)
 		c.index[v] = code
 	}
-	c.codes = append(c.codes, code)
+	if c.n&SegmentMask == 0 {
+		c.segs = append(c.segs, nil)
+	}
+	s := len(c.segs) - 1
+	c.segs[s] = append(c.segs[s], code)
+	c.n++
 }
 
 // Len returns the number of rows stored.
-func (c *CatColumn) Len() int { return len(c.codes) }
+func (c *CatColumn) Len() int { return c.n }
 
 // Code returns the dictionary code at row i.
-func (c *CatColumn) Code(i int) int32 { return c.codes[i] }
+func (c *CatColumn) Code(i int) int32 { return c.segs[i>>SegmentBits][i&SegmentMask] }
 
-// Codes returns the backing per-row code array; callers must not modify
-// it. Row scans index it directly instead of calling Code per row.
-func (c *CatColumn) Codes() []int32 { return c.codes }
+// NumSegments returns the number of storage segments the column spans.
+func (c *CatColumn) NumSegments() int { return len(c.segs) }
+
+// SegCodes returns segment s's code slice (segment-local row order);
+// callers must not modify it. Morsel scans hoist one segment at a time
+// instead of paying the two-level lookup per row.
+func (c *CatColumn) SegCodes(s int) []int32 { return c.segs[s] }
+
+// Codes returns the per-row code array; callers must not modify it.
+// Single-segment columns (≤64K rows) return the backing slice directly;
+// larger columns materialize a contiguous copy, so hot paths over big
+// tables should iterate SegCodes per segment instead.
+func (c *CatColumn) Codes() []int32 {
+	if len(c.segs) == 1 {
+		return c.segs[0]
+	}
+	out := make([]int32, 0, c.n)
+	for _, seg := range c.segs {
+		out = append(out, seg...)
+	}
+	return out
+}
 
 // Value returns the string value at row i.
-func (c *CatColumn) Value(i int) string { return c.Dict[c.codes[i]] }
+func (c *CatColumn) Value(i int) string { return c.Dict[c.Code(i)] }
 
 // CodeOf returns the dictionary code for value v, or -1 if v never occurs.
 func (c *CatColumn) CodeOf(v string) int32 {
@@ -126,28 +188,56 @@ func (c *CatColumn) CodeOf(v string) int32 {
 // Cardinality returns the number of distinct values seen.
 func (c *CatColumn) Cardinality() int { return len(c.Dict) }
 
-// NumColumn is a dense float64 column.
+// NumColumn is a dense float64 column stored in fixed-size 64K-row
+// segments (SegmentSize); only the last segment ever grows.
 type NumColumn struct {
-	vals []float64
+	segs [][]float64
+	n    int
 
 	mu     sync.Mutex
-	sorted []float64 // memoized ascending copy of vals; see Sorted
+	sorted []float64 // memoized ascending copy of the values; see Sorted
 }
 
 // NewNumColumn returns an empty numeric column.
 func NewNumColumn() *NumColumn { return &NumColumn{} }
 
 // Append adds one value.
-func (c *NumColumn) Append(v float64) { c.vals = append(c.vals, v) }
+func (c *NumColumn) Append(v float64) {
+	if c.n&SegmentMask == 0 {
+		c.segs = append(c.segs, nil)
+	}
+	s := len(c.segs) - 1
+	c.segs[s] = append(c.segs[s], v)
+	c.n++
+}
 
 // Len returns the number of rows stored.
-func (c *NumColumn) Len() int { return len(c.vals) }
+func (c *NumColumn) Len() int { return c.n }
 
 // Value returns the value at row i.
-func (c *NumColumn) Value(i int) float64 { return c.vals[i] }
+func (c *NumColumn) Value(i int) float64 { return c.segs[i>>SegmentBits][i&SegmentMask] }
 
-// Values returns the backing slice; callers must not modify it.
-func (c *NumColumn) Values() []float64 { return c.vals }
+// NumSegments returns the number of storage segments the column spans.
+func (c *NumColumn) NumSegments() int { return len(c.segs) }
+
+// SegValues returns segment s's value slice (segment-local row order);
+// callers must not modify it.
+func (c *NumColumn) SegValues(s int) []float64 { return c.segs[s] }
+
+// Values returns the per-row value array; callers must not modify it.
+// Single-segment columns (≤64K rows) return the backing slice directly;
+// larger columns materialize a contiguous copy, so hot paths over big
+// tables should iterate SegValues per segment instead.
+func (c *NumColumn) Values() []float64 {
+	if len(c.segs) == 1 {
+		return c.segs[0]
+	}
+	out := make([]float64, 0, c.n)
+	for _, seg := range c.segs {
+		out = append(out, seg...)
+	}
+	return out
+}
 
 // Sorted returns the column values in ascending order; callers must not
 // modify the result. The sorted copy is memoized so repeated binning of
@@ -156,9 +246,13 @@ func (c *NumColumn) Values() []float64 { return c.vals }
 func (c *NumColumn) Sorted() []float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.sorted) != len(c.vals) {
-		c.sorted = append(make([]float64, 0, len(c.vals)), c.vals...)
-		sortFloats(c.sorted)
+	if len(c.sorted) != c.n {
+		sorted := make([]float64, 0, c.n)
+		for _, seg := range c.segs {
+			sorted = append(sorted, seg...)
+		}
+		sortFloats(sorted)
+		c.sorted = sorted
 	}
 	return c.sorted
 }
@@ -191,6 +285,17 @@ func NewTable(name string, schema Schema) *Table {
 		}
 	}
 	return t
+}
+
+// ResetIndex drops the table's cached posting index so the next Index
+// call starts empty. Postings and sorted orders rebuild lazily on first
+// use; existing *Index handles keep working over their snapshot. Use it
+// to release index memory for a table that will not be queried again
+// soon, or to force a cold build in measurements.
+func (t *Table) ResetIndex() {
+	t.idxMu.Lock()
+	t.idx = nil
+	t.idxMu.Unlock()
 }
 
 // Name returns the table name.

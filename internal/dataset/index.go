@@ -14,8 +14,17 @@ import (
 // per-code posting bitmaps for categorical columns and a value-sorted row
 // order for numeric columns. Compiled predicates (package expr) resolve
 // equality and membership tests to precomputed bitmaps and range tests to
-// two binary searches, so WHERE evaluation costs bitmap words instead of
+// binary searches, so WHERE evaluation costs bitmap words instead of
 // rows.
+//
+// Everything inside is built segment-at-a-time: a categorical posting is
+// assembled from one container per 64K-row storage segment (the segment
+// and container grids coincide, see SegmentBits), and a numeric sorted
+// order is a sequence of per-segment orders of segment-local offsets.
+// Builds therefore run as morsel-per-segment work items on the shared
+// worker pool — each worker scans one segment and emits that segment's
+// containers or sorted offsets, and the per-segment results concatenate
+// into the global structure with no cross-segment merge pass.
 //
 // The index is keyed to the row count at creation: Table.Index returns a
 // fresh Index after appends, and an Index never observes rows added after
@@ -27,10 +36,18 @@ type Index struct {
 	n int // row count this index snapshot covers
 
 	mu    sync.Mutex
-	cat   [][]*Bitmap // per column: posting bitmap per dictionary code
-	freqs [][]int32   // per categorical column: rows per dictionary code
-	order [][]int32   // per numeric column: rows ascending by value, NaNs last
-	valid []int       // per numeric column: count of non-NaN rows in order
+	cat   [][]*Bitmap  // per column: posting bitmap per dictionary code
+	freqs [][]int32    // per categorical column: rows per dictionary code
+	ord   [][]segOrder // per numeric column: per-segment value-sorted offsets
+	valid []int        // per numeric column: total count of non-NaN rows
+}
+
+// segOrder is one segment's slice of a numeric column's sorted order:
+// segment-local offsets ascending by value (ties by offset), with the
+// offsets of NaN cells trailing after the first valid entries.
+type segOrder struct {
+	rows  []int32
+	valid int
 }
 
 // Build counters for instrumentation (httpapi mirrors them into its
@@ -59,7 +76,7 @@ func (t *Table) Index() *Index {
 			n:     t.n,
 			cat:   make([][]*Bitmap, len(t.schema)),
 			freqs: make([][]int32, len(t.schema)),
-			order: make([][]int32, len(t.schema)),
+			ord:   make([][]segOrder, len(t.schema)),
 			valid: make([]int, len(t.schema)),
 		}
 	}
@@ -69,12 +86,117 @@ func (t *Table) Index() *Index {
 // Rows returns the universe size (table rows) this index covers.
 func (ix *Index) Rows() int { return ix.n }
 
+// segCodes returns the codes of segment s truncated to the index's row
+// snapshot (rows appended after the index was created stay invisible).
+func (ix *Index) segCodes(c *CatColumn, s int) []int32 {
+	return c.segs[s][:SegmentRows(s, ix.n)]
+}
+
+// segVals returns the values of segment s truncated to the index's row
+// snapshot.
+func (ix *Index) segVals(c *NumColumn, s int) []float64 {
+	return c.segs[s][:SegmentRows(s, ix.n)]
+}
+
+// buildSegPostings scatters one segment's codes into one container per
+// dictionary code. Offsets arrive ascending, so array containers come
+// out sorted with no promotion churn; codes past arrayMaxCard occupancy
+// go straight to packed words. Negative codes (dataview's NaN bin) are
+// skipped. This direct construction is the reason segmented posting
+// builds beat the old per-row Bitmap.Add loop even on one core.
+func buildSegPostings(codes []int32, card int) []container {
+	counts := make([]int32, card)
+	for _, code := range codes {
+		if code >= 0 {
+			counts[code]++
+		}
+	}
+	// Counting-sort scatter: every code's offset list occupies one
+	// sub-range of a shared arena slab laid out by a prefix sum over
+	// counts, and the few over-threshold lists convert to packed words in
+	// a sequential post-pass. One slab allocation replaces a make per
+	// code, and the scatter loop is branch-free on container kind — on a
+	// skewed dictionary a head-or-tail branch per row would mispredict
+	// constantly.
+	pos := make([]int32, card)
+	total := int32(0)
+	for code, cnt := range counts {
+		pos[code] = total
+		total += cnt
+	}
+	arena := make([]uint16, total)
+	for off, code := range codes {
+		if code < 0 {
+			continue
+		}
+		p := pos[code]
+		arena[p] = uint16(off)
+		pos[code] = p + 1
+	}
+	conts := make([]container, card)
+	start := int32(0)
+	for code, cnt := range counts {
+		if cnt != 0 {
+			seg := arena[start : start+cnt : start+cnt]
+			if cnt > arrayMaxCard {
+				w := make([]uint64, bitmapWords)
+				for _, off := range seg {
+					w[off>>6] |= 1 << (off & 63)
+				}
+				conts[code] = container{kind: bitmapK, card: cnt, words: w}
+			} else {
+				conts[code] = container{kind: arrayK, card: cnt, array: seg}
+			}
+		}
+		start += cnt
+	}
+	return conts
+}
+
+// assemblePostings stitches per-segment containers into one frozen
+// full-universe Bitmap per code. segConts[s][code] is segment s's
+// container for code — exactly chunk s of that code's posting.
+func assemblePostings(n, card int, segConts [][]container) []*Bitmap {
+	postings := make([]*Bitmap, card)
+	nSegs := len(segConts)
+	// Two slab allocations back every posting's header and container
+	// slice — a make per code costs more than the assembly itself on
+	// wide dictionaries.
+	slab := make([]container, nSegs*card)
+	bms := make([]Bitmap, card)
+	for code := 0; code < card; code++ {
+		cs := slab[code*nSegs : (code+1)*nSegs : (code+1)*nSegs]
+		for s := 0; s < nSegs; s++ {
+			cs[s] = segConts[s][code]
+		}
+		bms[code] = Bitmap{cs: cs, n: n}
+		postings[code] = bms[code].Freeze()
+	}
+	return postings
+}
+
+// BuildPostings builds one frozen posting bitmap per code over a
+// universe of n rows from per-segment code slices: segCodes(s) must
+// return segment s's codes in segment-local row order, len
+// SegmentRows(s, n). Codes < 0 mark rows outside every posting (NaN
+// bins). Segments build in parallel on the shared pool; dataview uses
+// this for numeric bin postings, and the index's own categorical builds
+// go through the same per-segment scatter.
+func BuildPostings(n, card int, segCodes func(s int) []int32) []*Bitmap {
+	nSegs := NumSegments(n)
+	segConts := make([][]container, nSegs)
+	parallel.Do(nSegs, func(s int) {
+		segConts[s] = buildSegPostings(segCodes(s), card)
+	})
+	return assemblePostings(n, card, segConts)
+}
+
 // CatPostings returns one posting bitmap per dictionary code of the
 // categorical column at col (nil for numeric columns), building them on
-// first use with a single pass over the column. The bitmaps are owned by
-// the index and frozen: callers must treat them as read-only (combine
-// with And/Or/Not, never AndWith/OrWith/Add), and with the alias guard
-// enabled any in-place mutation panics.
+// first use with one morsel-per-segment pass over the column. The
+// bitmaps are owned by the index and frozen: callers must treat them as
+// read-only (combine with And/Or/Not, never AndWith/OrWith/Add), and
+// with the alias guard enabled any in-place mutation panics.
 func (ix *Index) CatPostings(col int) []*Bitmap {
 	c := ix.t.cats[col]
 	if c == nil {
@@ -84,20 +206,12 @@ func (ix *Index) CatPostings(col int) []*Bitmap {
 	defer ix.mu.Unlock()
 	if ix.cat[col] == nil {
 		fault.Check(fault.PointIndexCat)
-		postings := make([]*Bitmap, c.Cardinality())
-		for code := range postings {
-			postings[code] = NewBitmap(ix.n)
-		}
-		for row, code := range c.codes[:ix.n] {
-			postings[code].Add(row)
-		}
 		// Posting sets are shared with every query that touches this
-		// column; freeze them so in-place mutation by a caller trips the
-		// alias guard instead of corrupting the index.
-		for _, p := range postings {
-			p.Freeze()
-		}
-		ix.cat[col] = postings
+		// column; Freeze (inside assemblePostings) makes in-place mutation
+		// by a caller trip the alias guard instead of corrupting the index.
+		ix.cat[col] = BuildPostings(ix.n, c.Cardinality(), func(s int) []int32 {
+			return ix.segCodes(c, s)
+		})
 		catPostingBuilds.Add(1)
 	}
 	return ix.cat[col]
@@ -125,8 +239,10 @@ func (ix *Index) CatFreqs(col int) []int32 {
 				freqs[code] = int32(p.Len())
 			}
 		} else {
-			for _, code := range c.codes[:ix.n] {
-				freqs[code]++
+			for s := 0; s < NumSegments(ix.n); s++ {
+				for _, code := range ix.segCodes(c, s) {
+					freqs[code]++
+				}
 			}
 		}
 		ix.freqs[col] = freqs
@@ -149,8 +265,10 @@ func (ix *Index) MemoryBytes() int {
 			total += p.MemoryBytes()
 		}
 	}
-	for _, order := range ix.order {
-		total += len(order) * 4
+	for _, ords := range ix.ord {
+		for _, so := range ords {
+			total += len(so.rows) * 4
+		}
 	}
 	return total
 }
@@ -209,101 +327,139 @@ func (ix *Index) CatEq(col int, code int32) *Bitmap {
 	return postings[code]
 }
 
-// numOrder returns the value-sorted row order of the numeric column at
-// col and the count of leading non-NaN entries, building both on first
-// use. NaN values sort after every real value so range searches operate
-// on the valid prefix only.
-func (ix *Index) numOrder(col int) ([]int32, int) {
+// numOrder returns the per-segment value-sorted orders of the numeric
+// column at col and the total count of non-NaN rows, building them on
+// first use — one morsel per segment, each sorting its own 64K offsets
+// against the segment's contiguous values. NaN offsets sort after every
+// real value within their segment so range probes touch the valid
+// prefix only.
+func (ix *Index) numOrder(col int) ([]segOrder, int) {
 	c := ix.t.nums[col]
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if ix.order[col] == nil {
+	if ix.ord[col] == nil {
 		fault.Check(fault.PointIndexNum)
-		vals := c.vals[:ix.n]
-		order := make([]int32, 0, ix.n)
-		var nans []int32
-		for row, v := range vals {
-			if math.IsNaN(v) {
-				nans = append(nans, int32(row))
-			} else {
-				order = append(order, int32(row))
+		nSegs := NumSegments(ix.n)
+		ords := make([]segOrder, nSegs)
+		parallel.Do(nSegs, func(s int) {
+			vals := ix.segVals(c, s)
+			// Composite keys (value bits over offset bits) go straight
+			// from the value scan into the radix sort — no intermediate
+			// offset slice, and the NaN split falls out of the same pass.
+			keys := make([]uint64, 0, len(vals))
+			var nans []int32
+			for off, v := range vals {
+				if math.IsNaN(v) {
+					nans = append(nans, int32(off))
+				} else {
+					keys = append(keys, orderedFloatBits(v)&^0xFFFF|uint64(uint16(off)))
+				}
 			}
+			valid := len(keys)
+			rows := make([]int32, valid+len(nans))
+			for i, k := range sortSegKeys(keys, vals) {
+				rows[i] = int32(k & 0xFFFF)
+			}
+			copy(rows[valid:], nans)
+			ords[s] = segOrder{rows: rows, valid: valid}
+		})
+		total := 0
+		for _, so := range ords {
+			total += so.valid
 		}
-		valid := len(order)
-		sortRowsByValue(order, vals)
-		order = append(order, nans...)
-		ix.order[col] = order
-		ix.valid[col] = valid
+		ix.ord[col] = ords
+		ix.valid[col] = total
 		numOrderBuilds.Add(1)
 	}
-	return ix.order[col], ix.valid[col]
+	return ix.ord[col], ix.valid[col]
 }
 
-// rangeBitmap packs order[lo:hi] into a bitmap.
-func (ix *Index) rangeBitmap(order []int32, lo, hi int) *Bitmap {
-	b := NewBitmap(ix.n)
-	for _, row := range order[lo:hi] {
-		b.Add(int(row))
+// windowContainer packs one segment's sorted-order window of offsets
+// (ascending by value, not by offset) into a canonical container.
+func windowContainer(offs []int32) container {
+	cnt := len(offs)
+	if cnt == 0 {
+		return container{}
 	}
-	return b
+	if cnt > arrayMaxCard {
+		w := make([]uint64, bitmapWords)
+		for _, o := range offs {
+			w[o>>6] |= 1 << (uint(o) & 63)
+		}
+		return container{kind: bitmapK, card: int32(cnt), words: w}
+	}
+	arr := make([]uint16, cnt)
+	for i, o := range offs {
+		arr[i] = uint16(o)
+	}
+	sortUint16s(arr)
+	return container{kind: arrayK, card: int32(cnt), array: arr}
 }
 
-// numRangeBounds returns the sorted order plus the [from, to) window of
-// rows whose value lies in [lo, hi] — the shared probe behind both the
-// materializing range lookups and the count-only planner estimates.
-func (ix *Index) numRangeBounds(col int, lo, hi float64) (order []int32, from, to int) {
-	order, valid := ix.numOrder(col)
-	vals := ix.t.nums[col].vals
-	from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= lo })
-	to = sort.Search(valid, func(i int) bool { return vals[order[i]] > hi })
-	return order, from, to
+// segRangeBounds returns the [from, to) window of one segment's order
+// whose values lie in [lo, hi].
+func segRangeBounds(vals []float64, so segOrder, lo, hi float64) (from, to int) {
+	rows := so.rows
+	from = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] >= lo })
+	to = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] > hi })
+	return from, to
 }
 
 // NumRange returns the rows whose numeric column lies in [lo, hi], both
-// ends inclusive (SQL BETWEEN). NaN cells never match.
+// ends inclusive (SQL BETWEEN). NaN cells never match. The result is
+// assembled one container per segment from the per-segment sorted
+// orders.
 func (ix *Index) NumRange(col int, lo, hi float64) *Bitmap {
-	order, from, to := ix.numRangeBounds(col, lo, hi)
-	if from >= to {
-		return NewBitmap(ix.n)
+	ords, _ := ix.numOrder(col)
+	c := ix.t.nums[col]
+	cs := make([]container, len(ords))
+	for s, so := range ords {
+		from, to := segRangeBounds(c.segs[s], so, lo, hi)
+		if from < to {
+			cs[s] = windowContainer(so.rows[from:to])
+		}
 	}
-	return ix.rangeBitmap(order, from, to)
+	return &Bitmap{cs: cs, n: ix.n}
 }
 
-// NumRangeLen returns |NumRange(col, lo, hi)| from two binary searches,
-// without packing a bitmap — the planner's exact cardinality probe.
+// NumRangeLen returns |NumRange(col, lo, hi)| from two binary searches
+// per segment, without packing a bitmap — the planner's exact
+// cardinality probe.
 func (ix *Index) NumRangeLen(col int, lo, hi float64) int {
-	_, from, to := ix.numRangeBounds(col, lo, hi)
-	if from >= to {
-		return 0
+	ords, _ := ix.numOrder(col)
+	c := ix.t.nums[col]
+	total := 0
+	for s, so := range ords {
+		from, to := segRangeBounds(c.segs[s], so, lo, hi)
+		total += to - from
 	}
-	return to - from
+	return total
 }
 
-// numCmpBounds returns the sorted order plus the [from, to) window a
+// segCmpBounds returns the [from, to) window of one segment's order a
 // numeric comparison against constant c selects (see NumCmpRange).
-func (ix *Index) numCmpBounds(col int, c float64, includeEq, below, above bool) (order []int32, from, to int) {
-	order, valid := ix.numOrder(col)
-	vals := ix.t.nums[col].vals
+func segCmpBounds(vals []float64, so segOrder, c float64, includeEq, below, above bool) (from, to int) {
+	rows := so.rows
 	switch {
 	case below: // v < c, or v <= c with includeEq
 		from = 0
 		if includeEq {
-			to = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
+			to = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] > c })
 		} else {
-			to = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
+			to = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] >= c })
 		}
 	case above: // v > c, or v >= c with includeEq
-		to = valid
+		to = so.valid
 		if includeEq {
-			from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
+			from = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] >= c })
 		} else {
-			from = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
+			from = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] > c })
 		}
 	default: // v == c
-		from = sort.Search(valid, func(i int) bool { return vals[order[i]] >= c })
-		to = sort.Search(valid, func(i int) bool { return vals[order[i]] > c })
+		from = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] >= c })
+		to = sort.Search(so.valid, func(i int) bool { return vals[rows[i]] > c })
 	}
-	return order, from, to
+	return from, to
 }
 
 // NumCmpRange translates a numeric comparison against constant c into a
@@ -312,19 +468,137 @@ func (ix *Index) numCmpBounds(col int, c float64, includeEq, below, above bool) 
 // complement of the eq set, which — like the scalar evaluator — treats
 // NaN cells as unequal to every constant.
 func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *Bitmap {
-	order, from, to := ix.numCmpBounds(col, c, includeEq, below, above)
-	if from >= to {
-		return NewBitmap(ix.n)
+	ords, _ := ix.numOrder(col)
+	nc := ix.t.nums[col]
+	cs := make([]container, len(ords))
+	for s, so := range ords {
+		from, to := segCmpBounds(nc.segs[s], so, c, includeEq, below, above)
+		if from < to {
+			cs[s] = windowContainer(so.rows[from:to])
+		}
 	}
-	return ix.rangeBitmap(order, from, to)
+	return &Bitmap{cs: cs, n: ix.n}
 }
 
 // NumCmpRangeLen returns |NumCmpRange(...)| from the same binary
 // searches without materializing the bitmap.
 func (ix *Index) NumCmpRangeLen(col int, c float64, includeEq, below, above bool) int {
-	_, from, to := ix.numCmpBounds(col, c, includeEq, below, above)
-	if from >= to {
-		return 0
+	ords, _ := ix.numOrder(col)
+	nc := ix.t.nums[col]
+	total := 0
+	for s, so := range ords {
+		from, to := segCmpBounds(nc.segs[s], so, c, includeEq, below, above)
+		total += to - from
 	}
-	return to - from
+	return total
+}
+
+// edgeLadderRowCost calibrates NumEdgeCounts' per-segment dispatch: one
+// filter row classified by binary search over the edge ladder costs
+// roughly this many sorted-order membership tests (two closure-driven
+// searches against ~one container lookup per walked row).
+const edgeLadderRowCost = 8
+
+// NumEdgeCounts batches an ascending ladder of threshold probes against
+// one filter set: lt[i] counts the filter rows whose value is strictly
+// below edges[i], le[i] those at or below it, and valid the filter rows
+// holding any non-NaN value. edges must be sorted ascending (histogram
+// edges are). One pass per segment replaces materializing a range
+// bitmap and intersecting it per edge — the filtered drill-down path
+// this was built for probes every bin edge of every numeric column per
+// request. Each segment picks the cheaper of two passes by estimated
+// cost: a walk of the sorted order up to the last edge's boundary,
+// counting filter membership cumulatively (dense filters), or a binary
+// search of the edge ladder per filter row (sparse filters). Both
+// produce exact counts, so the dispatch never shows in the output.
+//
+// Every threshold window derives from the two ladders:
+//
+//	v <  e  → lt       v >  e  → valid − le
+//	v <= e  → le       v >= e  → valid − lt
+//	v == e  → le − lt
+func (ix *Index) NumEdgeCounts(col int, edges []float64, filter *Bitmap) (lt, le []int, valid int) {
+	if filter.Universe() != ix.n {
+		panic("dataset: NumEdgeCounts filter universe mismatch")
+	}
+	ords, _ := ix.numOrder(col)
+	nc := ix.t.nums[col]
+	ne := len(edges)
+	lt = make([]int, ne)
+	le = make([]int, ne)
+	posLt := make([]int, ne)
+	posLe := make([]int, ne)
+	var histLt, histLe []int
+	for s, so := range ords {
+		fc := &filter.cs[s]
+		if fc.card == 0 {
+			continue
+		}
+		// NaN cells sit past the valid prefix; subtracting the filter's
+		// members there leaves exactly its rows holding a real value.
+		nanIn := 0
+		for _, off := range so.rows[so.valid:] {
+			if fc.contains(uint16(off)) {
+				nanIn++
+			}
+		}
+		valid += int(fc.card) - nanIn
+		if so.valid == 0 || ne == 0 {
+			continue
+		}
+		vals := nc.segs[s]
+		rows := so.rows[:so.valid]
+		for i, e := range edges {
+			posLt[i] = sort.Search(len(rows), func(j int) bool { return vals[rows[j]] >= e })
+			posLe[i] = sort.Search(len(rows), func(j int) bool { return vals[rows[j]] > e })
+		}
+		maxPos := posLe[ne-1]
+		if int(fc.card)*edgeLadderRowCost < maxPos {
+			// Sparse filter: classify each member against the ladder.
+			if histLt == nil {
+				histLt = make([]int, ne+1)
+				histLe = make([]int, ne+1)
+			} else {
+				for i := range histLt {
+					histLt[i], histLe[i] = 0, 0
+				}
+			}
+			fc.forEach(0, func(off int) {
+				v := vals[off]
+				if math.IsNaN(v) {
+					return
+				}
+				pl := sort.Search(ne, func(i int) bool { return edges[i] > v })
+				pe := sort.SearchFloat64s(edges, v)
+				histLt[pl]++
+				histLe[pe]++
+			})
+			sumLt, sumLe := 0, 0
+			for i := 0; i < ne; i++ {
+				sumLt += histLt[i]
+				sumLe += histLe[i]
+				lt[i] += sumLt
+				le[i] += sumLe
+			}
+			continue
+		}
+		// Dense filter: one walk of the sorted order up to the last
+		// boundary, sampling the running membership count at each edge's
+		// positions (both ladders are nondecreasing, edges ascending).
+		cum, bl, be := 0, 0, 0
+		for j := 0; j <= maxPos; j++ {
+			for bl < ne && posLt[bl] == j {
+				lt[bl] += cum
+				bl++
+			}
+			for be < ne && posLe[be] == j {
+				le[be] += cum
+				be++
+			}
+			if j < maxPos && fc.contains(uint16(rows[j])) {
+				cum++
+			}
+		}
+	}
+	return lt, le, valid
 }

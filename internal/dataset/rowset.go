@@ -48,6 +48,16 @@ func (r RowSet) Bitmap(n int) *Bitmap {
 	return FromRowSet(n, r)
 }
 
+// SegmentSpan returns the subslice of r that falls in storage segment s
+// (rows [s<<SegmentBits, (s+1)<<SegmentBits)), found by binary search.
+// Morsel-per-segment consumers carve a result set into per-segment work
+// items with it; the spans concatenate back to r in segment order.
+func (r RowSet) SegmentSpan(s int) RowSet {
+	lo := sort.SearchInts(r, s<<SegmentBits)
+	hi := sort.SearchInts(r, (s+1)<<SegmentBits)
+	return r[lo:hi]
+}
+
 // Contains reports whether row id x is in the set (binary search).
 func (r RowSet) Contains(x int) bool {
 	i := sort.SearchInts(r, x)

@@ -44,10 +44,11 @@ type Column struct {
 	postings []*dataset.Bitmap // per view code; see Postings
 
 	// numCodes caches the binned code of every row of a numeric column,
-	// filled as a by-product of the Postings build (which computes each
-	// row's code anyway). Once present, Code is an array load instead of
-	// a binary search over the histogram edges.
-	numCodes atomic.Pointer[[]int32]
+	// in per-segment slices aligned with the column's storage segments,
+	// filled at view build (or as a by-product of the Postings build).
+	// Once present, Code is an array load instead of a binary search
+	// over the histogram edges.
+	numCodes atomic.Pointer[[][]int32]
 }
 
 // postingBuilds counts per-column posting-set constructions process-wide
@@ -91,64 +92,64 @@ func (c *Column) Postings() []*dataset.Bitmap {
 				}
 			}
 		}
-		postings := make([]*dataset.Bitmap, c.Cardinality())
-		for code := range postings {
-			postings[code] = dataset.NewBitmap(n)
-		}
-		if p := c.numCodes.Load(); c.num != nil && p != nil && len(*p) == n {
-			// Codes were materialized at view build (or by Codes); the
-			// posting pass is a plain scatter over them.
-			for row, code := range *p {
-				postings[code].Add(row)
-			}
-		} else {
-			var codes []int32
-			if c.num != nil {
-				codes = make([]int32, n)
-			}
-			for row := 0; row < n; row++ {
-				code := c.Code(row)
-				postings[code].Add(row)
-				if codes != nil {
-					codes[row] = int32(code)
-				}
-			}
-			if codes != nil {
-				c.numCodes.Store(&codes)
-			}
-		}
-		for _, p := range postings {
-			p.Freeze()
-		}
-		c.postings = postings
+		// The posting build is a per-segment scatter: each storage segment
+		// becomes one container of every code's posting, built as one
+		// morsel on the shared pool (dataset.BuildPostings). The per-row
+		// codes come from the segment-aligned cache, materialized first
+		// when missing (CodeSegs computes them segment-parallel too).
+		segCodes := c.CodeSegs()
+		c.postings = dataset.BuildPostings(n, c.Cardinality(), func(s int) []int32 {
+			return segCodes[s][:dataset.SegmentRows(s, n)]
+		})
 		postingBuilds.Add(1)
 	}
 	return c.postings
 }
 
-// Codes returns the per-row view codes as one indexable slice: the
-// dictionary code array itself for categorical columns, and the binned
-// codes — materialized on first call and cached — for numeric columns.
-// Row scans (contingency fills, sparse encoding) index it directly;
-// the per-row Code path costs a bin binary-search on a cold numeric
-// column, which dominated repeated scans. Callers must not modify the
-// result.
-func (c *Column) Codes() []int32 {
+// CodeSegs returns the per-row view codes in per-segment slices aligned
+// with the column's storage segments (dataset.SegmentSize rows each,
+// the last partial): the dictionary code segments themselves for
+// categorical columns, and the binned codes — materialized
+// segment-parallel on first call and cached — for numeric columns. Row
+// scans (contingency fills, sparse encoding) index them as
+// segs[r>>SegmentBits][r&SegmentMask]; the per-row Code path costs a
+// bin binary-search on a cold numeric column, which dominated repeated
+// scans. Callers must not modify the result.
+func (c *Column) CodeSegs() [][]int32 {
 	if c.cat != nil {
-		return c.cat.Codes()[:c.rows()]
-	}
-	if p := c.numCodes.Load(); p != nil {
-		return *p
+		segs := make([][]int32, c.cat.NumSegments())
+		for s := range segs {
+			segs[s] = c.cat.SegCodes(s)
+		}
+		return segs
 	}
 	n := c.rows()
-	codes := make([]int32, n)
-	for row := range codes {
-		codes[row] = int32(c.hist.Bin(c.num.Value(row)))
+	if p := c.numCodes.Load(); p != nil && segsLen(*p) == n {
+		return *p
 	}
+	nSegs := dataset.NumSegments(n)
+	codes := make([][]int32, nSegs)
+	parallel.Do(nSegs, func(s int) {
+		vals := c.num.SegValues(s)[:dataset.SegmentRows(s, n)]
+		sc := make([]int32, len(vals))
+		for i, v := range vals {
+			sc[i] = int32(c.hist.Bin(v))
+		}
+		codes[s] = sc
+	})
 	// Concurrent builders race benignly: every build produces the same
-	// array, and the atomic store keeps readers consistent.
+	// arrays, and the atomic store keeps readers consistent.
 	c.numCodes.Store(&codes)
 	return codes
+}
+
+// segsLen sums the lengths of per-segment code slices.
+func segsLen(segs [][]int32) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	return n
 }
 
 // PostingsReady reports whether Postings would return without building
@@ -188,8 +189,12 @@ func (c *Column) Code(row int) int {
 	if c.cat != nil {
 		return int(c.cat.Code(row))
 	}
-	if p := c.numCodes.Load(); p != nil && row < len(*p) {
-		return int((*p)[row])
+	if p := c.numCodes.Load(); p != nil {
+		if s := row >> dataset.SegmentBits; s < len(*p) {
+			if seg := (*p)[s]; row&dataset.SegmentMask < len(seg) {
+				return int(seg[row&dataset.SegmentMask])
+			}
+		}
 	}
 	return c.hist.Bin(c.num.Value(row))
 }
@@ -262,10 +267,14 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 			num := t.Num(i)
 			// Equi-width and equi-depth bin without sorting the column
 			// (min/max and a few order statistics respectively), and the
-			// per-row codes the coded builder computes as a by-product are
-			// exactly what the first CAD View build would otherwise
-			// materialize row by row.
-			h, codes, err := histogram.BuildCoded(num.Values()[:num.Len()], opt.Bins, opt.Method)
+			// per-row codes the coded builder computes as a by-product —
+			// one morsel per storage segment — are exactly what the first
+			// CAD View build would otherwise materialize row by row.
+			segs := make([][]float64, num.NumSegments())
+			for s := range segs {
+				segs[s] = num.SegValues(s)
+			}
+			h, codes, err := histogram.BuildCodedSegs(segs, opt.Bins, opt.Method)
 			if err != nil {
 				errs[i] = fmt.Errorf("dataview: binning %q: %w", attr.Name, err)
 				return

@@ -201,13 +201,9 @@ func (c *Compiled) Select(rows dataset.RowSet) (dataset.RowSet, error) {
 	if rows.IsAllRows(bm.Universe()) {
 		return bm.ToRowSet(), nil
 	}
-	out := make(dataset.RowSet, 0, len(rows))
-	for _, r := range rows {
-		if bm.Contains(r) {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	// Genuine subsets filter segment-hoisted: one container dispatch per
+	// run of rows in a segment, not one two-level lookup per row.
+	return bm.FilterRowSet(rows), nil
 }
 
 // SelectAll returns the full-table rows satisfying the predicate —

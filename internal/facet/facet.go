@@ -84,31 +84,50 @@ func (d *Digest) Count(attr, value string) int {
 // the paper's Limitation 2: the query panel hides them even though the
 // data contains them.
 func Summarize(v *dataview.View, rows dataset.RowSet, queriableOnly bool) *Digest {
-	d := &Digest{}
 	schema := v.Table().Schema()
+	var cols []*dataview.Column
 	for _, col := range v.Columns() {
 		if queriableOnly && !schema[col.Col].Queriable {
 			continue
 		}
-		counts := make([]int, col.Cardinality())
-		for _, r := range rows {
-			counts[col.Code(r)]++
-		}
-		summary := AttrSummary{Attr: col.Attr}
-		for code, c := range counts {
-			if c > 0 {
-				summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
-			}
-		}
-		sort.Slice(summary.Values, func(i, j int) bool {
-			if summary.Values[i].Count != summary.Values[j].Count {
-				return summary.Values[i].Count > summary.Values[j].Count
-			}
-			return summary.Values[i].Value < summary.Values[j].Value
-		})
-		d.Attrs = append(d.Attrs, summary)
+		cols = append(cols, col)
 	}
-	return d
+	summaries := make([]AttrSummary, len(cols))
+	parallel.Do(len(cols), func(i int) {
+		summaries[i] = scanColumn(cols[i], rows)
+	})
+	return &Digest{Attrs: summaries}
+}
+
+// scanColumn tallies one column's value counts over a sorted row set,
+// walking it segment by segment with the segment's code slice hoisted
+// out of the inner loop. Counts are integers accumulating additively, so
+// the segmented sweep matches a per-row Code lookup exactly.
+func scanColumn(col *dataview.Column, rows dataset.RowSet) AttrSummary {
+	counts := make([]int, col.Cardinality())
+	segs := col.CodeSegs()
+	for i := 0; i < len(rows); {
+		s := rows[i] >> dataset.SegmentBits
+		seg := segs[s]
+		end := (s + 1) << dataset.SegmentBits
+		for i < len(rows) && rows[i] < end {
+			counts[seg[rows[i]&dataset.SegmentMask]]++
+			i++
+		}
+	}
+	summary := AttrSummary{Attr: col.Attr}
+	for code, c := range counts {
+		if c > 0 {
+			summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
+		}
+	}
+	sort.Slice(summary.Values, func(i, j int) bool {
+		if summary.Values[i].Count != summary.Values[j].Count {
+			return summary.Values[i].Count > summary.Values[j].Count
+		}
+		return summary.Values[i].Value < summary.Values[j].Value
+	})
+	return summary
 }
 
 // DigestSimilarity compares two digests: for each attribute present in

@@ -102,10 +102,10 @@ const ctxCheckRows = 1 << 14
 // from posting bitmaps (asserted cell-for-cell by the equivalence tests).
 func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.RowSet, cls []int, nClasses int) ([]*stats.ContingencyTable, error) {
 	tables := make([]*stats.ContingencyTable, len(cols))
-	codes := make([][]int32, len(cols))
+	codes := make([]segCodes, len(cols))
 	for j, col := range cols {
 		tables[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
-		codes[j] = col.Codes()
+		codes[j] = col.CodeSegs()
 	}
 	if len(rows)*len(cols) < fillWork {
 		for i, r := range rows {
@@ -116,15 +116,18 @@ func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.R
 			}
 			c := cls[i]
 			for j := range codes {
-				tables[j].Add(int(codes[j][r]), c)
+				tables[j].Add(int(codes[j].at(r)), c)
 			}
 		}
 		return tables, nil
 	}
+	// Morsel-sized spans claimed dynamically: skewed segments (a span of
+	// rows hitting a high-cardinality table region) don't strand the rest
+	// of the sweep behind one static chunk.
 	minRows := fillWork / len(cols)
 	var mu sync.Mutex
 	var canceled atomic.Bool
-	parallel.ForChunks(len(rows), minRows, func(lo, hi int) {
+	parallel.Morsels(len(rows), minRows, func(lo, hi int) {
 		local := make([]*stats.ContingencyTable, len(cols))
 		for j, col := range cols {
 			local[j] = stats.NewContingencyTable(col.Cardinality(), nClasses)
@@ -137,7 +140,7 @@ func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.R
 			r := rows[i]
 			c := cls[i]
 			for j := range codes {
-				local[j].Add(int(codes[j][r]), c)
+				local[j].Add(int(codes[j].at(r)), c)
 			}
 		}
 		mu.Lock()
@@ -155,6 +158,16 @@ func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.R
 		return nil, ctx.Err()
 	}
 	return tables, nil
+}
+
+// segCodes indexes a column's per-segment code slices by global row id.
+// The shift/mask pair costs one extra array lookup over the old
+// contiguous slice; morsel loops that stay within one segment should
+// hoist the inner slice instead.
+type segCodes [][]int32
+
+func (s segCodes) at(r int) int32 {
+	return s[r>>dataset.SegmentBits][r&dataset.SegmentMask]
 }
 
 // classBitmaps derives the contingency columns from posting bitmaps: one
@@ -239,15 +252,26 @@ func fillTablesBitmap(ctx context.Context, v *dataview.View, cols []*dataview.Co
 	}
 	var scanCols []*dataview.Column
 	var scanIdx []int
-	for j, col := range cols {
-		if !byBitmap[j] {
-			scanCols = append(scanCols, col)
+	var bmIdx []int
+	for j := range cols {
+		if byBitmap[j] {
+			bmIdx = append(bmIdx, j)
+		} else {
+			scanCols = append(scanCols, cols[j])
 			scanIdx = append(scanIdx, j)
-			continue
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, 0, err
+	}
+	// Each bitmap-side candidate is an independent posting sweep writing
+	// its own table slot, so the set fans out over the worker pool; cells
+	// are exact popcounts, so scheduling never shows in the output.
+	var canceled atomic.Bool
+	fillOne := func(i int) {
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
 		}
+		j := bmIdx[i]
+		col := cols[j]
 		t := stats.NewContingencyTable(col.Cardinality(), nClasses)
 		posts := col.Postings()
 		for x := 0; x < col.Cardinality() && x < len(posts); x++ {
@@ -258,6 +282,16 @@ func fillTablesBitmap(ctx context.Context, v *dataview.View, cols []*dataview.Co
 			}
 		}
 		tables[j] = t
+	}
+	if len(bmIdx) >= minConcurrentCandidates {
+		parallel.Do(len(bmIdx), fillOne)
+	} else {
+		for i := range bmIdx {
+			fillOne(i)
+		}
+	}
+	if canceled.Load() {
+		return nil, 0, ctx.Err()
 	}
 	if len(scanCols) > 0 {
 		// Shared row sweep for the candidates where scanning is cheaper.

@@ -3,6 +3,8 @@ package histogram
 import (
 	"fmt"
 	"math"
+
+	"dbexplorer/internal/parallel"
 )
 
 // BuildCoded constructs the histogram of values without requiring a
@@ -22,25 +24,47 @@ import (
 // histogram and the code array out of a single construction instead of a
 // column sort at view-build time plus a bin search per row later.
 func BuildCoded(values []float64, bins int, method Method) (*Histogram, []int32, error) {
+	h, segCodes, err := BuildCodedSegs([][]float64{values}, bins, method)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, segCodes[0], nil
+}
+
+// BuildCodedSegs is BuildCoded over segmented column storage: segs are
+// the per-segment value slices of one column (any lengths; dataset
+// columns hand over their 64K storage segments), and the returned codes
+// mirror that shape — codes[s][i] is the bucket of segs[s][i]. The
+// histogram itself is computed over the concatenation and is identical
+// to BuildCoded of the flattened values; the coding pass then runs one
+// morsel per segment on the shared worker pool, since each segment's
+// codes and counts are independent given the edges.
+func BuildCodedSegs(segs [][]float64, bins int, method Method) (*Histogram, [][]int32, error) {
 	if bins < 1 {
 		return nil, nil, fmt.Errorf("histogram: bins must be >= 1, got %d", bins)
 	}
-	n := len(values)
+	n := 0
+	for _, seg := range segs {
+		n += len(seg)
+	}
 	if n == 0 {
 		return nil, nil, fmt.Errorf("histogram: no values")
 	}
-	lo, hi := values[0], values[0]
+	lo, hi := math.NaN(), math.NaN()
 	sortFallback := false
-	for _, v := range values {
-		if math.IsNaN(v) {
-			sortFallback = true
-			break
-		}
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
+scan:
+	for _, seg := range segs {
+		for _, v := range seg {
+			if math.IsNaN(v) {
+				sortFallback = true
+				break scan
+			}
+			if !(v >= lo) { // also catches the unset NaN sentinel
+				lo = v
+			}
+			if !(v <= hi) {
+				hi = v
+			}
 		}
 	}
 	// An infinite equi-width span makes the edge arithmetic overflow into
@@ -50,14 +74,19 @@ func BuildCoded(values []float64, bins int, method Method) (*Histogram, []int32,
 		sortFallback = true
 	}
 	if sortFallback || method == VOptimal {
-		h, err := Build(values, bins, method)
+		h, err := Build(flattenSegs(segs, n), bins, method)
 		if err != nil {
 			return nil, nil, err
 		}
-		codes := make([]int32, n)
-		for i, v := range values {
-			codes[i] = int32(h.Bin(v))
-		}
+		codes := make([][]int32, len(segs))
+		parallel.Do(len(segs), func(s int) {
+			seg := segs[s]
+			sc := make([]int32, len(seg))
+			for i, v := range seg {
+				sc[i] = int32(h.Bin(v))
+			}
+			codes[s] = sc
+		})
 		return h, codes, nil
 	}
 
@@ -75,7 +104,7 @@ func BuildCoded(values []float64, bins int, method Method) (*Histogram, []int32,
 				targets = append(targets, idx)
 			}
 		}
-		scratch := append(make([]float64, 0, n), values...)
+		scratch := flattenSegs(segs, n)
 		multiSelectFloats(scratch, 0, n, targets)
 
 		// Mirror buildEquiDepth exactly: scratch[idx] here equals
@@ -99,15 +128,48 @@ func BuildCoded(values []float64, bins int, method Method) (*Histogram, []int32,
 		return nil, nil, fmt.Errorf("histogram: unknown method %v", method)
 	}
 
-	// Code every value and tally counts in one pass. For NaN-free input
-	// counting by Bin matches fillCounts: both send a value equal to an
-	// interior edge to the bucket that edge opens, and both clamp values
-	// outside the domain into the first or last bucket.
-	h.Counts = make([]int, h.NumBins())
-	codes := make([]int32, n)
-	edges := h.Edges
+	// Code every value and tally counts per segment, merging the count
+	// vectors after the pool drains. For NaN-free input counting by Bin
+	// matches fillCounts: both send a value equal to an interior edge to
+	// the bucket that edge opens, and both clamp values outside the
+	// domain into the first or last bucket.
 	nb := h.NumBins()
-	if nb > 1 && strictlyIncreasing(edges) {
+	codes := make([][]int32, len(segs))
+	segCounts := make([][]int, len(segs))
+	fast := nb > 1 && strictlyIncreasing(h.Edges)
+	parallel.Do(len(segs), func(s int) {
+		sc := make([]int32, len(segs[s]))
+		counts := make([]int, nb)
+		codeSegment(h, segs[s], sc, counts, fast)
+		codes[s] = sc
+		segCounts[s] = counts
+	})
+	h.Counts = make([]int, nb)
+	for _, counts := range segCounts {
+		for b, c := range counts {
+			h.Counts[b] += c
+		}
+	}
+	return h, codes, nil
+}
+
+// flattenSegs concatenates segmented values into one fresh slice of
+// length n (zero extra work for the common single-segment case is not
+// worth special-casing: the copy is the scratch both fallbacks need).
+func flattenSegs(segs [][]float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for _, seg := range segs {
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// codeSegment writes the bucket code of every value of one segment and
+// tallies the segment-local bucket counts.
+func codeSegment(h *Histogram, values []float64, codes []int32, counts []int, fast bool) {
+	edges := h.Edges
+	nb := len(counts)
+	if fast {
 		// With strictly increasing edges Bin(v) is the unique bracket
 		// index (edges[c] <= v < edges[c+1], ends clamped), so seed each
 		// lookup arithmetically from the mean bucket width and let the
@@ -129,16 +191,15 @@ func BuildCoded(values []float64, bins int, method Method) (*Histogram, []int32,
 				c++
 			}
 			codes[i] = int32(c)
-			h.Counts[c]++
+			counts[c]++
 		}
-		return h, codes, nil
+		return
 	}
 	for i, v := range values {
 		c := h.Bin(v)
 		codes[i] = int32(c)
-		h.Counts[c]++
+		counts[c]++
 	}
-	return h, codes, nil
 }
 
 // strictlyIncreasing reports whether every edge is greater than its

@@ -1,0 +1,224 @@
+package simuser
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/suggest"
+)
+
+// Guided-session operation costs, in seconds: one /suggest round trip is
+// far cheaper than manually comparing digests — the service surfaces the
+// ranked refinements the baseline user reconstructs by hand.
+const (
+	costSuggestCall = 1.5 // request + glancing at the ranked list
+)
+
+// SuggestClient calls one dataset's /api/v1/{dataset}/suggest endpoint —
+// the guided session models talk to the serving stack over real HTTP,
+// exactly as an interface frontend would.
+type SuggestClient struct {
+	// BaseURL is the server root, e.g. an httptest.Server URL.
+	BaseURL string
+	// Dataset is the registered dataset name.
+	Dataset string
+	// HTTP is the client to use; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// guidedFilter mirrors httpapi.Filter (facet semantics: values of one
+// attribute OR, attributes AND) without importing the serving package.
+type guidedFilter struct {
+	Attr   string   `json:"attr"`
+	Values []string `json:"values"`
+}
+
+// drillResponse is the drill-down mode envelope of /suggest.
+type drillResponse struct {
+	DrillDown *suggest.DrillDown `json:"drilldown"`
+}
+
+// Drill posts the filter set and returns the service's drill-down
+// recommendations. An empty filter set asks for starting points.
+func (c *SuggestClient) Drill(ctx context.Context, filters []guidedFilter, opts suggest.Options) (*suggest.DrillDown, error) {
+	body, err := json.Marshal(map[string]any{
+		"filters":   filters,
+		"limit":     opts.Limit,
+		"maxValues": opts.MaxValues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	u := c.BaseURL + "/api/v1/" + url.PathEscape(c.Dataset) + "/suggest"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("simuser: suggest returned %s", resp.Status)
+	}
+	var out drillResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if out.DrillDown == nil {
+		return nil, fmt.Errorf("simuser: suggest response missing drilldown")
+	}
+	return out.DrillDown, nil
+}
+
+// GuidedDrillTask is a guided variant of the alternative-condition
+// setting: the user knows which attribute values characterize their
+// information need (Target) and narrows the result set step by step, but
+// instead of scanning raw digests they consult the /suggest service
+// between drill-down steps and follow its recommendations. Quality is
+// the same retrieval error the §6.2.3 task reports.
+type GuidedDrillTask struct {
+	Target []struct{ Attr, Value string }
+	// MaxSteps bounds the session length (0 = one step per target value
+	// plus two).
+	MaxSteps int
+	Variant  string
+}
+
+// RunGuidedDrill executes one guided drill-down session for one user
+// against a live serving stack. Between steps the user calls /suggest
+// with the filters applied so far; they select a surfaced target value
+// when the service shows one (recognition, not recall), and otherwise
+// follow the top recommendation — diligent users read further down the
+// ranked list before settling.
+func RunGuidedDrill(ctx context.Context, v *dataview.View, sc *SuggestClient, task GuidedDrillTask, u User, seed int64) (Outcome, error) {
+	if err := checkUser(u); err != nil {
+		return Outcome{}, err
+	}
+	if len(task.Target) == 0 {
+		return Outcome{}, fmt.Errorf("simuser: guided drill task needs target values")
+	}
+	base := dataset.AllRows(v.Table().NumRows())
+	var targetSel selection
+	wanted := map[valueRef]bool{}
+	for _, g := range task.Target {
+		ref := valueRef{g.Attr, g.Value}
+		targetSel = append(targetSel, ref)
+		wanted[ref] = true
+	}
+	target := selectionRows(v, base, targetSel)
+	if len(target) == 0 {
+		return Outcome{}, fmt.Errorf("simuser: target condition %s selects nothing", targetSel)
+	}
+	maxSteps := task.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = len(task.Target) + 2
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ int64(u.ID)<<8))
+	cl := &clock{speed: u.Speed, rng: rng}
+
+	var chosen selection
+	var filters []guidedFilter
+	used := map[string]bool{}
+	for step := 0; step < maxSteps; step++ {
+		d, err := sc.Drill(ctx, filters, suggest.Options{})
+		if err != nil {
+			return Outcome{}, err
+		}
+		cl.spend(costSuggestCall)
+		if d.DeadEnd || len(d.Attrs) == 0 {
+			break
+		}
+		// Diligence bounds how much of the ranked list the user reads.
+		examine := 1 + int(math.Round(u.Diligence*float64(len(d.Attrs)-1)))
+		var pick valueRef
+		found := false
+		for _, a := range d.Attrs[:examine] {
+			cl.spend(float64(len(a.Values)) * costScanValue)
+			for _, val := range a.Values {
+				ref := valueRef{a.Attr, val.Value}
+				if wanted[ref] && !used[a.Attr] && !val.DeadEnd {
+					pick, found = ref, true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// No target value surfaced: follow the top recommendation —
+			// the highest-ranked unused attribute's largest live value.
+			for _, a := range d.Attrs {
+				if used[a.Attr] {
+					continue
+				}
+				for _, val := range a.Values {
+					if !val.DeadEnd {
+						pick, found = valueRef{a.Attr, val.Value}, true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		cl.spend(costApplyFilter + costThink*0.5)
+		chosen = append(chosen, pick)
+		used[pick.Attr] = true
+		filters = append(filters, guidedFilter{Attr: pick.Attr, Values: []string{pick.Value}})
+		// Stop once every target value is applied or the set browses.
+		done := true
+		for ref := range wanted {
+			if !containsRef(chosen, ref) {
+				done = false
+				break
+			}
+		}
+		if done || d.Total <= 50 {
+			break
+		}
+	}
+	if len(chosen) == 0 {
+		return Outcome{}, fmt.Errorf("simuser: guided session applied no filters")
+	}
+	cl.spend(costThink)
+	reached := selectionRows(v, base, chosen)
+	return Outcome{
+		UserID:  u.ID,
+		Iface:   TPFacet,
+		Variant: task.Variant,
+		Quality: retrievalError(v, target, reached),
+		Minutes: cl.minutes(),
+		Ops:     cl.ops,
+		Answer:  chosen.String(),
+	}, nil
+}
+
+func containsRef(sel selection, ref valueRef) bool {
+	for _, r := range sel {
+		if r == ref {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package simuser
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dbexplorer/internal/httpapi"
+)
+
+// countCalls counts /suggest hits passing through to the API handler.
+func countCalls(s *httpapi.Server, n *atomic.Int64) http.Handler {
+	next := s.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/suggest") {
+			n.Add(1)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// TestGuidedDrillSession drives a guided drill-down session end to end
+// over real HTTP: an httptest server fronts the v1 API, and the
+// simulated user consults /api/v1/{dataset}/suggest between steps.
+func TestGuidedDrillSession(t *testing.T) {
+	v := mushroomView(t)
+	srv := httpapi.NewServer()
+	if err := srv.Register("mushrooms", v); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	ts := httptest.NewServer(countCalls(srv, &calls))
+	defer ts.Close()
+
+	sc := &SuggestClient{BaseURL: ts.URL, Dataset: "mushrooms"}
+	task := GuidedDrillTask{
+		Target: []struct{ Attr, Value string }{
+			{Attr: "Odor", Value: "foul"},
+			{Attr: "GillColor", Value: "buff"},
+		},
+		Variant: "guided",
+	}
+	u := User{ID: 1, Speed: 1, Diligence: 0.9}
+	out, err := RunGuidedDrill(context.Background(), v, sc, task, u, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("session never called /suggest")
+	}
+	if out.Ops == 0 || out.Minutes <= 0 {
+		t.Errorf("no work recorded: %+v", out)
+	}
+	if out.Quality < 0 {
+		t.Errorf("retrieval error negative: %v", out.Quality)
+	}
+	if out.Answer == "(empty)" {
+		t.Error("session submitted no selection")
+	}
+	// The session must be reproducible: same seed, same outcome.
+	again, err := RunGuidedDrill(context.Background(), v, sc, task, u, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Answer != out.Answer || again.Quality != out.Quality {
+		t.Errorf("session not deterministic: %+v vs %+v", out, again)
+	}
+}
+
+// TestGuidedDrillValidation covers the error paths that need no server.
+func TestGuidedDrillValidation(t *testing.T) {
+	v := mushroomView(t)
+	sc := &SuggestClient{BaseURL: "http://127.0.0.1:0", Dataset: "x"}
+	u := User{ID: 1, Speed: 1, Diligence: 0.9}
+	if _, err := RunGuidedDrill(context.Background(), v, sc, GuidedDrillTask{}, u, 1); err == nil {
+		t.Error("empty target accepted")
+	}
+	bad := GuidedDrillTask{Target: []struct{ Attr, Value string }{{Attr: "Odor", Value: "no-such"}}}
+	if _, err := RunGuidedDrill(context.Background(), v, sc, bad, u, 1); err == nil {
+		t.Error("impossible target accepted")
+	}
+}

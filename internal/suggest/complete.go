@@ -234,18 +234,37 @@ func (s *Suggester) numberCandidates(ctx context.Context, p *prefix, attr, op st
 	}
 	ix := s.view.Table().Index()
 	filtered := p.total < s.base.Len()
+	includeEq, below, above := thresholdWindow(op)
+	// Threshold operators probe cumulative windows at every edge, so one
+	// batched sweep replaces one materialized range bitmap (plus
+	// intersection) per edge. Equality windows are near-empty slivers —
+	// the per-edge intersection is already cheaper than any batch.
+	batched := filtered && (below || above)
+	var lt, le []int
+	var valid int
+	if batched {
+		lt, le, valid = ix.NumEdgeCounts(col.Col, hist.Edges, p.bm)
+	}
 	seen := make(map[float64]bool, len(hist.Edges))
 	cands := make([]Candidate, 0, len(hist.Edges))
-	for _, edge := range hist.Edges {
+	for i, edge := range hist.Edges {
 		if seen[edge] {
 			continue
 		}
 		seen[edge] = true
 		var count int
-		includeEq, below, above := thresholdWindow(op)
-		if filtered {
+		switch {
+		case batched && below && includeEq: // <=
+			count = le[i]
+		case batched && below: // <
+			count = lt[i]
+		case batched && includeEq: // >=, BETWEEN lo
+			count = valid - lt[i]
+		case batched: // >
+			count = valid - le[i]
+		case filtered:
 			count = p.bm.AndLen(ix.NumCmpRange(col.Col, edge, includeEq, below, above))
-		} else {
+		default:
 			count = ix.NumCmpRangeLen(col.Col, edge, includeEq, below, above)
 		}
 		c := Candidate{

@@ -167,14 +167,19 @@ func (s *Suggester) membershipCounts(p *prefix, col *dataview.Column, filtered b
 	freq = make([]int, nb)
 	// Cumulative counts at each edge turn B+1 probes into B disjoint
 	// bins; the final bin is closed on the right (histogram semantics).
-	cumIn := make([]int, nb+1)
+	var cumIn []int
 	cumAll := make([]int, nb+1)
 	for i, edge := range hist.Edges {
 		includeEq := i == nb // last edge closes the top bin
 		cumAll[i] = ix.NumCmpRangeLen(col.Col, edge, includeEq, true, false)
-		if filtered {
-			cumIn[i] = p.bm.AndLen(ix.NumCmpRange(col.Col, edge, includeEq, true, false))
-		}
+	}
+	if filtered {
+		// One sweep over the prefix bitmap delivers every edge's
+		// cumulative count at once — no per-edge range bitmap is
+		// materialized and intersected anymore.
+		lt, le, _ := ix.NumEdgeCounts(col.Col, hist.Edges, p.bm)
+		cumIn = lt
+		cumIn[nb] = le[nb] // last edge closes the top bin
 	}
 	for i := 0; i < nb; i++ {
 		freq[i] = cumAll[i+1] - cumAll[i]

@@ -1,0 +1,148 @@
+// Top-level segment-boundary equivalence: tables whose row counts land
+// on every awkward segment shape — well inside one segment, one row past
+// a segment edge, and an exact multiple of the segment size — must
+// produce bit-identical CAD Views across build paths, facet digests that
+// match independent row scans, and compiled predicate plans that select
+// the same rows cold (no postings yet) and warm.
+package dbexplorer_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dbexplorer/internal/core"
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+	"dbexplorer/internal/expr"
+	"dbexplorer/internal/facet"
+)
+
+// boundaryRowCounts covers a single partial segment, a one-row tail
+// spilling into a second segment, and exactly two full segments.
+var boundaryRowCounts = []int{40000, dataset.SegmentSize + 1, 2 * dataset.SegmentSize}
+
+func boundaryZipf(n int) *dataset.Table {
+	return datagen.ZipfTable(fmt.Sprintf("boundary%d", n), n, []datagen.ZipfColumn{
+		{Name: "c0", Card: 50, S: 1.3},
+		{Name: "c1", Card: 40, S: 1.2},
+	}, int64(n))
+}
+
+func TestSegmentBoundaryEquivalence(t *testing.T) {
+	for _, n := range boundaryRowCounts {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			tbl := boundaryZipf(n)
+			rows := dataset.AllRows(n)
+
+			// Compiled predicates against the cold table: the planner
+			// must build whatever postings it wants and still match the
+			// row-at-a-time interpreter, and a recompile against the
+			// warmed index must keep the same plan and row set.
+			e := &expr.And{Kids: []expr.Expr{
+				&expr.Cmp{Attr: "c0", Op: expr.Eq, Str: "v0000"},
+				&expr.Cmp{Attr: "score", Op: expr.Le, Num: 500},
+			}}
+			cold, err := expr.Compile(tbl, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldPlan := cold.Explain()
+			coldRows, err := cold.Select(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRows, err := expr.SelectInterpreted(tbl, rows, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual([]int(coldRows), []int(wantRows)) {
+				t.Fatalf("compiled Select disagrees with interpreter: %d vs %d rows", len(coldRows), len(wantRows))
+			}
+			warm, err := expr.Compile(tbl, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan := warm.Explain(); plan != coldPlan {
+				t.Fatalf("plan changed after index warm-up:\ncold: %s\nwarm: %s", coldPlan, plan)
+			}
+			warmRows, err := warm.Select(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual([]int(warmRows), []int(coldRows)) {
+				t.Fatal("warm Select disagrees with cold Select")
+			}
+
+			// Facet digest vs independent references: categorical
+			// summaries against the table's value-count scan, numeric
+			// summaries against a per-row code tally.
+			v, err := dataview.New(tbl, dataview.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			digest := facet.Summarize(v, rows, false)
+			for _, name := range []string{"c0", "c1"} {
+				sum := digest.Attr(name)
+				if sum == nil {
+					t.Fatalf("digest has no summary for %s", name)
+				}
+				want := tbl.ValueCounts(tbl.ColIndex(name), rows)
+				if len(sum.Values) != len(want) {
+					t.Fatalf("%s: %d facet values, want %d", name, len(sum.Values), len(want))
+				}
+				for i, vc := range sum.Values {
+					if vc.Value != want[i].Value || vc.Count != want[i].Count {
+						t.Fatalf("%s[%d] = %s:%d, want %s:%d", name, i, vc.Value, vc.Count, want[i].Value, want[i].Count)
+					}
+				}
+			}
+			scoreCol, err := v.Column("score")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBins := map[string]int{}
+			for r := 0; r < n; r++ {
+				if code := scoreCol.Code(r); code >= 0 {
+					wantBins[scoreCol.Label(code)]++
+				}
+			}
+			gotBins := map[string]int{}
+			if sum := digest.Attr("score"); sum != nil {
+				for _, vc := range sum.Values {
+					gotBins[vc.Value] = vc.Count
+				}
+			}
+			if !reflect.DeepEqual(gotBins, wantBins) {
+				t.Fatalf("score facet bins = %v, want %v", gotBins, wantBins)
+			}
+
+			// CAD View bit-identity: the scan path is the unsegmented
+			// reference semantics; the segmented posting paths must
+			// render and structure identically on every boundary shape.
+			cfg := core.Config{Pivot: "c0", MaxCompare: 2, K: 2, L: 3, Seed: 1}
+			scan := cfg
+			scan.Path = core.PathScan
+			want, _, err := core.Build(v, rows, scan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, path := range []core.BuildPath{core.PathAuto, core.PathBitmap} {
+				run := cfg
+				run.Path = path
+				got, _, err := core.Build(v, rows, run)
+				if err != nil {
+					t.Fatalf("path %d: %v", path, err)
+				}
+				if core.Render(want, nil) != core.Render(got, nil) {
+					t.Errorf("path %d: rendered CAD View differs from scan reference", path)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("path %d: CAD View structure differs from scan reference", path)
+				}
+			}
+		})
+	}
+}
