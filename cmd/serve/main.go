@@ -51,6 +51,7 @@ func main() {
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		debug   = flag.String("debug-addr", "", "private listen address for pprof/metrics/expvar (empty disables)")
 		warmSug = flag.Bool("warm-suggest", false, "mine suggestion models and build posting sets at startup instead of on first /suggest request")
+		ingest  = flag.Int("max-ingest-batch", httpapi.DefaultMaxIngestBatch, "max rows per /ingest request (<= 0 removes the bound)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		httpapi.WithCacheSize(*cache),
 		httpapi.WithRequestTimeout(*timeout),
 		httpapi.WithMaxConcurrent(*maxConc),
+		httpapi.WithMaxIngestBatch(*ingest),
 	}
 	if *queue != 0 {
 		opts = append(opts, httpapi.WithQueueDepth(*queue))
@@ -82,8 +84,8 @@ func main() {
 		if err := srv.Register(table.Name(), view); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("registered %-12s %6d tuples  http://%s/api/v1/%s/schema\n",
-			table.Name(), table.NumRows(), *addr, table.Name())
+		fmt.Printf("registered %-12s %6d tuples  http://%s/api/v1/%s/schema  (ingest: POST /api/v1/%s/ingest)\n",
+			table.Name(), table.NumRows(), *addr, table.Name(), table.Name())
 	}
 
 	if *warmSug {

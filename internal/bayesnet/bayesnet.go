@@ -183,7 +183,13 @@ func Learn(v *dataview.View, rows dataset.RowSet, attrs []string, opt Options) (
 			if parentCol != nil {
 				pc = parentCol.Code(r)
 			}
-			table[pc][child.Code(r)]++
+			cc := child.Code(r)
+			// NaN cells code -1 and contribute no observation; the
+			// smoothing prior still keeps every CPT row normalizable.
+			if pc < 0 || cc < 0 {
+				continue
+			}
+			table[pc][cc]++
 		}
 		for pc := range table {
 			var total float64
@@ -232,6 +238,9 @@ func pairMI(x, y *dataview.Column, rows dataset.RowSet) float64 {
 	n := float64(len(rows))
 	for _, r := range rows {
 		cx, cy := x.Code(r), y.Code(r)
+		if cx < 0 || cy < 0 {
+			continue // NaN cells join no (x, y) cell
+		}
 		joint[cx][cy]++
 		px[cx]++
 		py[cy]++
@@ -290,7 +299,11 @@ func (net *Network) LogLikelihood(rows dataset.RowSet) float64 {
 			if p := net.parent[a]; p != "" {
 				pc = net.cols[p].Code(r)
 			}
-			ll += math.Log(net.cpt[a][pc][col.Code(r)])
+			cc := col.Code(r)
+			if pc < 0 || cc < 0 {
+				continue // NaN cells contribute no factor
+			}
+			ll += math.Log(net.cpt[a][pc][cc])
 		}
 	}
 	return ll

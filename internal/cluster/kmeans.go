@@ -74,7 +74,15 @@ func Encode(v *dataview.View, rows dataset.RowSet, attrs []string) (*Points, *En
 	for i, r := range rows {
 		row := p.Row(i)
 		for a, c := range cols {
-			row[enc.Offsets[a]+c.Code(r)] = 1
+			code := c.Code(r)
+			if code < 0 {
+				// NaN cells code -1; clamp to the attribute's first
+				// coordinate so all three encoders (dense, sparse scan,
+				// sparse bitmap — whose postings simply leave absent rows
+				// at the zero code) produce identical points.
+				code = 0
+			}
+			row[enc.Offsets[a]+code] = 1
 		}
 	}
 	return p, enc, nil

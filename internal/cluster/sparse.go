@@ -74,7 +74,13 @@ func EncodeSparse(v *dataview.View, rows dataset.RowSet, attrs []string) (*Spars
 		row := sp.Codes[i*sp.A : (i+1)*sp.A]
 		s, off := r>>dataset.SegmentBits, r&dataset.SegmentMask
 		for a := range codes {
-			row[a] = codes[a][s][off]
+			c := codes[a][s][off]
+			if c < 0 {
+				// NaN cells clamp to code 0, matching the dense encoder
+				// and the bitmap encoder's zero-initialized Codes.
+				c = 0
+			}
+			row[a] = c
 		}
 	}
 	return sp, enc, nil

@@ -458,7 +458,12 @@ func partitionRowsByCode(pivotCol *dataview.Column, rows dataset.RowSet) map[int
 	if nSpan <= 1 || len(rows) < pivotPartitionMin {
 		for _, r := range rows {
 			c := int(segs[r>>dataset.SegmentBits][r&dataset.SegmentMask])
-			byCode[c] = append(byCode[c], r)
+			// NaN pivot cells code -1: they belong to no pivot value,
+			// exactly as in the bitmap variant, whose postings never
+			// contain NaN rows.
+			if c >= 0 {
+				byCode[c] = append(byCode[c], r)
+			}
 		}
 		return byCode
 	}
@@ -472,7 +477,9 @@ func partitionRowsByCode(pivotCol *dataview.Column, rows dataset.RowSet) map[int
 		m := make(map[int]dataset.RowSet, 16)
 		for _, r := range span {
 			c := int(seg[r&dataset.SegmentMask])
-			m[c] = append(m[c], r)
+			if c >= 0 {
+				m[c] = append(m[c], r)
+			}
 		}
 		locals[k] = m
 	})

@@ -52,7 +52,12 @@ func buildLabels(v *dataview.View, compareAttrs []string, rows dataset.RowSet, o
 		}
 		counts[d] = make([]int, col.Cardinality())
 		for _, r := range rows {
-			counts[d][col.Code(r)]++
+			// NaN cells code -1 and belong to no value — the collapsed
+			// bitmap path derives these counts from postings, which never
+			// contain NaN rows.
+			if c := col.Code(r); c >= 0 {
+				counts[d][c]++
+			}
 		}
 	}
 	return labelsFromCounts(v, compareAttrs, counts, len(rows), opt)

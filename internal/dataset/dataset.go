@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Segment geometry: column storage is split into fixed-size 64K-row
@@ -114,71 +115,144 @@ func (s Schema) Names() []string {
 }
 
 // CatColumn is a dictionary-encoded categorical column. Codes index into
-// Dict; the dictionary preserves first-seen order. Codes are stored in
-// fixed-size 64K-row segments (SegmentSize); only the last segment ever
-// grows, so earlier segments stay immutable once full.
+// the dictionary (Dict), which preserves first-seen order. Codes are
+// stored in fixed-size 64K-row segments (SegmentSize); only the last
+// segment ever grows, so earlier segments stay immutable once full.
+//
+// Appends are safe to run concurrently with readers: the dictionary, the
+// segment table, and the row count publish through atomic pointers in
+// dict → segs → n order, so a reader that observes n rows is guaranteed
+// segment headers covering those rows and dictionary entries for every
+// code among them. Writers append new cells into the tail segment's
+// spare capacity — past every published length — and then publish a
+// fresh copy of the outer segment table, so no published slice header or
+// cell is ever mutated in place.
 type CatColumn struct {
-	Dict  []string
-	segs  [][]int32
-	n     int
-	index map[string]int32
+	dict atomic.Pointer[[]string]  // published dictionary (append-only)
+	segs atomic.Pointer[[][]int32] // published segment headers (append-only)
+	n    atomic.Int64              // published row count
+
+	mu    sync.Mutex       // serializes appends; guards index
+	index map[string]int32 // value → code intern map
 }
 
 // NewCatColumn returns an empty categorical column.
 func NewCatColumn() *CatColumn {
-	return &CatColumn{index: make(map[string]int32)}
+	c := &CatColumn{index: make(map[string]int32)}
+	c.dict.Store(new([]string))
+	c.segs.Store(new([][]int32))
+	return c
 }
 
 // Append adds one value, interning it in the dictionary.
 func (c *CatColumn) Append(v string) {
-	code, ok := c.index[v]
-	if !ok {
-		code = int32(len(c.Dict))
-		c.Dict = append(c.Dict, v)
-		c.index[v] = code
-	}
-	if c.n&SegmentMask == 0 {
-		c.segs = append(c.segs, nil)
-	}
-	s := len(c.segs) - 1
-	c.segs[s] = append(c.segs[s], code)
-	c.n++
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendLocked([]string{v})
 }
 
+// appendBatch adds values in order, publishing the new rows once at the
+// end (one dictionary/segment-table publication per batch, not per row).
+func (c *CatColumn) appendBatch(vals []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendLocked(vals)
+}
+
+func (c *CatColumn) appendLocked(vals []string) {
+	dict := *c.dict.Load()
+	dictGrew := false
+	codes := make([]int32, len(vals))
+	for i, v := range vals {
+		code, ok := c.index[v]
+		if !ok {
+			code = int32(len(dict))
+			dict = append(dict, v)
+			c.index[v] = code
+			dictGrew = true
+		}
+		codes[i] = code
+	}
+	if dictGrew {
+		d := dict
+		c.dict.Store(&d)
+	}
+	n := int(c.n.Load())
+	segs := appendSegmented(*c.segs.Load(), n, codes)
+	c.segs.Store(&segs)
+	c.n.Store(int64(n + len(vals)))
+}
+
+// appendSegmented writes vals after row n into a copy of the outer
+// segment table, growing the tail segment (its spare capacity lies past
+// every published length, and a reallocating append copies into a
+// not-yet-published array, so concurrent readers never see the writes)
+// and opening fresh segments as boundaries are crossed.
+func appendSegmented[E any](old [][]E, n int, vals []E) [][]E {
+	segs := append(make([][]E, 0, NumSegments(n+len(vals))), old...)
+	for len(vals) > 0 {
+		if n&SegmentMask == 0 {
+			segs = append(segs, nil)
+		}
+		s := len(segs) - 1
+		take := SegmentSize - len(segs[s])
+		if take > len(vals) {
+			take = len(vals)
+		}
+		segs[s] = append(segs[s], vals[:take]...)
+		vals = vals[take:]
+		n += take
+	}
+	return segs
+}
+
+// Dict returns the dictionary in code order; callers must not modify it.
+func (c *CatColumn) Dict() []string { return *c.dict.Load() }
+
 // Len returns the number of rows stored.
-func (c *CatColumn) Len() int { return c.n }
+func (c *CatColumn) Len() int { return int(c.n.Load()) }
 
 // Code returns the dictionary code at row i.
-func (c *CatColumn) Code(i int) int32 { return c.segs[i>>SegmentBits][i&SegmentMask] }
+func (c *CatColumn) Code(i int) int32 {
+	segs := *c.segs.Load()
+	return segs[i>>SegmentBits][i&SegmentMask]
+}
 
 // NumSegments returns the number of storage segments the column spans.
-func (c *CatColumn) NumSegments() int { return len(c.segs) }
+func (c *CatColumn) NumSegments() int { return len(*c.segs.Load()) }
 
 // SegCodes returns segment s's code slice (segment-local row order);
 // callers must not modify it. Morsel scans hoist one segment at a time
 // instead of paying the two-level lookup per row.
-func (c *CatColumn) SegCodes(s int) []int32 { return c.segs[s] }
+func (c *CatColumn) SegCodes(s int) []int32 { return (*c.segs.Load())[s] }
+
+// segTable returns the published segment headers; callers hoist it once
+// per scan instead of paying an atomic load per segment.
+func (c *CatColumn) segTable() [][]int32 { return *c.segs.Load() }
 
 // Codes returns the per-row code array; callers must not modify it.
 // Single-segment columns (≤64K rows) return the backing slice directly;
 // larger columns materialize a contiguous copy, so hot paths over big
 // tables should iterate SegCodes per segment instead.
 func (c *CatColumn) Codes() []int32 {
-	if len(c.segs) == 1 {
-		return c.segs[0]
+	segs := *c.segs.Load()
+	if len(segs) == 1 {
+		return segs[0]
 	}
-	out := make([]int32, 0, c.n)
-	for _, seg := range c.segs {
+	out := make([]int32, 0, c.Len())
+	for _, seg := range segs {
 		out = append(out, seg...)
 	}
 	return out
 }
 
 // Value returns the string value at row i.
-func (c *CatColumn) Value(i int) string { return c.Dict[c.Code(i)] }
+func (c *CatColumn) Value(i int) string { return c.Dict()[c.Code(i)] }
 
 // CodeOf returns the dictionary code for value v, or -1 if v never occurs.
 func (c *CatColumn) CodeOf(v string) int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if code, ok := c.index[v]; ok {
 		return code
 	}
@@ -186,54 +260,74 @@ func (c *CatColumn) CodeOf(v string) int32 {
 }
 
 // Cardinality returns the number of distinct values seen.
-func (c *CatColumn) Cardinality() int { return len(c.Dict) }
+func (c *CatColumn) Cardinality() int { return len(*c.dict.Load()) }
 
 // NumColumn is a dense float64 column stored in fixed-size 64K-row
-// segments (SegmentSize); only the last segment ever grows.
+// segments (SegmentSize); only the last segment ever grows. Appends are
+// safe to run concurrently with readers under the same publication
+// discipline as CatColumn: cells land past every published length, then
+// a fresh copy of the outer segment table and the new row count publish
+// atomically, in that order.
 type NumColumn struct {
-	segs [][]float64
-	n    int
+	segs atomic.Pointer[[][]float64] // published segment headers (append-only)
+	n    atomic.Int64                // published row count
 
-	mu     sync.Mutex
-	sorted []float64 // memoized ascending copy of the values; see Sorted
+	mu     sync.Mutex // serializes appends; guards sorted
+	sorted []float64  // memoized ascending copy of the values; see Sorted
 }
 
 // NewNumColumn returns an empty numeric column.
-func NewNumColumn() *NumColumn { return &NumColumn{} }
+func NewNumColumn() *NumColumn {
+	c := &NumColumn{}
+	c.segs.Store(new([][]float64))
+	return c
+}
 
 // Append adds one value.
-func (c *NumColumn) Append(v float64) {
-	if c.n&SegmentMask == 0 {
-		c.segs = append(c.segs, nil)
-	}
-	s := len(c.segs) - 1
-	c.segs[s] = append(c.segs[s], v)
-	c.n++
+func (c *NumColumn) Append(v float64) { c.appendBatch([]float64{v}) }
+
+// appendBatch adds values in order, publishing the new rows once at the
+// end.
+func (c *NumColumn) appendBatch(vals []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := int(c.n.Load())
+	segs := appendSegmented(*c.segs.Load(), n, vals)
+	c.segs.Store(&segs)
+	c.n.Store(int64(n + len(vals)))
 }
 
 // Len returns the number of rows stored.
-func (c *NumColumn) Len() int { return c.n }
+func (c *NumColumn) Len() int { return int(c.n.Load()) }
 
 // Value returns the value at row i.
-func (c *NumColumn) Value(i int) float64 { return c.segs[i>>SegmentBits][i&SegmentMask] }
+func (c *NumColumn) Value(i int) float64 {
+	segs := *c.segs.Load()
+	return segs[i>>SegmentBits][i&SegmentMask]
+}
 
 // NumSegments returns the number of storage segments the column spans.
-func (c *NumColumn) NumSegments() int { return len(c.segs) }
+func (c *NumColumn) NumSegments() int { return len(*c.segs.Load()) }
 
 // SegValues returns segment s's value slice (segment-local row order);
 // callers must not modify it.
-func (c *NumColumn) SegValues(s int) []float64 { return c.segs[s] }
+func (c *NumColumn) SegValues(s int) []float64 { return (*c.segs.Load())[s] }
+
+// segTable returns the published segment headers; callers hoist it once
+// per scan instead of paying an atomic load per segment.
+func (c *NumColumn) segTable() [][]float64 { return *c.segs.Load() }
 
 // Values returns the per-row value array; callers must not modify it.
 // Single-segment columns (≤64K rows) return the backing slice directly;
 // larger columns materialize a contiguous copy, so hot paths over big
 // tables should iterate SegValues per segment instead.
 func (c *NumColumn) Values() []float64 {
-	if len(c.segs) == 1 {
-		return c.segs[0]
+	segs := *c.segs.Load()
+	if len(segs) == 1 {
+		return segs[0]
 	}
-	out := make([]float64, 0, c.n)
-	for _, seg := range c.segs {
+	out := make([]float64, 0, c.Len())
+	for _, seg := range segs {
 		out = append(out, seg...)
 	}
 	return out
@@ -246,9 +340,10 @@ func (c *NumColumn) Values() []float64 {
 func (c *NumColumn) Sorted() []float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.sorted) != c.n {
-		sorted := make([]float64, 0, c.n)
-		for _, seg := range c.segs {
+	n := int(c.n.Load())
+	if len(c.sorted) != n {
+		sorted := make([]float64, 0, n)
+		for _, seg := range *c.segs.Load() {
 			sorted = append(sorted, seg...)
 		}
 		sortFloats(sorted)
@@ -257,16 +352,22 @@ func (c *NumColumn) Sorted() []float64 {
 	return c.sorted
 }
 
-// Table is a named relation with columnar storage.
+// Table is a named relation with columnar storage. Appends are safe to
+// run concurrently with readers: columns publish their new cells before
+// the table publishes the new row count, so a reader that observes n
+// rows finds every column covering them; an in-flight query that took an
+// Index snapshot keeps evaluating over the rows that snapshot covers.
 type Table struct {
 	name   string
 	schema Schema
 	cats   []*CatColumn // indexed by column position; nil for numeric
 	nums   []*NumColumn // indexed by column position; nil for categorical
-	n      int
+	n      atomic.Int64
+	epoch  atomic.Uint64 // bumped once per successful append; see Epoch
 
-	idxMu sync.Mutex
-	idx   *Index // lazily built posting index; see Table.Index
+	appendMu sync.Mutex // serializes AppendRow/AppendBatch
+	idxMu    sync.Mutex
+	idx      *Index // lazily built posting index; see Table.Index
 }
 
 // NewTable creates an empty table with the given schema.
@@ -305,7 +406,17 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Schema() Schema { return t.schema }
 
 // NumRows returns the number of rows.
-func (t *Table) NumRows() int { return t.n }
+func (t *Table) NumRows() int { return int(t.n.Load()) }
+
+// Epoch returns the table's append epoch: 0 for a table that has never
+// been appended to since caches first observed it, +1 per successful
+// AppendRow or AppendBatch. Caches key derived structures (compiled
+// predicate binds, view postings, CAD View cache entries, suggestion
+// models) on it to detect rows arriving underneath them. The epoch is
+// bumped after the new row count publishes, so a reader that loads the
+// epoch first and the row count second never associates an epoch with
+// rows it cannot see.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
 
 // NumCols returns the number of columns.
 func (t *Table) NumCols() int { return len(t.schema) }
@@ -347,32 +458,98 @@ func (t *Table) NumByName(name string) (*NumColumn, error) {
 	return t.nums[i], nil
 }
 
-// AppendRow adds one row. vals must have one entry per column: string for
-// categorical columns, float64 (or int) for numeric columns.
-func (t *Table) AppendRow(vals ...any) error {
+// checkRow validates one row against the schema without mutating
+// anything, returning the numeric cells converted to float64 (the slot
+// for categorical cells is unused). Append paths run it over every row
+// before touching any column, so a type error leaves the table exactly
+// as it was — no column ends up one cell longer than its siblings.
+func (t *Table) checkRow(vals []any) ([]float64, error) {
 	if len(vals) != len(t.schema) {
-		return fmt.Errorf("dataset: AppendRow got %d values for %d columns", len(vals), len(t.schema))
+		return nil, fmt.Errorf("dataset: append got %d values for %d columns", len(vals), len(t.schema))
 	}
+	nums := make([]float64, len(vals))
 	for i, v := range vals {
 		switch a := t.schema[i]; a.Kind {
 		case Categorical:
-			s, ok := v.(string)
-			if !ok {
-				return fmt.Errorf("dataset: column %q wants string, got %T", a.Name, v)
+			if _, ok := v.(string); !ok {
+				return nil, fmt.Errorf("dataset: column %q wants string, got %T", a.Name, v)
 			}
-			t.cats[i].Append(s)
 		case Numeric:
 			switch x := v.(type) {
 			case float64:
-				t.nums[i].Append(x)
+				nums[i] = x
 			case int:
-				t.nums[i].Append(float64(x))
+				nums[i] = float64(x)
 			default:
-				return fmt.Errorf("dataset: column %q wants float64, got %T", a.Name, v)
+				return nil, fmt.Errorf("dataset: column %q wants float64, got %T", a.Name, v)
 			}
 		}
 	}
-	t.n++
+	return nums, nil
+}
+
+// AppendRow adds one row. vals must have one entry per column: string
+// for categorical columns, float64 (or int) for numeric columns. The row
+// is validated in full before any column is touched; on error the table
+// is unmodified.
+func (t *Table) AppendRow(vals ...any) error {
+	nums, err := t.checkRow(vals)
+	if err != nil {
+		return err
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	for i, v := range vals {
+		if t.cats[i] != nil {
+			t.cats[i].Append(v.(string))
+		} else {
+			t.nums[i].Append(nums[i])
+		}
+	}
+	t.n.Add(1)
+	t.epoch.Add(1)
+	return nil
+}
+
+// AppendBatch adds rows in order, each with one entry per column (the
+// AppendRow conventions). The whole batch is validated before any column
+// is touched — on error the table is unmodified — and the new rows
+// publish column by column, with the row count and epoch bumped once at
+// the end, so the batch costs one segment-table publication per column
+// instead of one per cell. Readers are never blocked: an in-flight query
+// keeps its Index snapshot, and the next Table.Index call extends the
+// index over the new tail rows (see Index).
+func (t *Table) AppendBatch(rows [][]any) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	numVals := make([][]float64, len(rows))
+	for r, row := range rows {
+		nums, err := t.checkRow(row)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", r, err)
+		}
+		numVals[r] = nums
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	for i := range t.schema {
+		if c := t.cats[i]; c != nil {
+			vals := make([]string, len(rows))
+			for r, row := range rows {
+				vals[r] = row[i].(string)
+			}
+			c.appendBatch(vals)
+		} else {
+			vals := make([]float64, len(rows))
+			for r := range rows {
+				vals[r] = numVals[r][i]
+			}
+			t.nums[i].appendBatch(vals)
+		}
+	}
+	t.n.Add(int64(len(rows)))
+	t.epoch.Add(1)
 	return nil
 }
 
@@ -426,10 +603,11 @@ func (t *Table) ValueCounts(col int, rows RowSet) []ValueCount {
 	for _, r := range rows {
 		counts[c.Code(r)]++
 	}
+	dict := c.Dict()
 	out := make([]ValueCount, 0, len(counts))
 	for code, n := range counts {
 		if n > 0 {
-			out = append(out, ValueCount{Value: c.Dict[code], Count: n})
+			out = append(out, ValueCount{Value: dict[code], Count: n})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

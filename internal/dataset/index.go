@@ -26,14 +26,21 @@ import (
 // containers or sorted offsets, and the per-segment results concatenate
 // into the global structure with no cross-segment merge pass.
 //
-// The index is keyed to the row count at creation: Table.Index returns a
-// fresh Index after appends, and an Index never observes rows added after
-// it was created. Individual columns index on first use, so tables whose
+// The index is keyed to the row count and append epoch at creation: an
+// Index never observes rows added after it was created, so in-flight
+// queries evaluate over a stable snapshot with no locks. After appends,
+// Table.Index does not throw the old index away — it derives a new
+// snapshot by reusing every structure over sealed (full) segments
+// verbatim and rebuilding only the tail: categorical postings re-scatter
+// the tail segment's containers, numeric orders re-sort the tail
+// segOrder, and frequencies add a delta scan of just the new rows (see
+// extend). Individual columns index on first use, so tables whose
 // queries only ever touch a few attributes never pay for the rest. All
 // methods are safe for concurrent use.
 type Index struct {
-	t *Table
-	n int // row count this index snapshot covers
+	t     *Table
+	n     int    // row count this index snapshot covers
+	epoch uint64 // table append epoch this snapshot was derived at
 
 	mu    sync.Mutex
 	cat   [][]*Bitmap  // per column: posting bitmap per dictionary code
@@ -65,37 +72,62 @@ func IndexStats() (catBuilds, orderBuilds int64) {
 }
 
 // Index returns the table's posting index for its current row count,
-// creating an empty one on first use and replacing a stale one after
-// appends. Column postings inside the index build lazily.
+// creating an empty one on first use. After appends the stale index is
+// extended, not discarded: materialized columns carry their sealed
+// per-segment containers and sorted orders into the new snapshot and
+// rebuild only the tail (see extend); unmaterialized columns stay lazy.
+// Handles returned by earlier calls keep working over their own row
+// snapshot.
 func (t *Table) Index() *Index {
+	// Epoch before row count: the writer bumps the epoch after publishing
+	// the rows, so this order never labels an index with an epoch newer
+	// than the rows it covers.
+	epoch := t.epoch.Load()
+	n := int(t.n.Load())
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
-	if t.idx == nil || t.idx.n != t.n {
-		t.idx = &Index{
-			t:     t,
-			n:     t.n,
-			cat:   make([][]*Bitmap, len(t.schema)),
-			freqs: make([][]int32, len(t.schema)),
-			ord:   make([][]segOrder, len(t.schema)),
-			valid: make([]int, len(t.schema)),
-		}
+	switch {
+	case t.idx == nil:
+		t.idx = newIndex(t, n, epoch)
+	case t.idx.n < n:
+		t.idx = t.idx.extend(n, epoch)
+		// t.idx.n > n: a racing caller loaded its row count first but
+		// reached the lock second. The newer index is still a valid
+		// snapshot for this caller — its rows were fully published before
+		// the count it was derived from — so never "extend" downward.
 	}
 	return t.idx
+}
+
+func newIndex(t *Table, n int, epoch uint64) *Index {
+	return &Index{
+		t:     t,
+		n:     n,
+		epoch: epoch,
+		cat:   make([][]*Bitmap, len(t.schema)),
+		freqs: make([][]int32, len(t.schema)),
+		ord:   make([][]segOrder, len(t.schema)),
+		valid: make([]int, len(t.schema)),
+	}
 }
 
 // Rows returns the universe size (table rows) this index covers.
 func (ix *Index) Rows() int { return ix.n }
 
+// Epoch returns the table append epoch this index snapshot was derived
+// at. Caches compare it against Table.Epoch to detect staleness.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
 // segCodes returns the codes of segment s truncated to the index's row
 // snapshot (rows appended after the index was created stay invisible).
-func (ix *Index) segCodes(c *CatColumn, s int) []int32 {
-	return c.segs[s][:SegmentRows(s, ix.n)]
+func segCodes(segs [][]int32, s, n int) []int32 {
+	return segs[s][:SegmentRows(s, n)]
 }
 
 // segVals returns the values of segment s truncated to the index's row
 // snapshot.
-func (ix *Index) segVals(c *NumColumn, s int) []float64 {
-	return c.segs[s][:SegmentRows(s, ix.n)]
+func segVals(segs [][]float64, s, n int) []float64 {
+	return segs[s][:SegmentRows(s, n)]
 }
 
 // buildSegPostings scatters one segment's codes into one container per
@@ -209,8 +241,9 @@ func (ix *Index) CatPostings(col int) []*Bitmap {
 		// Posting sets are shared with every query that touches this
 		// column; Freeze (inside assemblePostings) makes in-place mutation
 		// by a caller trip the alias guard instead of corrupting the index.
+		segs := c.segTable()
 		ix.cat[col] = BuildPostings(ix.n, c.Cardinality(), func(s int) []int32 {
-			return ix.segCodes(c, s)
+			return segCodes(segs, s, ix.n)
 		})
 		catPostingBuilds.Add(1)
 	}
@@ -239,8 +272,9 @@ func (ix *Index) CatFreqs(col int) []int32 {
 				freqs[code] = int32(p.Len())
 			}
 		} else {
+			segs := c.segTable()
 			for s := 0; s < NumSegments(ix.n); s++ {
-				for _, code := range ix.segCodes(c, s) {
+				for _, code := range segCodes(segs, s, ix.n) {
 					freqs[code]++
 				}
 			}
@@ -340,28 +374,10 @@ func (ix *Index) numOrder(col int) ([]segOrder, int) {
 	if ix.ord[col] == nil {
 		fault.Check(fault.PointIndexNum)
 		nSegs := NumSegments(ix.n)
+		segs := c.segTable()
 		ords := make([]segOrder, nSegs)
 		parallel.Do(nSegs, func(s int) {
-			vals := ix.segVals(c, s)
-			// Composite keys (value bits over offset bits) go straight
-			// from the value scan into the radix sort — no intermediate
-			// offset slice, and the NaN split falls out of the same pass.
-			keys := make([]uint64, 0, len(vals))
-			var nans []int32
-			for off, v := range vals {
-				if math.IsNaN(v) {
-					nans = append(nans, int32(off))
-				} else {
-					keys = append(keys, orderedFloatBits(v)&^0xFFFF|uint64(uint16(off)))
-				}
-			}
-			valid := len(keys)
-			rows := make([]int32, valid+len(nans))
-			for i, k := range sortSegKeys(keys, vals) {
-				rows[i] = int32(k & 0xFFFF)
-			}
-			copy(rows[valid:], nans)
-			ords[s] = segOrder{rows: rows, valid: valid}
+			ords[s] = buildSegOrder(segVals(segs, s, ix.n))
 		})
 		total := 0
 		for _, so := range ords {
@@ -372,6 +388,31 @@ func (ix *Index) numOrder(col int) ([]segOrder, int) {
 		numOrderBuilds.Add(1)
 	}
 	return ix.ord[col], ix.valid[col]
+}
+
+// buildSegOrder sorts one segment's offsets by value (NaN offsets
+// trailing), the unit of work both the cold morsel build and the
+// incremental tail rebuild share.
+func buildSegOrder(vals []float64) segOrder {
+	// Composite keys (value bits over offset bits) go straight
+	// from the value scan into the radix sort — no intermediate
+	// offset slice, and the NaN split falls out of the same pass.
+	keys := make([]uint64, 0, len(vals))
+	var nans []int32
+	for off, v := range vals {
+		if math.IsNaN(v) {
+			nans = append(nans, int32(off))
+		} else {
+			keys = append(keys, orderedFloatBits(v)&^0xFFFF|uint64(uint16(off)))
+		}
+	}
+	valid := len(keys)
+	rows := make([]int32, valid+len(nans))
+	for i, k := range sortSegKeys(keys, vals) {
+		rows[i] = int32(k & 0xFFFF)
+	}
+	copy(rows[valid:], nans)
+	return segOrder{rows: rows, valid: valid}
 }
 
 // windowContainer packs one segment's sorted-order window of offsets
@@ -411,10 +452,10 @@ func segRangeBounds(vals []float64, so segOrder, lo, hi float64) (from, to int) 
 // orders.
 func (ix *Index) NumRange(col int, lo, hi float64) *Bitmap {
 	ords, _ := ix.numOrder(col)
-	c := ix.t.nums[col]
+	segs := ix.t.nums[col].segTable()
 	cs := make([]container, len(ords))
 	for s, so := range ords {
-		from, to := segRangeBounds(c.segs[s], so, lo, hi)
+		from, to := segRangeBounds(segs[s], so, lo, hi)
 		if from < to {
 			cs[s] = windowContainer(so.rows[from:to])
 		}
@@ -427,10 +468,10 @@ func (ix *Index) NumRange(col int, lo, hi float64) *Bitmap {
 // cardinality probe.
 func (ix *Index) NumRangeLen(col int, lo, hi float64) int {
 	ords, _ := ix.numOrder(col)
-	c := ix.t.nums[col]
+	segs := ix.t.nums[col].segTable()
 	total := 0
 	for s, so := range ords {
-		from, to := segRangeBounds(c.segs[s], so, lo, hi)
+		from, to := segRangeBounds(segs[s], so, lo, hi)
 		total += to - from
 	}
 	return total
@@ -469,10 +510,10 @@ func segCmpBounds(vals []float64, so segOrder, c float64, includeEq, below, abov
 // NaN cells as unequal to every constant.
 func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *Bitmap {
 	ords, _ := ix.numOrder(col)
-	nc := ix.t.nums[col]
+	segs := ix.t.nums[col].segTable()
 	cs := make([]container, len(ords))
 	for s, so := range ords {
-		from, to := segCmpBounds(nc.segs[s], so, c, includeEq, below, above)
+		from, to := segCmpBounds(segs[s], so, c, includeEq, below, above)
 		if from < to {
 			cs[s] = windowContainer(so.rows[from:to])
 		}
@@ -484,10 +525,10 @@ func (ix *Index) NumCmpRange(col int, c float64, includeEq, below, above bool) *
 // searches without materializing the bitmap.
 func (ix *Index) NumCmpRangeLen(col int, c float64, includeEq, below, above bool) int {
 	ords, _ := ix.numOrder(col)
-	nc := ix.t.nums[col]
+	segs := ix.t.nums[col].segTable()
 	total := 0
 	for s, so := range ords {
-		from, to := segCmpBounds(nc.segs[s], so, c, includeEq, below, above)
+		from, to := segCmpBounds(segs[s], so, c, includeEq, below, above)
 		total += to - from
 	}
 	return total
@@ -522,7 +563,7 @@ func (ix *Index) NumEdgeCounts(col int, edges []float64, filter *Bitmap) (lt, le
 		panic("dataset: NumEdgeCounts filter universe mismatch")
 	}
 	ords, _ := ix.numOrder(col)
-	nc := ix.t.nums[col]
+	nsegs := ix.t.nums[col].segTable()
 	ne := len(edges)
 	lt = make([]int, ne)
 	le = make([]int, ne)
@@ -546,7 +587,7 @@ func (ix *Index) NumEdgeCounts(col int, edges []float64, filter *Bitmap) (lt, le
 		if so.valid == 0 || ne == 0 {
 			continue
 		}
-		vals := nc.segs[s]
+		vals := nsegs[s]
 		rows := so.rows[:so.valid]
 		for i, e := range edges {
 			posLt[i] = sort.Search(len(rows), func(j int) bool { return vals[rows[j]] >= e })
@@ -601,4 +642,144 @@ func (ix *Index) NumEdgeCounts(col int, edges []float64, filter *Bitmap) (lt, le
 		}
 	}
 	return lt, le, valid
+}
+
+// Incremental maintenance: deriving the index for a grown table from a
+// stale snapshot. Appends only ever write past the old row count, so
+// every structure over sealed segments — full 64K-row segments the old
+// snapshot covered entirely — is carried into the new snapshot verbatim
+// (shared containers and order slices, no copy of their payloads). Only
+// the tail is rebuilt: the old partial tail segment plus whatever new
+// segments the appended rows opened. For a 1% append to a large table
+// that is one or two segments of work per materialized column instead of
+// a full re-scatter and re-sort.
+
+// Extension counters, alongside the build counters above: how many
+// per-column posting sets and sorted orders were carried across an
+// append incrementally instead of rebuilt cold.
+var (
+	catPostingExtends atomic.Int64
+	numOrderExtends   atomic.Int64
+)
+
+// IndexExtendStats reports the process-wide number of categorical
+// posting-set and numeric sorted-order incremental extensions.
+func IndexExtendStats() (catExtends, orderExtends int64) {
+	return catPostingExtends.Load(), numOrderExtends.Load()
+}
+
+// extend derives the index snapshot for n rows at the given epoch from a
+// stale one, reusing sealed per-segment structures of every column the
+// old snapshot had materialized and rebuilding only tail segments.
+// Columns the old snapshot never built stay unmaterialized and build
+// lazily (cold) on first use. The old index is left untouched, so
+// readers holding it keep an intact snapshot of the smaller table.
+func (old *Index) extend(n int, epoch uint64) *Index {
+	t := old.t
+	nx := newIndex(t, n, epoch)
+	fault.Check(fault.PointIndexExtend)
+	// Sealed segments: full segments entirely below the old row count.
+	// The old tail segment (if partial) gained rows and rebuilds.
+	sealed := old.n >> SegmentBits
+	old.mu.Lock()
+	defer old.mu.Unlock()
+	for col := range t.schema {
+		if c := t.cats[col]; c != nil {
+			segs := c.segTable()
+			card := c.Cardinality()
+			if old.cat[col] != nil {
+				nx.cat[col] = extendPostings(old.cat[col], n, card, sealed, func(s int) []int32 {
+					return segCodes(segs, s, n)
+				})
+				catPostingExtends.Add(1)
+			}
+			if old.freqs[col] != nil {
+				nx.freqs[col] = extendFreqs(old.freqs[col], card, segs, old.n, n)
+			}
+		} else if old.ord[col] != nil {
+			segs := t.nums[col].segTable()
+			nx.ord[col], nx.valid[col] = extendOrders(old.ord[col], sealed, segs, n)
+			numOrderExtends.Add(1)
+		}
+	}
+	return nx
+}
+
+// extendPostings assembles posting bitmaps over n rows by sharing the
+// old postings' containers for the first sealed segments and
+// re-scattering codes from segment sealed upward. Dictionary growth is
+// handled by card > len(old): new codes get empty sealed containers.
+// Only freshly scattered containers are optimized; sealed ones are
+// already canonical and are shared, not copied, so the result is
+// bit-identical to a cold build at a fraction of the work.
+func extendPostings(old []*Bitmap, n, card, sealed int, codesFn func(s int) []int32) []*Bitmap {
+	nSegs := NumSegments(n)
+	dirty := make([][]container, nSegs-sealed)
+	parallel.Do(len(dirty), func(i int) {
+		dirty[i] = buildSegPostings(codesFn(sealed+i), card)
+	})
+	slab := make([]container, nSegs*card)
+	bms := make([]Bitmap, card)
+	out := make([]*Bitmap, card)
+	for code := 0; code < card; code++ {
+		cs := slab[code*nSegs : (code+1)*nSegs : (code+1)*nSegs]
+		if code < len(old) {
+			copy(cs, old[code].cs[:sealed])
+		}
+		for s := sealed; s < nSegs; s++ {
+			cs[s] = dirty[s-sealed][code]
+			cs[s].optimize()
+		}
+		bms[code] = Bitmap{cs: cs, n: n, frozen: true}
+		out[code] = &bms[code]
+	}
+	return out
+}
+
+// ExtendPostings derives frozen posting bitmaps over n rows from
+// postings previously built over oldN rows of the same code stream
+// (oldN <= n): containers over sealed segments are shared verbatim and
+// only segments touched by rows [oldN, n) re-scatter. codesFn follows
+// the BuildPostings contract over the new universe. dataview uses this
+// to extend numeric bin postings across appends without recoding sealed
+// segments.
+func ExtendPostings(old []*Bitmap, oldN, n, card int, codesFn func(s int) []int32) []*Bitmap {
+	if oldN > n {
+		panic("dataset: ExtendPostings row count went backward")
+	}
+	return extendPostings(old, n, card, oldN>>SegmentBits, codesFn)
+}
+
+// extendFreqs extends per-code frequencies by counting only the delta
+// rows [oldN, n).
+func extendFreqs(old []int32, card int, segs [][]int32, oldN, n int) []int32 {
+	freqs := make([]int32, card)
+	copy(freqs, old)
+	for r := oldN; r < n; {
+		s := r >> SegmentBits
+		seg := segCodes(segs, s, n)
+		off := r & SegmentMask
+		for _, code := range seg[off:] {
+			freqs[code]++
+		}
+		r += len(seg) - off
+	}
+	return freqs
+}
+
+// extendOrders carries sealed per-segment sorted orders over verbatim
+// and re-sorts only segments touched by the appended rows.
+func extendOrders(old []segOrder, sealed int, segs [][]float64, n int) ([]segOrder, int) {
+	nSegs := NumSegments(n)
+	ords := make([]segOrder, nSegs)
+	copy(ords, old[:sealed])
+	parallel.Do(nSegs-sealed, func(i int) {
+		s := sealed + i
+		ords[s] = buildSegOrder(segVals(segs, s, n))
+	})
+	total := 0
+	for _, so := range ords {
+		total += so.valid
+	}
+	return ords, total
 }

@@ -115,3 +115,71 @@ func TestSetAliasGuardRestores(t *testing.T) {
 		t.Fatal("SetAliasGuard(false) did not disarm")
 	}
 }
+
+// TestConcurrentAppendAndQuery races batch appends against index reads:
+// every reader takes an epoch-consistent Index snapshot and checks its
+// invariants (postings partition the snapshot's rows, frequencies sum to
+// them, the sorted order's valid count matches an unbounded range), so a
+// torn publication of the tail segment would surface as an arithmetic
+// mismatch even before -race flags it.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	rows := boundaryAppendRows(24000)
+	tbl := boundaryAppendTable(t, rows[:1000])
+	warmIndex(tbl.Index(), tbl)
+
+	stop := make(chan struct{})
+	errs := make(chan string, 16)
+	var readers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ix := tbl.Index()
+				n := ix.Rows()
+				total := 0
+				for _, bm := range ix.CatPostings(1) {
+					total += bm.Len()
+				}
+				if total != n {
+					errs <- "postings do not partition the snapshot rows"
+					return
+				}
+				fsum := 0
+				for _, f := range ix.CatFreqs(0) {
+					fsum += int(f)
+				}
+				if fsum != n {
+					errs <- "freqs do not sum to the snapshot rows"
+					return
+				}
+				if got := ix.NumCmpRangeLen(2, 1e18, true, true, false); got != ix.valid[2] {
+					errs <- "unbounded range misses non-NaN rows of the snapshot"
+					return
+				}
+			}
+		}()
+	}
+	for i := 1000; i < len(rows); i += 1000 {
+		if err := tbl.AppendBatch(rows[i : i+1000]); err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	// Quiescent check: the final extended snapshot matches a cold rebuild.
+	ix := tbl.Index()
+	cold := boundaryAppendTable(t, rows)
+	if !reflect.DeepEqual(ix.CatFreqs(0), cold.Index().CatFreqs(0)) {
+		t.Fatal("final extended freqs differ from cold rebuild")
+	}
+}

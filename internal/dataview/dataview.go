@@ -35,6 +35,7 @@ type Column struct {
 	Kind dataset.Kind
 
 	labels []string
+	n      int // row snapshot the view was built over; see Column.rows
 	tbl    *dataset.Table
 	cat    *dataset.CatColumn
 	num    *dataset.NumColumn
@@ -117,9 +118,12 @@ func (c *Column) Postings() []*dataset.Bitmap {
 // scans. Callers must not modify the result.
 func (c *Column) CodeSegs() [][]int32 {
 	if c.cat != nil {
-		segs := make([][]int32, c.cat.NumSegments())
+		// Truncate to the view's row snapshot: after appends the live
+		// column spans more rows (and possibly more segments) than the
+		// view covers.
+		segs := make([][]int32, dataset.NumSegments(c.n))
 		for s := range segs {
-			segs[s] = c.cat.SegCodes(s)
+			segs[s] = c.cat.SegCodes(s)[:dataset.SegmentRows(s, c.n)]
 		}
 		return segs
 	}
@@ -173,13 +177,13 @@ func (c *Column) PostingsReady() bool {
 	return false
 }
 
-// rows returns the number of table rows backing the column.
-func (c *Column) rows() int {
-	if c.cat != nil {
-		return c.cat.Len()
-	}
-	return c.num.Len()
-}
+// rows returns the number of table rows the view was built over. This is
+// a snapshot pinned at view construction, not the live table length:
+// rows appended afterwards stay invisible to the view, so its postings,
+// code caches, and every bitmap derived from them share one stable
+// universe no matter how the table grows underneath. Fresh rows become
+// visible through a fresh view (Shared re-keys on row count).
+func (c *Column) rows() int { return c.n }
 
 // Cardinality returns the number of distinct codes.
 func (c *Column) Cardinality() int { return len(c.labels) }
@@ -220,9 +224,16 @@ func (c *Column) CodeOf(lbl string) int {
 // columns.
 func (c *Column) Histogram() *histogram.Histogram { return c.hist }
 
-// View is a coded projection of a whole table.
+// View is a coded projection of one row snapshot of a table: it pins the
+// row count (and append epoch) at construction, so rows appended later
+// are invisible to it and every structure derived from it shares one
+// universe. The serving layer detects staleness by comparing Epoch
+// against the table's and swaps in a freshly built view.
 type View struct {
 	table  *dataset.Table
+	rows   int
+	epoch  uint64
+	opt    Options
 	cols   []*Column
 	byName map[string]int
 }
@@ -247,10 +258,14 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 	if opt.Bins < 1 {
 		return nil, fmt.Errorf("dataview: bins must be >= 1, got %d", opt.Bins)
 	}
-	if t.NumRows() == 0 {
+	// Epoch before row count (the writer publishes rows before bumping the
+	// epoch), so the view is never labeled newer than the rows it covers.
+	epoch := t.Epoch()
+	n := t.NumRows()
+	if n == 0 {
 		return nil, fmt.Errorf("dataview: table %q has no rows", t.Name())
 	}
-	v := &View{table: t, byName: make(map[string]int)}
+	v := &View{table: t, rows: n, epoch: epoch, opt: opt, byName: make(map[string]int)}
 	schema := t.Schema()
 	// Columns code independently (numeric binning sorts the whole column,
 	// the dominant cost on wide tables), so build them on the shared
@@ -259,10 +274,10 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 	errs := make([]error, len(schema))
 	parallel.Do(len(schema), func(i int) {
 		attr := schema[i]
-		col := &Column{Attr: attr.Name, Col: i, Kind: attr.Kind, tbl: t}
+		col := &Column{Attr: attr.Name, Col: i, Kind: attr.Kind, n: n, tbl: t}
 		if cat := t.Cat(i); cat != nil {
 			col.cat = cat
-			col.labels = append([]string(nil), cat.Dict...)
+			col.labels = append([]string(nil), cat.Dict()...)
 		} else {
 			num := t.Num(i)
 			// Equi-width and equi-depth bin without sorting the column
@@ -270,9 +285,11 @@ func New(t *dataset.Table, opt Options) (*View, error) {
 			// per-row codes the coded builder computes as a by-product —
 			// one morsel per storage segment — are exactly what the first
 			// CAD View build would otherwise materialize row by row.
-			segs := make([][]float64, num.NumSegments())
+			// Segments truncate to the view's row snapshot so a
+			// concurrent append never leaks rows into the bin edges.
+			segs := make([][]float64, dataset.NumSegments(n))
 			for s := range segs {
-				segs[s] = num.SegValues(s)
+				segs[s] = num.SegValues(s)[:dataset.SegmentRows(s, n)]
 			}
 			h, codes, err := histogram.BuildCodedSegs(segs, opt.Bins, opt.Method)
 			if err != nil {
@@ -364,6 +381,21 @@ func Shared(t *dataset.Table, opt Options) (*View, error) {
 // Table returns the underlying table.
 func (v *View) Table() *dataset.Table { return v.table }
 
+// Rows returns the row snapshot the view was built over — the universe
+// of every bitmap derived from the view, which may lag the live table
+// after appends.
+func (v *View) Rows() int { return v.rows }
+
+// Epoch returns the table append epoch the view was built at. The
+// serving layer compares it with Table.Epoch to decide whether cached
+// results derived from this view should be served as stale.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Opts returns the options the view was built with (defaults resolved),
+// so a caller holding only the view can rebuild it over a grown table
+// with identical configuration.
+func (v *View) Opts() Options { return v.opt }
+
 // Columns returns all coded columns in schema order.
 func (v *View) Columns() []*Column { return v.cols }
 
@@ -407,7 +439,10 @@ func (v *View) CodeCounts(name string, rows dataset.RowSet) ([]int, error) {
 	}
 	counts := make([]int, c.Cardinality())
 	for _, r := range rows {
-		counts[c.Code(r)]++
+		// NaN cells code -1 and belong to no bucket.
+		if code := c.Code(r); code >= 0 {
+			counts[code]++
+		}
 	}
 	return counts, nil
 }

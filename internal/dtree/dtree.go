@@ -105,7 +105,10 @@ func Build(v *dataview.View, rows dataset.RowSet, classAttr string, candidates [
 func (t *Tree) grow(rows dataset.RowSet, candidates []string, opt Options, depth int) *Node {
 	node := &Node{Count: len(rows), ClassCounts: make([]int, t.classCol.Cardinality())}
 	for _, r := range rows {
-		node.ClassCounts[t.classCol.Code(r)]++
+		// NaN class cells code -1 and count toward no class.
+		if c := t.classCol.Code(r); c >= 0 {
+			node.ClassCounts[c]++
+		}
 	}
 	node.Label = t.majority(node.ClassCounts)
 
@@ -120,8 +123,10 @@ func (t *Tree) grow(rows dataset.RowSet, candidates []string, opt Options, depth
 		col := t.cols[a]
 		parts := map[int]dataset.RowSet{}
 		for _, r := range rows {
-			c := col.Code(r)
-			parts[c] = append(parts[c], r)
+			// NaN cells belong to no split branch.
+			if c := col.Code(r); c >= 0 {
+				parts[c] = append(parts[c], r)
+			}
 		}
 		if len(parts) < 2 {
 			continue
@@ -135,7 +140,9 @@ func (t *Tree) grow(rows dataset.RowSet, candidates []string, opt Options, depth
 			}
 			counts := make([]int, t.classCol.Cardinality())
 			for _, r := range part {
-				counts[t.classCol.Code(r)]++
+				if c := t.classCol.Code(r); c >= 0 {
+					counts[c]++
+				}
 			}
 			cond += float64(len(part)) / float64(len(rows)) * entropy(counts, len(part))
 		}
@@ -213,7 +220,11 @@ func (t *Tree) Classify(row int) string {
 	node := t.Root
 	for !node.IsLeaf() {
 		col := t.cols[node.SplitAttr]
-		child, ok := node.Children[col.Label(col.Code(row))]
+		c := col.Code(row)
+		if c < 0 {
+			break // NaN split value: fall back to the majority label
+		}
+		child, ok := node.Children[col.Label(c)]
 		if !ok {
 			break
 		}
@@ -230,7 +241,11 @@ func (t *Tree) Accuracy(rows dataset.RowSet) float64 {
 	}
 	correct := 0
 	for _, r := range rows {
-		if t.Classify(r) == t.classCol.Label(t.classCol.Code(r)) {
+		c := t.classCol.Code(r)
+		if c < 0 {
+			continue // NaN class: never counts as correct
+		}
+		if t.Classify(r) == t.classCol.Label(c) {
 			correct++
 		}
 	}

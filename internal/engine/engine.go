@@ -479,7 +479,10 @@ func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Resu
 	}
 	counts := make(map[string]int)
 	for _, r := range rows {
-		counts[pivotCol.Label(pivotCol.Code(r))]++
+		// NaN pivot cells code -1 and belong to no pivot value.
+		if c := pivotCol.Code(r); c >= 0 {
+			counts[pivotCol.Label(c)]++
+		}
 	}
 	fmt.Fprintf(&b, "pivot %s: %d values in result\n", c.Pivot, len(counts))
 

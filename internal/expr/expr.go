@@ -117,19 +117,20 @@ type Cmp struct {
 // compares int32 codes instead of re-scanning the schema and comparing
 // strings on every row.
 type cmpBind struct {
-	t       *dataset.Table
-	col     int
-	cat     *dataset.CatColumn // nil for numeric columns
-	num     *dataset.NumColumn // nil for categorical columns
-	code    int32              // dictionary code of Str; -1 when absent
-	dictLen int                // dictionary size at bind time
+	t     *dataset.Table
+	epoch uint64 // table append epoch at bind time; see current
+	col   int
+	cat   *dataset.CatColumn // nil for numeric columns
+	num   *dataset.NumColumn // nil for categorical columns
+	code  int32              // dictionary code of Str; -1 when absent
 }
 
-// current reports whether the binding still matches t: same table and,
-// for categorical columns, an unchanged dictionary (a code absent at
-// bind time may exist after appends).
+// current reports whether the binding still matches t: same table and an
+// unchanged append epoch. Keying on the epoch catches every way appends
+// can stale a categorical binding — a value absent at bind time (code
+// -1) may exist after new rows arrive and grow the dictionary.
 func (b *cmpBind) current(t *dataset.Table) bool {
-	return b.t == t && (b.cat == nil || b.dictLen == b.cat.Cardinality())
+	return b.t == t && (b.cat == nil || b.epoch == t.Epoch())
 }
 
 // resolve computes a fresh binding against t without touching any cache.
@@ -138,11 +139,13 @@ func (c *Cmp) resolve(t *dataset.Table) (*cmpBind, error) {
 	if i < 0 {
 		return nil, fmt.Errorf("expr: unknown attribute %q", c.Attr)
 	}
-	b := &cmpBind{t: t, col: i}
+	// Epoch loads before the dictionary probe: a concurrent append can
+	// only make the binding look staler than what was resolved, never
+	// fresher.
+	b := &cmpBind{t: t, epoch: t.Epoch(), col: i}
 	if cat := t.Cat(i); cat != nil {
 		b.cat = cat
 		b.code = cat.CodeOf(c.Str)
-		b.dictLen = cat.Cardinality()
 	} else {
 		b.num = t.Num(i)
 	}
@@ -340,16 +343,19 @@ type In struct {
 // inBind caches the categorical column and the value list interned to a
 // code-membership table, so Eval is one slice lookup per row.
 type inBind struct {
-	t       *dataset.Table
-	col     int
-	cat     *dataset.CatColumn
-	member  []bool // indexed by dictionary code
-	dictLen int
+	t      *dataset.Table
+	epoch  uint64 // table append epoch at bind time; see current
+	col    int
+	cat    *dataset.CatColumn
+	member []bool // indexed by dictionary code
 }
 
-// current reports whether the binding still matches t and its dictionary.
+// current reports whether the binding still matches t: same table and an
+// unchanged append epoch (appends can both grow the dictionary past the
+// membership table and introduce listed values that were absent at bind
+// time).
 func (b *inBind) current(t *dataset.Table) bool {
-	return b.t == t && b.dictLen == b.cat.Cardinality()
+	return b.t == t && b.epoch == t.Epoch()
 }
 
 // resolve computes a fresh binding against t without touching any cache.
@@ -358,8 +364,9 @@ func (n *In) resolve(t *dataset.Table) (*inBind, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &inBind{t: t, col: t.ColIndex(n.Attr), cat: cat, dictLen: cat.Cardinality()}
-	b.member = make([]bool, b.dictLen)
+	// Epoch loads before the dictionary is probed (see Cmp.resolve).
+	b := &inBind{t: t, epoch: t.Epoch(), col: t.ColIndex(n.Attr), cat: cat}
+	b.member = make([]bool, cat.Cardinality())
 	for _, v := range n.Values {
 		if code := cat.CodeOf(v); code >= 0 {
 			b.member[code] = true

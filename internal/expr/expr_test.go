@@ -226,3 +226,35 @@ func TestSelectMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBindCachesRefreshOnAppend pins the epoch keying of the per-table
+// bind caches: an expression evaluated before rows were appended must
+// re-resolve afterward, so a categorical constant that only entered the
+// dictionary with the new rows starts matching, and new rows show up in
+// existing predicates instead of serving a stale dictionary snapshot.
+func TestBindCachesRefreshOnAppend(t *testing.T) {
+	tbl := testTable(t)
+	unknown := &Cmp{Attr: "Make", Op: Eq, Str: "Tesla"}
+	if got := mustSelect(t, tbl, unknown); got.Len() != 0 {
+		t.Fatalf("Tesla matched %d rows before it exists", got.Len())
+	}
+	in := &In{Attr: "Make", Values: []string{"Tesla", "Jeep"}}
+	if got := mustSelect(t, tbl, in); got.Len() != 2 {
+		t.Fatalf("In{Tesla,Jeep} = %d rows before append, want 2", got.Len())
+	}
+
+	tbl.MustAppendRow("Tesla", 45000.0, 1000.0)
+	tbl.MustAppendRow("Jeep", 33000.0, 2000.0)
+
+	if got := mustSelect(t, tbl, unknown); got.Len() != 1 {
+		t.Fatalf("stale bind: Tesla matched %d rows after append, want 1", got.Len())
+	}
+	if got := mustSelect(t, tbl, in); got.Len() != 4 {
+		t.Fatalf("stale bind: In{Tesla,Jeep} = %d rows after append, want 4", got.Len())
+	}
+	// Numeric binds hold no dictionary state but must still see the rows.
+	price := &Cmp{Attr: "Price", Op: Gt, Num: 30000}
+	if got := mustSelect(t, tbl, price); got.Len() != 3 {
+		t.Fatalf("Price > 30000 = %d rows after append, want 3", got.Len())
+	}
+}

@@ -111,7 +111,11 @@ func scanColumn(col *dataview.Column, rows dataset.RowSet) AttrSummary {
 		seg := segs[s]
 		end := (s + 1) << dataset.SegmentBits
 		for i < len(rows) && rows[i] < end {
-			counts[seg[rows[i]&dataset.SegmentMask]]++
+			// Negative codes are NaN cells, which belong to no value —
+			// the posting-bitmap path never has them in any posting.
+			if c := seg[rows[i]&dataset.SegmentMask]; c >= 0 {
+				counts[c]++
+			}
 			i++
 		}
 	}
@@ -128,6 +132,65 @@ func scanColumn(col *dataview.Column, rows dataset.RowSet) AttrSummary {
 		return summary.Values[i].Value < summary.Values[j].Value
 	})
 	return summary
+}
+
+// ExtendDigest returns the digest d — built with Summarize over rows
+// [0, oldN) of the view — brought forward to cover [0, newN) after an
+// append, by coding and counting only the newN-oldN delta rows instead
+// of rescanning everything. The view's coding is reused as-is: delta
+// cells of numeric attributes fall into the bins frozen at view
+// construction (values outside the original domain clamp to the edge
+// bins, exactly as Column.Code does), so the result is what Summarize
+// would produce if the view's binning were held fixed. Cells that code
+// outside the view's label range (the NaN path of a numeric column) are
+// skipped. d is not modified; attribute selection (queriable-only or
+// not) is inherited from d.
+func ExtendDigest(v *dataview.View, d *Digest, oldN, newN int) *Digest {
+	cols := make([]*dataview.Column, len(d.Attrs))
+	for i := range d.Attrs {
+		col, err := v.Column(d.Attrs[i].Attr)
+		if err != nil {
+			cols[i] = nil
+			continue
+		}
+		cols[i] = col
+	}
+	summaries := make([]AttrSummary, len(d.Attrs))
+	parallel.Do(len(d.Attrs), func(i int) {
+		old := &d.Attrs[i]
+		col := cols[i]
+		if col == nil || oldN >= newN {
+			summaries[i] = AttrSummary{Attr: old.Attr, Values: append([]ValueCount(nil), old.Values...)}
+			return
+		}
+		card := col.Cardinality()
+		delta := make([]int, card)
+		for r := oldN; r < newN; r++ {
+			if code := col.Code(r); code >= 0 && code < card {
+				delta[code]++
+			}
+		}
+		counts := make([]int, card)
+		for _, vc := range old.Values {
+			if code := col.CodeOf(vc.Value); code >= 0 {
+				counts[code] = vc.Count
+			}
+		}
+		summary := AttrSummary{Attr: old.Attr}
+		for code := 0; code < card; code++ {
+			if c := counts[code] + delta[code]; c > 0 {
+				summary.Values = append(summary.Values, ValueCount{Value: col.Label(code), Count: c})
+			}
+		}
+		sort.Slice(summary.Values, func(a, b int) bool {
+			if summary.Values[a].Count != summary.Values[b].Count {
+				return summary.Values[a].Count > summary.Values[b].Count
+			}
+			return summary.Values[a].Value < summary.Values[b].Value
+		})
+		summaries[i] = summary
+	})
+	return &Digest{Attrs: summaries}
 }
 
 // DigestSimilarity compares two digests: for each attribute present in
@@ -219,9 +282,13 @@ type Session struct {
 	rowsBM   *dataset.Bitmap // nil = stale
 }
 
-// NewSession starts a session over the given base result set.
+// NewSession starts a session over the given base result set. The
+// session's universe is the view's row snapshot — not the live table row
+// count, which may already have grown past the view under concurrent
+// ingest — so every bitmap the session caches stays compatible with the
+// view's posting sets. base must lie within that snapshot.
 func NewSession(v *dataview.View, base dataset.RowSet) *Session {
-	n := v.Table().NumRows()
+	n := v.Rows()
 	var bm *dataset.Bitmap
 	if base.IsAllRows(n) {
 		// Exactly {0..n-1}: skip the per-row packing. Length alone does

@@ -1,6 +1,8 @@
 package facet
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"dbexplorer/internal/core"
@@ -289,5 +291,64 @@ func TestTPFacetBuildCADView(t *testing.T) {
 	}
 	if total != 3 {
 		t.Errorf("filtered CAD view covers %d tuples, want 3", total)
+	}
+}
+
+// TestExtendDigestMatchesDeltaRecount pins the incremental digest
+// contract: extending a digest over appended rows — counting only the
+// delta under the view's pinned discretization — must equal a
+// brute-force recount of every row. Dictionary values that only exist
+// in the appended tail (codes past the view's snapshot cardinality) are
+// invisible by design: they belong to the refreshed view, not to the
+// stale-served one.
+func TestExtendDigestMatchesDeltaRecount(t *testing.T) {
+	v, base := testView(t)
+	tbl := v.Table()
+	oldN := v.Rows()
+	d0 := NewSession(v, base).Digest()
+
+	err := tbl.AppendBatch([][]any{
+		{"Ford", "V6", 21000.0},
+		{"Tesla", "EV", 55000.0}, // new dictionary values: invisible to the pinned view
+		{"Jeep", "V8", math.NaN()},
+		{"Chevrolet", "V4", 15500.0},
+	})
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	newN := tbl.NumRows()
+	got := ExtendDigest(v, d0, oldN, newN)
+
+	for _, s := range got.Attrs {
+		col, err := v.Column(s.Attr)
+		if err != nil {
+			t.Fatalf("column %q: %v", s.Attr, err)
+		}
+		card := col.Cardinality()
+		want := make(map[string]int)
+		for r := 0; r < newN; r++ {
+			if code := col.Code(r); code >= 0 && code < card {
+				want[col.Label(code)]++
+			}
+		}
+		gotCounts := make(map[string]int)
+		for _, vc := range s.Values {
+			gotCounts[vc.Value] = vc.Count
+		}
+		if !reflect.DeepEqual(gotCounts, want) {
+			t.Fatalf("%s: extended digest %v, recount %v", s.Attr, gotCounts, want)
+		}
+		for i := 1; i < len(s.Values); i++ {
+			a, b := s.Values[i-1], s.Values[i]
+			if a.Count < b.Count || (a.Count == b.Count && a.Value > b.Value) {
+				t.Fatalf("%s: extended digest not sorted: %v before %v", s.Attr, a, b)
+			}
+		}
+	}
+
+	// The original digest is untouched and a no-op extension copies it.
+	same := ExtendDigest(v, d0, oldN, oldN)
+	if !reflect.DeepEqual(same, d0) {
+		t.Fatal("zero-delta extension must copy the digest unchanged")
 	}
 }

@@ -35,6 +35,13 @@ const (
 	// PointIndexNum fires inside dataset.Index before a numeric
 	// sorted-order build (no error return path: panic/slow rules only).
 	PointIndexNum Point = "dataset.Index.numOrder"
+	// PointIndexExtend fires inside dataset.Index.extend before a stale
+	// index is incrementally carried over to a new row snapshot after
+	// appends (no error return path: panic/slow rules only).
+	PointIndexExtend Point = "dataset.Index.extend"
+	// PointIngest fires at the top of httpapi's ingest handler, after the
+	// batch is parsed and before any row is appended.
+	PointIngest Point = "httpapi.ingest"
 	// PointViewPostings fires inside dataview.Column.Postings before the
 	// view-level posting-set build (no error return path).
 	PointViewPostings Point = "dataview.Column.Postings"

@@ -54,12 +54,20 @@ func G3(v *dataview.View, rows dataset.RowSet, x, y string) (float64, error) {
 		return 0, fmt.Errorf("fd: empty row set")
 	}
 	counts := make([][]int, cx.Cardinality())
+	labeled := 0
 	for _, r := range rows {
-		xc := cx.Code(r)
+		xc, yc := cx.Code(r), cy.Code(r)
+		if xc < 0 || yc < 0 {
+			continue // NaN cells join no (X, Y) group and cannot violate
+		}
+		labeled++
 		if counts[xc] == nil {
 			counts[xc] = make([]int, cy.Cardinality())
 		}
-		counts[xc][cy.Code(r)]++
+		counts[xc][yc]++
+	}
+	if labeled == 0 {
+		return 0, nil
 	}
 	kept := 0
 	for _, row := range counts {
@@ -71,7 +79,7 @@ func G3(v *dataview.View, rows dataset.RowSet, x, y string) (float64, error) {
 		}
 		kept += best
 	}
-	return 1 - float64(kept)/float64(len(rows)), nil
+	return 1 - float64(kept)/float64(labeled), nil
 }
 
 // Options configures discovery.
@@ -126,7 +134,9 @@ func Discover(v *dataview.View, rows dataset.RowSet, attrs []string, opt Options
 		}
 		seen := map[int]bool{}
 		for _, r := range rows {
-			seen[col.Code(r)] = true
+			if c := col.Code(r); c >= 0 { // NaN cells are no live value
+				seen[c] = true
+			}
 		}
 		liveCard[a] = len(seen)
 	}
@@ -205,7 +215,11 @@ func Correlations(v *dataview.View, rows dataset.RowSet, attrs []string, signifi
 		for j := i + 1; j < len(attrs); j++ {
 			ct := stats.NewContingencyTable(cols[i].Cardinality(), cols[j].Cardinality())
 			for _, r := range rows {
-				ct.Add(cols[i].Code(r), cols[j].Code(r))
+				ci, cj := cols[i].Code(r), cols[j].Code(r)
+				if ci < 0 || cj < 0 {
+					continue // NaN cells join no contingency cell
+				}
+				ct.Add(ci, cj)
 			}
 			res, err := stats.ChiSquare(ct)
 			if err != nil {

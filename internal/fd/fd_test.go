@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"math"
+
 	"testing"
 
 	"dbexplorer/internal/datagen"
@@ -246,5 +248,57 @@ func TestCorrelationsErrors(t *testing.T) {
 	}
 	if _, err := Correlations(v, rows, []string{"Make", "Nope"}, 0, 0); err == nil {
 		t.Error("unknown attribute: want error")
+	}
+}
+
+// nanCarsView appends rows with a NaN numeric cell (the missing-value
+// code -1) to the fixture, reproducing a live-ingested table with null
+// cells. Discovery over numeric attributes must skip those cells, not
+// index by -1.
+func nanCarsView(t *testing.T, n int) (*dataview.View, dataset.RowSet) {
+	t.Helper()
+	tbl := datagen.UsedCars(n, 1)
+	row := make([]any, len(tbl.Schema()))
+	for i, a := range tbl.Schema() {
+		if a.Kind == dataset.Categorical {
+			row[i] = tbl.Cat(i).Value(0)
+		} else {
+			row[i] = math.NaN()
+		}
+	}
+	for i := 0; i < 5; i++ {
+		tbl.MustAppendRow(row...)
+	}
+	v, err := dataview.New(tbl, dataview.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, dataset.AllRows(tbl.NumRows())
+}
+
+// TestDiscoverSkipsNaNCells pins the ingest regression: G3, Discover,
+// and Correlations over a table with NaN numeric cells must not panic
+// (codes are -1) and must score as if the NaN rows were absent.
+func TestDiscoverSkipsNaNCells(t *testing.T) {
+	v, rows := nanCarsView(t, 1000)
+	attrs := []string{"Make", "Model", "Price", "Year"}
+	if _, err := Discover(v, rows, attrs, Options{}); err != nil {
+		t.Fatalf("Discover over NaN cells: %v", err)
+	}
+	if _, err := Correlations(v, rows, attrs, 0, 0); err != nil {
+		t.Fatalf("Correlations over NaN cells: %v", err)
+	}
+	// g3 must match the same dependency computed without the NaN rows.
+	withNaN, err := G3(v, rows, "Price", "Make")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := rows[:1000]
+	without, err := G3(v, clean, "Price", "Make")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withNaN != without {
+		t.Errorf("g3 with NaN rows = %g, without = %g; NaN cells must not count", withNaN, without)
 	}
 }

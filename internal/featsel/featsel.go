@@ -53,6 +53,13 @@ func classCodes(v *dataview.View, rows dataset.RowSet, classAttr string) ([]int,
 	codes := make([]int, len(rows))
 	for i, r := range rows {
 		c := cc.Code(r)
+		if c < 0 {
+			// NaN class cells belong to no class: the bitmap fill path
+			// derives classes from postings, which never contain NaN
+			// rows. Mark the row classless; consumers skip it.
+			codes[i] = -1
+			continue
+		}
 		if remap[c] < 0 {
 			remap[c] = next
 			next++
@@ -115,8 +122,15 @@ func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.R
 				}
 			}
 			c := cls[i]
+			if c < 0 {
+				continue // classless (NaN) row
+			}
 			for j := range codes {
-				tables[j].Add(int(codes[j].at(r)), c)
+				// Negative candidate codes are NaN cells; the bitmap fill
+				// path's postings never contain those rows.
+				if v := int(codes[j].at(r)); v >= 0 {
+					tables[j].Add(v, c)
+				}
 			}
 		}
 		return tables, nil
@@ -139,8 +153,13 @@ func fillTablesScan(ctx context.Context, cols []*dataview.Column, rows dataset.R
 			}
 			r := rows[i]
 			c := cls[i]
+			if c < 0 {
+				continue // classless (NaN) row
+			}
 			for j := range codes {
-				local[j].Add(int(codes[j].at(r)), c)
+				if v := int(codes[j].at(r)); v >= 0 {
+					local[j].Add(v, c)
+				}
 			}
 		}
 		mu.Lock()
@@ -308,7 +327,11 @@ func fillTablesBitmap(ctx context.Context, v *dataview.View, cols []*dataview.Co
 		rows := bm.ToRowSet()
 		cls := make([]int, len(rows))
 		for i, r := range rows {
-			cls[i] = remap[cc.Code(r)]
+			if c := cc.Code(r); c >= 0 {
+				cls[i] = remap[c]
+			} else {
+				cls[i] = -1 // classless (NaN) row; the scan fill skips it
+			}
 		}
 		scanTables, err := fillTablesScan(ctx, scanCols, rows, cls, nClasses)
 		if err != nil {
@@ -534,6 +557,22 @@ func ReliefF(v *dataview.View, rows dataset.RowSet, classAttr string, candidates
 	if err != nil {
 		return nil, err
 	}
+	// Classless (NaN) rows carry no supervision signal; drop them so the
+	// sampling and neighbor search below see only labeled rows.
+	if hasNegative(cls) {
+		kept := rows[:0:0]
+		keptCls := cls[:0:0]
+		for i, c := range cls {
+			if c >= 0 {
+				kept = append(kept, rows[i])
+				keptCls = append(keptCls, c)
+			}
+		}
+		rows, cls = kept, keptCls
+		if len(rows) < 2 {
+			return nil, fmt.Errorf("featsel: ReliefF needs at least 2 labeled rows, got %d", len(rows))
+		}
+	}
 	// Pre-extract codes: codes[i][a] for row index i, attribute a.
 	codes := make([][]int, len(rows))
 	for i, r := range rows {
@@ -618,6 +657,16 @@ func ReliefF(v *dataview.View, rows dataset.RowSet, classAttr string, candidates
 	}
 	sortScores(out)
 	return out, nil
+}
+
+// hasNegative reports whether any class code is negative (a NaN cell).
+func hasNegative(cls []int) bool {
+	for _, c := range cls {
+		if c < 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func sortScores(s []Score) {

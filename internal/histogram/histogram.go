@@ -66,16 +66,27 @@ func Build(values []float64, bins int, method Method) (*Histogram, error) {
 	return BuildSorted(sorted, bins, method)
 }
 
-// BuildSorted is Build for values already in ascending order. It skips
-// the defensive copy-and-sort — the dominant cost of binning a large
-// column — so callers that keep a sorted copy around (dataset.NumColumn
-// memoizes one) bin in linear time. sorted is not modified.
+// BuildSorted is Build for values already in ascending order (NaNs
+// first, the sort.Float64s order). It skips the defensive copy-and-sort
+// — the dominant cost of binning a large column — so callers that keep a
+// sorted copy around (dataset.NumColumn memoizes one) bin in linear
+// time. sorted is not modified.
+//
+// NaN cells belong to no bucket (Bin codes them -1), so the buckets are
+// constructed over the finite suffix only. An all-NaN column degenerates
+// to a single empty bucket with NaN edges.
 func BuildSorted(sorted []float64, bins int, method Method) (*Histogram, error) {
 	if bins < 1 {
 		return nil, fmt.Errorf("histogram: bins must be >= 1, got %d", bins)
 	}
 	if len(sorted) == 0 {
 		return nil, fmt.Errorf("histogram: no values")
+	}
+	for len(sorted) > 0 && math.IsNaN(sorted[0]) {
+		sorted = sorted[1:]
+	}
+	if len(sorted) == 0 {
+		return &Histogram{Edges: []float64{math.NaN(), math.NaN()}, Counts: []int{0}}, nil
 	}
 	var h *Histogram
 	switch method {
@@ -96,9 +107,16 @@ func BuildSorted(sorted []float64, bins int, method Method) (*Histogram, error) 
 func (h *Histogram) NumBins() int { return len(h.Edges) - 1 }
 
 // Bin returns the bucket index for v, clamping values outside the
-// constructed domain to the first or last bucket.
+// constructed domain to the first or last bucket. NaN belongs to no
+// bucket and codes -1 (the dataset-wide negative NaN-code convention:
+// posting builders and digest counters skip negative codes). A
+// histogram degenerated to NaN edges (all-NaN construction input) has
+// no real domain, so every lookup codes -1.
 func (h *Histogram) Bin(v float64) int {
 	n := h.NumBins()
+	if math.IsNaN(v) || math.IsNaN(h.Edges[0]) {
+		return -1
+	}
 	if v < h.Edges[0] {
 		return 0
 	}

@@ -132,6 +132,93 @@ func TestBinClamping(t *testing.T) {
 	}
 }
 
+// TestBinNaN pins the dataset-wide negative NaN-code convention: NaN
+// values belong to no bucket and must code -1 (posting builders and
+// digest counters skip negative codes), never an in-range or
+// out-of-range bucket index.
+func TestBinNaN(t *testing.T) {
+	h, err := Build([]float64{0, 10}, 2, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Bin(math.NaN()); got != -1 {
+		t.Errorf("Bin(NaN) = %d, want -1", got)
+	}
+}
+
+// TestBuildSortedAllNaN checks the all-NaN degenerate histogram: one
+// empty bucket with NaN edges, and every lookup — NaN or finite —
+// codes -1 because the histogram has no real domain.
+func TestBuildSortedAllNaN(t *testing.T) {
+	nan := math.NaN()
+	h, err := BuildSorted([]float64{nan, nan, nan}, 4, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() != 1 || h.Counts[0] != 0 {
+		t.Fatalf("all-NaN histogram = %d bins, counts %v; want 1 empty bucket", h.NumBins(), h.Counts)
+	}
+	if !math.IsNaN(h.Edges[0]) || !math.IsNaN(h.Edges[1]) {
+		t.Fatalf("all-NaN histogram edges = %v, want NaN edges", h.Edges)
+	}
+	for _, v := range []float64{nan, 0, 42} {
+		if got := h.Bin(v); got != -1 {
+			t.Errorf("all-NaN histogram Bin(%v) = %d, want -1", v, got)
+		}
+	}
+}
+
+// TestBuildSortedStripsNaN checks that buckets are constructed over the
+// finite suffix only: NaN cells contribute to no bucket count.
+func TestBuildSortedStripsNaN(t *testing.T) {
+	for _, m := range []Method{EquiWidth, EquiDepth, VOptimal} {
+		sorted := []float64{math.NaN(), math.NaN(), 1, 2, 3, 4}
+		h, err := BuildSorted(sorted, 2, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != 4 {
+			t.Errorf("%v: counts sum to %d, want 4 (NaNs excluded)", m, total)
+		}
+		if h.Edges[0] != 1 || h.Edges[len(h.Edges)-1] != 4 {
+			t.Errorf("%v: edges = %v, want domain [1, 4]", m, h.Edges)
+		}
+	}
+}
+
+// TestBuildCodedSegsNaN checks the segment coder under the same
+// convention: NaN cells code -1 and are excluded from bucket counts,
+// finite cells code identically to Bin.
+func TestBuildCodedSegsNaN(t *testing.T) {
+	segs := [][]float64{{1, math.NaN(), 3}, {math.NaN(), 2}}
+	h, codes, err := BuildCodedSegs(segs, 2, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("counts sum to %d, want 3 (NaNs excluded)", total)
+	}
+	for s, seg := range segs {
+		for i, v := range seg {
+			want := int32(h.Bin(v))
+			if math.IsNaN(v) {
+				want = -1
+			}
+			if codes[s][i] != want {
+				t.Errorf("seg %d[%d] (v=%v) coded %d, want %d", s, i, v, codes[s][i], want)
+			}
+		}
+	}
+}
+
 func TestVOptimalBeatsEquiWidthOnClusters(t *testing.T) {
 	// Two tight clusters far apart: V-optimal should place a boundary
 	// between them and achieve (near) zero SSE with 2 buckets.

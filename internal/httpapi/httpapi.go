@@ -37,9 +37,11 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbexplorer/internal/core"
@@ -57,6 +59,7 @@ import (
 const (
 	DefaultCacheSize      = 128
 	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxIngestBatch = 100000
 )
 
 // Server serves one or more registered datasets. CAD Views built through
@@ -72,20 +75,26 @@ type Server struct {
 	cache         *viewcache.Cache[*builtView]
 	cads          *viewcache.Cache[*storedCAD]
 
-	flightMu sync.Mutex
-	flights  map[viewcache.Key]*flight
+	flightMu   sync.Mutex
+	flights    map[viewcache.Key]*flight
+	refreshing map[viewcache.Key]bool
 
-	reg         *metrics.Registry
-	inflight    *metrics.Gauge
-	errCount    *metrics.Counter
-	rejected    *metrics.Counter
-	panics      *metrics.Counter
-	staleServed *metrics.Counter
-	cacheHits   *metrics.Counter
-	cacheMiss   *metrics.Counter
-	coalesced   *metrics.Counter
-	buildTotal  *metrics.Histogram
-	selectivity *metrics.Histogram
+	maxIngest    int
+	maxIngestSet bool
+
+	reg          *metrics.Registry
+	inflight     *metrics.Gauge
+	errCount     *metrics.Counter
+	rejected     *metrics.Counter
+	panics       *metrics.Counter
+	staleServed  *metrics.Counter
+	cacheHits    *metrics.Counter
+	cacheMiss    *metrics.Counter
+	coalesced    *metrics.Counter
+	ingestRows   *metrics.Counter
+	staleRefresh *metrics.Counter
+	buildTotal   *metrics.Histogram
+	selectivity  *metrics.Histogram
 
 	mu       sync.RWMutex
 	datasets map[string]*datasetEntry
@@ -97,24 +106,63 @@ type Server struct {
 // row set, and lazily-built suggestion service. Re-registering a
 // dataset replaces the whole entry, so the suggester (and its mined
 // model) can never outlive the data it was built from.
+//
+// The view is a pinned row/epoch snapshot of the table. Ingest appends
+// rows to the table immediately but refreshes the serving view in the
+// background (refreshEntry), so readers stay lock-free on a consistent
+// snapshot and see the new rows as soon as the rebuilt view swaps in.
 type datasetEntry struct {
 	name string
-	view *dataview.View
-	base dataset.RowSet
+
+	// viewMu guards the (view, base) pair; snapshot() is the only read
+	// path so handlers always see a matched pair.
+	viewMu sync.RWMutex
+	view   *dataview.View
+	base   dataset.RowSet
+
+	// ingestMu serializes appends + digest maintenance per dataset.
+	ingestMu sync.Mutex
+	// refreshing is the singleflight latch for the background view
+	// rebuild after ingest.
+	refreshing atomic.Bool
+
+	// digMu guards the incrementally-maintained base digest: the full
+	// unfiltered facet digest under digView's discretization, covering
+	// digRows rows. Ingest extends it by counting only the delta
+	// (facet.ExtendDigest); a view refresh drops it.
+	digMu   sync.Mutex
+	baseDig *facet.Digest
+	digView *dataview.View
+	digRows int
 
 	// sugMu guards the lazy suggester build; concurrent first requests
-	// coalesce on the mutex instead of mining the model twice.
-	sugMu sync.Mutex
-	sug   *suggest.Suggester
+	// coalesce on the mutex instead of mining the model twice. sugView
+	// records which view snapshot the model was mined from, so an
+	// ingest-refreshed view invalidates the cached model.
+	sugMu   sync.Mutex
+	sug     *suggest.Suggester
+	sugView *dataview.View
+}
+
+// snapshot returns the entry's current serving view and its matching
+// base row set.
+func (e *datasetEntry) snapshot() (*dataview.View, dataset.RowSet) {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	return e.view, e.base
 }
 
 // builtView is one cached CAD View build: the view, its stage timings,
-// and the base text rendering (Render ignores the per-request name, so
-// the text is shared verbatim across cache hits).
+// the base text rendering (Render ignores the per-request name, so the
+// text is shared verbatim across cache hits), and the row/epoch
+// snapshot it was built from, so cache hits can report how many rows
+// have been appended since.
 type builtView struct {
-	view *core.CADView
-	tm   core.Timings
-	text string
+	view  *core.CADView
+	tm    core.Timings
+	text  string
+	epoch uint64
+	rows  int
 }
 
 // storedCAD is one interactive CAD View held under an id for
@@ -160,6 +208,13 @@ func WithMaxConcurrent(n int) Option {
 	return func(s *Server) { s.gate = parallel.NewGate(n) }
 }
 
+// WithMaxIngestBatch bounds how many rows one ingest request may carry
+// (default DefaultMaxIngestBatch; n <= 0 removes the bound). Oversized
+// batches are rejected before any row is appended.
+func WithMaxIngestBatch(n int) Option {
+	return func(s *Server) { s.maxIngest, s.maxIngestSet = n, true }
+}
+
 // WithQueueDepth bounds how many requests may wait behind a full
 // admission gate before the server sheds load — 503 with Retry-After,
 // or a degraded cache hit where one exists (see the cad route). The
@@ -174,10 +229,11 @@ func WithQueueDepth(n int) Option {
 // a parallel.Workers()-wide admission gate.
 func NewServer(opts ...Option) *Server {
 	s := &Server{
-		timeout:  DefaultRequestTimeout,
-		datasets: make(map[string]*datasetEntry),
-		flights:  make(map[viewcache.Key]*flight),
-		reg:      metrics.NewRegistry(),
+		timeout:    DefaultRequestTimeout,
+		datasets:   make(map[string]*datasetEntry),
+		flights:    make(map[viewcache.Key]*flight),
+		refreshing: make(map[viewcache.Key]bool),
+		reg:        metrics.NewRegistry(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -190,6 +246,9 @@ func NewServer(opts ...Option) *Server {
 	}
 	if !s.queueDepthSet {
 		s.queueDepth = 4 * s.gate.Capacity()
+	}
+	if !s.maxIngestSet {
+		s.maxIngest = DefaultMaxIngestBatch
 	}
 	s.gate.SetQueueDepth(s.queueDepth)
 	// Interactive views outlive the build cache: highlight/reorder ids
@@ -208,6 +267,8 @@ func NewServer(opts ...Option) *Server {
 	s.cacheHits = s.reg.Counter("cad_cache_hits")
 	s.cacheMiss = s.reg.Counter("cad_cache_misses")
 	s.coalesced = s.reg.Counter("cad_build_coalesced")
+	s.ingestRows = s.reg.Counter("ingest_rows_total")
+	s.staleRefresh = s.reg.Counter("cad_stale_refreshes_total")
 	s.buildTotal = s.reg.Histogram("build_total_seconds", metrics.DefBuckets())
 	s.selectivity = s.reg.Histogram("query_selectivity", []float64{
 		0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1,
@@ -229,6 +290,9 @@ func (s *Server) observeSelectivity(kept, base int) {
 	cat, ord := dataset.IndexStats()
 	s.reg.Gauge("index_cat_posting_builds").Set(cat)
 	s.reg.Gauge("index_num_order_builds").Set(ord)
+	catX, ordX := dataset.IndexExtendStats()
+	s.reg.Gauge("index_cat_posting_extends").Set(catX)
+	s.reg.Gauge("index_num_order_extends").Set(ordX)
 	s.reg.Gauge("view_posting_builds").Set(dataview.PostingStats())
 	s.reg.Gauge("index_posting_memory_bytes").Set(s.postingMemoryBytes())
 }
@@ -245,7 +309,8 @@ func (s *Server) postingMemoryBytes() int64 {
 	s.mu.Unlock()
 	total := int64(0)
 	for _, e := range entries {
-		total += int64(e.view.Table().Index().MemoryBytes())
+		v, _ := e.snapshot()
+		total += int64(v.Table().Index().MemoryBytes())
 	}
 	return total
 }
@@ -271,7 +336,7 @@ func (s *Server) Register(name string, v *dataview.View) error {
 	e := &datasetEntry{
 		name: name,
 		view: v,
-		base: dataset.AllRows(v.Table().NumRows()),
+		base: dataset.AllRows(v.Rows()),
 	}
 	s.mu.Lock()
 	if _, exists := s.datasets[name]; !exists {
@@ -321,6 +386,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/{dataset}/highlight", s.api("highlight", s.handleHighlight))
 	mux.HandleFunc("POST /api/v1/{dataset}/reorder", s.api("reorder", s.handleReorder))
 	mux.HandleFunc("POST /api/v1/{dataset}/suggest", s.api("suggest", s.handleSuggest))
+	mux.HandleFunc("POST /api/v1/{dataset}/ingest", s.api("ingest", s.handleIngest))
 
 	// Deprecated unversioned aliases: same handlers, default dataset,
 	// plus Deprecation/Sunset headers and a counter (see docs/API.md for
@@ -412,6 +478,7 @@ func (s *Server) apiDegraded(route string, h handlerFunc, shed shedFunc) http.Ha
 			// gate Release runs before this recover, so no slot leaks.
 			defer func() {
 				if v := recover(); v != nil {
+					fmt.Printf("PANIC: %v\n%s\n", v, debugStack())
 					s.panics.Inc()
 					aerr = errInternal()
 				}
@@ -466,10 +533,12 @@ func canonicalFilters(filters []Filter) []Filter {
 	return out
 }
 
-// session builds a facet session over the dataset with the request's
-// filters applied.
-func (e *datasetEntry) session(filters []Filter) (*facet.Session, error) {
-	sess := facet.NewSession(e.view, e.base)
+// buildSession builds a facet session over one view snapshot with the
+// request's filters applied. Callers pass a matched (view, base) pair
+// from datasetEntry.snapshot so the whole request runs on one snapshot
+// even if an ingest refresh swaps the entry's view mid-flight.
+func buildSession(v *dataview.View, base dataset.RowSet, filters []Filter) (*facet.Session, error) {
+	sess := facet.NewSession(v, base)
 	for _, f := range filters {
 		for _, val := range f.Values {
 			if err := sess.Select(f.Attr, val); err != nil {
@@ -491,10 +560,11 @@ func (s *Server) handleDatasets(_ context.Context, _ *datasetEntry, w http.Respo
 	out := make([]info, 0, len(s.order))
 	for i, name := range s.order {
 		e := s.datasets[name]
+		v, _ := e.snapshot()
 		out = append(out, info{
 			Name:    name,
-			Table:   e.view.Table().Name(),
-			Rows:    e.view.Table().NumRows(),
+			Table:   v.Table().Name(),
+			Rows:    v.Table().NumRows(),
 			Default: i == 0,
 		})
 	}
@@ -512,9 +582,10 @@ type schemaAttr struct {
 }
 
 func (s *Server) handleSchema(_ context.Context, ds *datasetEntry, w http.ResponseWriter, _ *http.Request) *apiError {
-	schema := ds.view.Table().Schema()
+	v, _ := ds.snapshot()
+	schema := v.Table().Schema()
 	out := make([]schemaAttr, 0, len(schema))
-	for _, col := range ds.view.Columns() {
+	for _, col := range v.Columns() {
 		a := schemaAttr{
 			Name:      col.Attr,
 			Kind:      schema[col.Col].Kind.String(),
@@ -527,8 +598,8 @@ func (s *Server) handleSchema(_ context.Context, ds *datasetEntry, w http.Respon
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": ds.name,
-		"table":   ds.view.Table().Name(),
-		"rows":    ds.view.Table().NumRows(),
+		"table":   v.Table().Name(),
+		"rows":    v.Table().NumRows(),
 		"attrs":   out,
 	})
 	return nil
@@ -566,18 +637,19 @@ func (s *Server) handleQuery(_ context.Context, ds *datasetEntry, w http.Respons
 	if limit > MaxPageLimit {
 		limit = MaxPageLimit
 	}
-	sess, err := ds.session(req.Filters)
+	v, base := ds.snapshot()
+	sess, err := buildSession(v, base, req.Filters)
 	if err != nil {
 		return errBadRequest(err)
 	}
 	page, total := sess.Page(req.Offset, limit)
-	s.observeSelectivity(total, len(ds.base))
+	s.observeSelectivity(total, len(base))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":  total,
 		"total":  total,
 		"offset": req.Offset,
 		"limit":  limit,
-		"rows":   renderRows(ds.view.Table(), page),
+		"rows":   renderRows(v.Table(), page),
 		"digest": sess.Digest(),
 		"panel":  sess.PanelDigest(),
 		"phase":  (&facet.TPFacet{Session: sess}).SuggestPhase(0).String(),
@@ -660,14 +732,31 @@ func (s *Server) handleCAD(ctx context.Context, ds *datasetEntry, w http.Respons
 	// own id without mutating the shared struct.
 	out := *bv.view
 	out.Name = id
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"id":      id,
 		"view":    &out,
 		"text":    bv.text,
 		"cached":  cached,
 		"buildMs": float64(bv.tm.Total().Microseconds()) / 1e3,
 		"timings": timingsJSON(bv.tm),
-	})
+	}
+	// Epoch-aware stale serve: a cache hit built before rows were
+	// appended still answers immediately, flagged with how many rows it
+	// is missing, while a singleflight background rebuild refreshes the
+	// entry (see DESIGN.md §15 for the contract).
+	if cached {
+		v, _ := ds.snapshot()
+		if t := v.Table(); t.Epoch() != bv.epoch {
+			stale := t.NumRows() - bv.rows
+			if stale < 0 {
+				stale = 0
+			}
+			resp["stale"] = stale
+			s.staleServed.Inc()
+			s.refreshCAD(ds, key, &req)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -789,13 +878,14 @@ func (s *Server) coldBuild(ctx context.Context, ds *datasetEntry, req *cadReques
 	if err := fault.Hit(ctx, fault.PointViewcacheFill); err != nil {
 		return nil, err
 	}
-	sess, err := ds.session(req.Filters)
+	v, base := ds.snapshot()
+	sess, err := buildSession(v, base, req.Filters)
 	if err != nil {
 		return nil, err
 	}
 	rows := sess.Rows()
-	s.observeSelectivity(len(rows), len(ds.base))
-	view, tm, err := core.BuildContext(ctx, ds.view, rows, core.Config{
+	s.observeSelectivity(len(rows), len(base))
+	view, tm, err := core.BuildContext(ctx, v, rows, core.Config{
 		Pivot:        req.Pivot,
 		PivotValues:  req.PivotValues,
 		CompareAttrs: req.CompareAttrs,
@@ -812,7 +902,13 @@ func (s *Server) coldBuild(ctx context.Context, ds *datasetEntry, req *cadReques
 		s.reg.Histogram("build_"+st.Name+"_seconds", metrics.DefBuckets()).ObserveDuration(st.D)
 	}
 	s.buildTotal.ObserveDuration(tm.Total())
-	return &builtView{view: view, tm: tm, text: core.Render(view, nil)}, nil
+	return &builtView{
+		view:  view,
+		tm:    tm,
+		text:  core.Render(view, nil),
+		epoch: v.Epoch(),
+		rows:  v.Rows(),
+	}, nil
 }
 
 // storeCAD registers an interactive view under a fresh id.
@@ -909,3 +1005,5 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
+
+func debugStack() []byte { return debug.Stack() }

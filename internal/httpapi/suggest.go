@@ -25,28 +25,36 @@ type suggestRequest struct {
 // suggesterFor returns the dataset's suggestion service, building and
 // caching it (with its mined FD/Bayes-net model) on first use. A failed
 // model build degrades to a selectivity-only suggester that is NOT
-// cached, so the next request retries the mining — and because Register
-// replaces the whole datasetEntry, a re-registered dataset always gets
-// a fresh model rather than serving a stale one.
+// cached, so the next request retries the mining. The cached model is
+// keyed to the view snapshot it was mined from: Register replaces the
+// whole datasetEntry, and an ingest-refreshed view invalidates the
+// cached suggester here, so a mined model never outlives the rows (or
+// discretization) it was built from.
 func (s *Server) suggesterFor(ctx context.Context, e *datasetEntry) (*suggest.Suggester, *apiError) {
+	v, _ := e.snapshot()
 	e.sugMu.Lock()
 	defer e.sugMu.Unlock()
-	if e.sug != nil {
+	if e.sug != nil && e.sugView == v {
 		return e.sug, nil
 	}
+	if e.sug != nil {
+		s.reg.Counter("suggest_model_invalidations_total").Inc()
+		e.sug, e.sugView = nil, nil
+	}
 	start := time.Now()
-	m, err := suggest.BuildModel(ctx, e.view)
+	m, err := suggest.BuildModel(ctx, v)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, errFromBuild(ctxErr)
 		}
 		s.reg.Counter("suggest_model_failures_total").Inc()
-		return suggest.New(e.view, nil), nil
+		return suggest.New(v, nil), nil
 	}
 	s.reg.Counter("suggest_model_builds_total").Inc()
 	s.reg.Histogram("suggest_model_build_seconds", metrics.DefBuckets()).
 		ObserveDuration(time.Since(start))
-	e.sug = suggest.New(e.view, m)
+	e.sug = suggest.New(v, m)
+	e.sugView = v
 	return e.sug, nil
 }
 

@@ -342,7 +342,7 @@ func otherMakeOf(t *testing.T, s *Suggester, model string) string {
 		}
 	}
 	for code := 0; code < makeCol.Cardinality(); code++ {
-		if mk := makeCol.Dict[code]; !owners[mk] {
+		if mk := makeCol.Dict()[code]; !owners[mk] {
 			return mk
 		}
 	}

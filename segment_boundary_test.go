@@ -23,11 +23,160 @@ import (
 // spilling into a second segment, and exactly two full segments.
 var boundaryRowCounts = []int{40000, dataset.SegmentSize + 1, 2 * dataset.SegmentSize}
 
+// appendBoundaryShapes are (base, final) row counts whose append deltas
+// land one row before, exactly on, and one row past the 64K segment
+// boundary, plus a growth that stays inside one segment and one that
+// opens a full new segment.
+var appendBoundaryShapes = [][2]int{
+	{dataset.SegmentSize - 100, dataset.SegmentSize - 1},
+	{dataset.SegmentSize - 100, dataset.SegmentSize},
+	{dataset.SegmentSize - 100, dataset.SegmentSize + 1},
+	{dataset.SegmentSize + 50, 2 * dataset.SegmentSize},
+	{40000, 41000},
+}
+
 func boundaryZipf(n int) *dataset.Table {
 	return datagen.ZipfTable(fmt.Sprintf("boundary%d", n), n, []datagen.ZipfColumn{
 		{Name: "c0", Card: 50, S: 1.3},
 		{Name: "c1", Card: 40, S: 1.2},
 	}, int64(n))
+}
+
+// tableRows extracts rows [lo, hi) of t in AppendBatch form.
+func tableRows(t *dataset.Table, lo, hi int) [][]any {
+	schema := t.Schema()
+	out := make([][]any, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		row := make([]any, len(schema))
+		for i := range schema {
+			if c := t.Cat(i); c != nil {
+				row[i] = c.Value(r)
+			} else {
+				row[i] = t.Num(i).Value(r)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// warmTableIndex forces every column's posting sets, frequencies, and
+// sorted orders, so a later append exercises the incremental extension
+// path instead of a lazy cold build.
+func warmTableIndex(tbl *dataset.Table) *dataset.Index {
+	ix := tbl.Index()
+	for i := range tbl.Schema() {
+		if tbl.Cat(i) != nil {
+			ix.CatPostings(i)
+			ix.CatFreqs(i)
+		} else {
+			ix.NumCmpRangeLen(i, 0, true, true, false)
+		}
+	}
+	return ix
+}
+
+// TestAppendBoundaryEquivalence grows a table across every awkward
+// segment shape — the append landing one row before, exactly on, and one
+// row past a 64K boundary — with the index warmed before the append so
+// Table.Index extends sealed segments instead of rebuilding, and
+// requires the extended table to be indistinguishable from a reference
+// table built with all rows from the start: identical compiled-predicate
+// row sets, facet digests (both the posting-bitmap session path and the
+// row-scan path), and rendered plus structural CAD Views.
+func TestAppendBoundaryEquivalence(t *testing.T) {
+	for _, shape := range appendBoundaryShapes {
+		n0, n1 := shape[0], shape[1]
+		t.Run(fmt.Sprintf("n=%d+%d", n0, n1-n0), func(t *testing.T) {
+			ref := boundaryZipf(n1)
+			grown := dataset.NewTable(ref.Name(), ref.Schema())
+			if err := grown.AppendBatch(tableRows(ref, 0, n0)); err != nil {
+				t.Fatal(err)
+			}
+			// Warm the base index (and remember the extension counters), so
+			// the post-append Index call must go down the extend path.
+			warmTableIndex(grown)
+			catX0, ordX0 := dataset.IndexExtendStats()
+			if err := grown.AppendBatch(tableRows(ref, n0, n1)); err != nil {
+				t.Fatal(err)
+			}
+			ixG := warmTableIndex(grown)
+			catX1, ordX1 := dataset.IndexExtendStats()
+			if catX1 == catX0 && ordX1 == ordX0 {
+				t.Fatal("append did not exercise the incremental index extension path")
+			}
+			if ixG.Rows() != n1 {
+				t.Fatalf("extended index covers %d rows, want %d", ixG.Rows(), n1)
+			}
+			rows := dataset.AllRows(n1)
+
+			// Compiled predicates over the extended index vs the reference.
+			e := &expr.And{Kids: []expr.Expr{
+				&expr.Cmp{Attr: "c0", Op: expr.Eq, Str: "v0000"},
+				&expr.Cmp{Attr: "score", Op: expr.Le, Num: 500},
+			}}
+			gotC, err := expr.Compile(grown, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRows, err := gotC.Select(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC, err := expr.Compile(ref, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRows, err := wantC.Select(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual([]int(gotRows), []int(wantRows)) {
+				t.Fatalf("compiled Select over the extended index selects %d rows, reference %d", len(gotRows), len(wantRows))
+			}
+
+			// Facet digests: the posting-bitmap session path (which adopts
+			// the extended index's posting sets) and the row-scan path must
+			// both match the reference build.
+			vG, err := dataview.New(grown, dataview.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vR, err := dataview.New(ref, dataview.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sG := facet.NewSession(vG, rows)
+			sR := facet.NewSession(vR, rows)
+			if !reflect.DeepEqual(sG.Digest(), sR.Digest()) {
+				t.Fatal("session digest over the grown table differs from the reference build")
+			}
+			if !reflect.DeepEqual(facet.Summarize(vG, rows, false), facet.Summarize(vR, rows, false)) {
+				t.Fatal("scan digest over the grown table differs from the reference build")
+			}
+
+			// CAD Views: bit-identical structure and rendering.
+			cfg := core.Config{Pivot: "c0", MaxCompare: 2, K: 2, L: 3, Seed: 1}
+			for _, path := range []core.BuildPath{core.PathScan, core.PathBitmap} {
+				run := cfg
+				run.Path = path
+				got, _, err := core.Build(vG, rows, run)
+				if err != nil {
+					t.Fatalf("path %d (grown): %v", path, err)
+				}
+				want, _, err := core.Build(vR, rows, run)
+				if err != nil {
+					t.Fatalf("path %d (reference): %v", path, err)
+				}
+				if core.Render(got, nil) != core.Render(want, nil) {
+					t.Errorf("path %d: rendered CAD View over the grown table differs from the reference", path)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("path %d: CAD View structure over the grown table differs from the reference", path)
+				}
+			}
+		})
+	}
 }
 
 func TestSegmentBoundaryEquivalence(t *testing.T) {
