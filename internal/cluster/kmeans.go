@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"dbexplorer/internal/dataset"
 	"dbexplorer/internal/dataview"
@@ -99,8 +100,60 @@ type Options struct {
 	// to the fitted centers — §6.3 Optimization 1.
 	SampleSize int
 	// Restarts runs the whole fit this many times with different
-	// seedings and keeps the lowest-inertia result (default 1).
+	// seedings and keeps the lowest-inertia result (default 1). The
+	// sparse kernel fans restarts out over the shared worker pool;
+	// winner selection (lowest inertia, earliest restart on ties) is
+	// identical to the sequential loop, so results stay reproducible.
 	Restarts int
+	// Exhaustive forces the sparse kernel onto the unpruned reference
+	// Lloyd loop (full k-way scan per group per iteration, full center
+	// re-accumulation). The default bound-pruned kernel is bit-identical
+	// to it; this knob exists for the equivalence suite and the
+	// before/after benches.
+	Exhaustive bool
+
+	// serialInner runs the fit's data-parallel chunk loops inline on the
+	// calling goroutine. Set by the restart fan-out, which already owns
+	// the worker pool; nesting pool on pool would oversubscribe it.
+	serialInner bool
+}
+
+// StageTimes splits a k-means fit's wall time across the Lloyd phases:
+// k-means++ seeding, assignment passes (including the final full-point
+// pass and inertia sum), center updates, and empty-center reseeding.
+// With restarts the times aggregate every restart's work, not just the
+// winner's.
+type StageTimes struct {
+	Seed   time.Duration `json:"seed"`
+	Assign time.Duration `json:"assign"`
+	Update time.Duration `json:"update"`
+	Reseed time.Duration `json:"reseed"`
+}
+
+// Add accumulates o into s.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Seed += o.Seed
+	s.Assign += o.Assign
+	s.Update += o.Update
+	s.Reseed += o.Reseed
+}
+
+// Stages returns the named phase durations in report order, so EXPLAIN
+// and metrics layers can export the breakdown without knowing the
+// struct's fields (mirroring core.Timings.Stages).
+func (s StageTimes) Stages() []struct {
+	Name string
+	D    time.Duration
+} {
+	return []struct {
+		Name string
+		D    time.Duration
+	}{
+		{"seed", s.Seed},
+		{"assign", s.Assign},
+		{"update", s.Update},
+		{"reseed", s.Reseed},
+	}
 }
 
 // Result is a fitted k-means clustering.
@@ -116,6 +169,9 @@ type Result struct {
 	Inertia float64
 	// Iters is the number of Lloyd iterations executed.
 	Iters int
+	// Stages breaks the fit's wall time into Lloyd phases. Only the
+	// sparse kernel fills it; the dense reference leaves it zero.
+	Stages StageTimes
 }
 
 // Sizes returns the number of points assigned to each center.

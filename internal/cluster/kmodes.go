@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+
+	"dbexplorer/internal/parallel"
 )
 
 // KModesResult is a fitted k-modes clustering over coded rows.
@@ -19,8 +21,34 @@ type KModesResult struct {
 // KModes clusters rows of coded categorical data (codes[i][a] is the code
 // of attribute a for row i) into at most k clusters by Huang's k-modes:
 // Hamming distance with per-attribute modal centers. Provided as an
-// ablation against the one-hot k-means the paper (via Weka) uses.
+// ablation against the one-hot k-means the paper (via Weka) uses. With
+// Restarts > 1 the restarts fan out concurrently with per-restart rng
+// streams (same seed derivation as KMeans) and the winner — lowest
+// cost, earliest restart on ties — matches what a sequential loop with
+// a strict < comparison would keep.
 func KModes(codes [][]int, cards []int, k int, opt Options) (*KModesResult, error) {
+	if opt.Restarts > 1 {
+		restarts := opt.Restarts
+		opt.Restarts = 1
+		results := make([]*KModesResult, restarts)
+		err := parallel.DoErr(restarts, func(r int) error {
+			run := opt
+			run.Seed = opt.Seed + int64(r)*1_000_003
+			res, rerr := KModes(codes, cards, k, run)
+			results[r] = res
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := results[0]
+		for _, res := range results[1:] {
+			if res.Cost < best.Cost {
+				best = res
+			}
+		}
+		return best, nil
+	}
 	n := len(codes)
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no rows")

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dbexplorer/internal/datagen"
+	"dbexplorer/internal/dataset"
+	"dbexplorer/internal/dataview"
+)
+
+// The pruned kernel (Hamerly/Elkan bounds + delta center updates +
+// cached reseed distances) must be bit-identical to the exhaustive
+// sparse path and to KMeansDense: pruning skips work only when the
+// squared-distance gap provably exceeds the assignment epsilon, so every
+// decision — and therefore every center, reseed draw, and iteration
+// count — is unchanged. These tests pin that across random shapes,
+// sampled fits, empty-cluster reseeds, segment-boundary sizes, and
+// concurrent restarts.
+
+// synthPoints builds matching dense/sparse encodings of n random
+// categorical rows with the given attribute cardinalities.
+func synthPoints(rng *rand.Rand, n int, cards []int) (*Points, *SparsePoints) {
+	a := len(cards)
+	offs := make([]int, a+1)
+	for i, c := range cards {
+		offs[i+1] = offs[i] + c
+	}
+	dim := offs[a]
+	sp := &SparsePoints{
+		Codes:   make([]int32, n*a),
+		N:       n,
+		A:       a,
+		Dim:     dim,
+		Offsets: offs,
+	}
+	dense := &Points{Data: make([]float64, n*dim), N: n, Dim: dim}
+	for i := 0; i < n; i++ {
+		for j, c := range cards {
+			code := rng.Intn(c)
+			sp.Codes[i*a+j] = int32(code)
+			dense.Data[i*dim+offs[j]+code] = 1
+		}
+	}
+	return dense, sp
+}
+
+// runAllThree pins KMeansDense == exhaustive sparse == pruned sparse.
+func runAllThree(t *testing.T, tag string, dense *Points, sp *SparsePoints, k int, opt Options) {
+	t.Helper()
+	want, err := KMeansDense(dense, k, opt)
+	if err != nil {
+		t.Fatalf("%s: dense: %v", tag, err)
+	}
+	ex := opt
+	ex.Exhaustive = true
+	exhaustive, err := KMeans(sp, k, ex)
+	if err != nil {
+		t.Fatalf("%s: exhaustive: %v", tag, err)
+	}
+	pruned, err := KMeans(sp, k, opt)
+	if err != nil {
+		t.Fatalf("%s: pruned: %v", tag, err)
+	}
+	assertIdentical(t, tag+"/dense-vs-exhaustive", want, exhaustive)
+	assertIdentical(t, tag+"/dense-vs-pruned", want, pruned)
+}
+
+func TestPrunedMatchesExhaustiveRandomShapes(t *testing.T) {
+	shapes := []struct {
+		n     int
+		cards []int
+	}{
+		{60, []int{2, 3}},
+		{300, []int{8, 4, 6}},
+		{1000, []int{17, 3, 9, 5}},
+		{2500, []int{34, 3, 10, 8, 6, 10}},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for si, sh := range shapes {
+		dense, sp := synthPoints(rng, sh.n, sh.cards)
+		// k spans both bound regimes: Elkan (k <= elkanMaxK) and Hamerly.
+		for _, k := range []int{2, elkanMaxK, elkanMaxK + 4} {
+			for seed := int64(0); seed < 3; seed++ {
+				tag := "shape" + string(rune('a'+si))
+				runAllThree(t, tag, dense, sp, k, Options{Seed: seed})
+			}
+		}
+	}
+}
+
+func TestPrunedSampledFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dense, sp := synthPoints(rng, 2000, []int{12, 5, 7})
+	for _, sample := range []int{100, 500, 1999} {
+		runAllThree(t, "sampled", dense, sp, 6, Options{Seed: 2, SampleSize: sample})
+	}
+}
+
+func TestPrunedEmptyReseed(t *testing.T) {
+	// Far fewer distinct tuples than centers forces empty clusters and
+	// the reseed path every run.
+	rng := rand.New(rand.NewSource(11))
+	dense, sp := synthPoints(rng, 400, []int{2, 2})
+	for k := 3; k <= 10; k++ {
+		for seed := int64(0); seed < 5; seed++ {
+			runAllThree(t, "reseed", dense, sp, k, Options{Seed: seed})
+		}
+	}
+}
+
+func TestPrunedSegmentBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("segment-boundary shapes are large")
+	}
+	// Encode through the real table path so EncodeSparse's per-segment
+	// hoisting crosses a 64K segment boundary (or lands exactly on it).
+	for _, n := range []int{dataset.SegmentSize - 1, dataset.SegmentSize, dataset.SegmentSize + 1} {
+		cols := []datagen.ZipfColumn{
+			{Name: "a", Card: 9, S: 1.4},
+			{Name: "b", Card: 5, S: 1.2},
+			{Name: "c", Card: 13, S: 1.6},
+		}
+		tbl := datagen.ZipfTable("seg", n, cols, 3)
+		v, err := dataview.New(tbl, dataview.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := dataset.AllRows(tbl.NumRows())
+		dense, sp := encodeBoth(t, v, rows, []string{"a", "b", "c"})
+		runAllThree(t, "segment", dense, sp, 7, Options{Seed: 1})
+	}
+}
+
+func TestPrunedRestartsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	_, sp := synthPoints(rng, 1200, []int{10, 6, 8})
+	opt := Options{Seed: 5, Restarts: 4}
+	first, err := KMeans(sp, 9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent fan-out must be reproducible call to call...
+	second, err := KMeans(sp, 9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "restart-repeat", first, second)
+	// ...and must pick exactly the winner a sequential loop would:
+	// lowest inertia, earliest restart index on ties, with each restart
+	// seeded opt.Seed + r*1_000_003.
+	var best *Result
+	for r := 0; r < opt.Restarts; r++ {
+		run := Options{Seed: opt.Seed + int64(r)*1_000_003}
+		res, err := KMeans(sp, 9, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	assertIdentical(t, "restart-winner", best, first)
+}
+
+func TestPrunedRestartsCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	_, sp := synthPoints(rng, 5000, []int{20, 10, 8, 6})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Every concurrent restart must observe the canceled context and
+	// settle; DoErr returns the lowest-index error after all workers
+	// finish, so a hang here is the failure mode.
+	if _, err := KMeansContext(ctx, sp, 8, Options{Seed: 1, Restarts: 6}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestKModesRestartsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, cards := 600, []int{7, 4, 9}
+	codes := make([][]int, n)
+	for i := range codes {
+		row := make([]int, len(cards))
+		for j, c := range cards {
+			row[j] = rng.Intn(c)
+		}
+		codes[i] = row
+	}
+	opt := Options{Seed: 3, Restarts: 4, MaxIter: 50}
+	first, err := KModes(codes, cards, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := KModes(codes, cards, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cost != second.Cost {
+		t.Fatalf("cost differs across calls: %v vs %v", first.Cost, second.Cost)
+	}
+	for i := range first.Assign {
+		if first.Assign[i] != second.Assign[i] {
+			t.Fatalf("assignment differs at %d", i)
+		}
+	}
+	var best *KModesResult
+	for r := 0; r < opt.Restarts; r++ {
+		run := opt
+		run.Restarts = 1
+		run.Seed = opt.Seed + int64(r)*1_000_003
+		res, err := KModes(codes, cards, 5, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == nil || res.Cost < best.Cost {
+			best = res
+		}
+	}
+	if best.Cost != first.Cost {
+		t.Fatalf("concurrent winner cost %v != sequential best %v", first.Cost, best.Cost)
+	}
+}

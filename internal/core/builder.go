@@ -141,6 +141,14 @@ type Timings struct {
 	CompareSelect time.Duration
 	Cluster       time.Duration
 	Other         time.Duration
+
+	// ClusterDetail splits the k-means portion of the Cluster stage into
+	// Lloyd phases (seed / assign / update / reseed), so the next
+	// clustering bottleneck is visible in EXPLAIN and /debug/metrics
+	// without a profiler. It is a sub-breakdown of Cluster, not a fifth
+	// stage: it does not enter Total(), and the gap between Cluster and
+	// its sum is the one-hot encoding cost.
+	ClusterDetail cluster.StageTimes
 }
 
 // Total returns the end-to-end construction time.
@@ -296,6 +304,7 @@ func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cf
 			}
 			tm.Cluster += times[vi].Cluster
 			tm.Other += times[vi].Other
+			tm.ClusterDetail.Add(times[vi].ClusterDetail)
 		}
 	} else {
 		for vi := range pivotValues {
@@ -310,11 +319,13 @@ func BuildContext(ctx context.Context, v *dataview.View, rows dataset.RowSet, cf
 
 // buildPivotRow runs Problems 1.2 and 2 for one pivot value: encode,
 // cluster (with the fixed-l or auto-l policy), label, score, and keep
-// the diversified top-k. Timing accumulates into tm. bmVal, when
-// non-nil, is the pivot value's row bitmap; the sparse encoding is then
-// scattered straight from posting intersections whenever that costs
-// fewer operations than the per-row scan (or always under PathBitmap) —
-// the two encoders produce identical code matrices.
+// the diversified top-k. Timing accumulates into tm. Encoding always
+// uses the per-row scan unless PathBitmap forces the posting-scatter
+// encoder: the scan does one cached segmented code load per (row,
+// attribute) cell, while the scatter pays a closure call plus a rank
+// lookup per cell on top of the posting AND — profiling shows the scan
+// wins across pivot-value selectivities, and the two encoders produce
+// identical code matrices, so this is purely a time dispatch.
 func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *PivotRow, rowsVal dataset.RowSet, bmVal *dataset.Bitmap, cfg Config, valIndex int64, tm *Timings) error {
 	if len(rowsVal) == 0 {
 		return nil
@@ -325,7 +336,7 @@ func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *Pi
 	startCluster := time.Now()
 	var points *cluster.SparsePoints
 	var err error
-	if bmVal != nil && (cfg.Path == PathBitmap || bitmapEncodeWins(v, view.CompareAttrs, bmVal, len(rowsVal))) {
+	if bmVal != nil && cfg.Path == PathBitmap {
 		points, _, err = cluster.EncodeSparseBitmap(v, bmVal, view.CompareAttrs)
 	} else {
 		points, _, err = cluster.EncodeSparse(v, rowsVal, view.CompareAttrs)
@@ -333,8 +344,9 @@ func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *Pi
 	if err != nil {
 		return err
 	}
-	km, err := fitClusters(ctx, points, cfg, cfg.Seed+valIndex)
+	km, st, err := fitClusters(ctx, points, cfg, cfg.Seed+valIndex)
 	tm.Cluster += time.Since(startCluster)
+	tm.ClusterDetail.Add(st)
 	if err != nil {
 		return err
 	}
@@ -360,11 +372,19 @@ func buildPivotRow(ctx context.Context, v *dataview.View, view *CADView, row *Pi
 // k-means run at l = cfg.L, or — with AutoL — the best-silhouette run
 // over the plausible l range [K, max(L, 2K+2)]. The sparse kernel's
 // results are bit-identical to the dense kernel's, so the CAD View is
-// unchanged from the dense-path build.
-func fitClusters(ctx context.Context, points *cluster.SparsePoints, cfg Config, seed int64) (*cluster.Result, error) {
+// unchanged from the dense-path build. The returned StageTimes sums the
+// Lloyd-phase wall time of every fit performed (all l values under
+// AutoL), feeding the Timings.ClusterDetail breakdown.
+func fitClusters(ctx context.Context, points *cluster.SparsePoints, cfg Config, seed int64) (*cluster.Result, cluster.StageTimes, error) {
+	var st cluster.StageTimes
 	opts := cluster.Options{Seed: seed, SampleSize: cfg.ClusterSampleSize}
 	if !cfg.AutoL {
-		return cluster.KMeansContext(ctx, points, cfg.L, opts)
+		km, err := cluster.KMeansContext(ctx, points, cfg.L, opts)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Add(km.Stages)
+		return km, st, nil
 	}
 	hi := 2*cfg.K + 2
 	if cfg.L > hi {
@@ -375,18 +395,19 @@ func fitClusters(ctx context.Context, points *cluster.SparsePoints, cfg Config, 
 	for l := cfg.K; l <= hi; l++ {
 		km, err := cluster.KMeansContext(ctx, points, l, opts)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
+		st.Add(km.Stages)
 		score, err := cluster.SilhouetteSparse(points, km.Assign, km.K, 256, seed)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		if best == nil || score > bestScore {
 			best = km
 			bestScore = score
 		}
 	}
-	return best, nil
+	return best, st, nil
 }
 
 // resolvePivotValues returns the pivot rows' display order and each
@@ -742,38 +763,13 @@ func resolvePivotValuesBitmap(pivotCol *dataview.Column, bm *dataset.Bitmap, exp
 // the partition so their construction cost lands in the Index timing
 // stage; on a warm view every call after the first is a no-op. Only the
 // pivot warms eagerly — every other posting set builds lazily behind a
-// per-stage cost dispatch (featsel's per-candidate split, the sparse
-// encoder's bitmapEncodeWins), so narrow results over wide tables never
-// pay for postings no stage ends up using.
+// per-stage cost dispatch (featsel's per-candidate split), so narrow
+// results over wide tables never pay for postings no stage ends up
+// using.
 func warmPivotPostings(v *dataview.View, pivot string) {
 	if c, err := v.Column(pivot); err == nil {
 		c.Postings()
 	}
-}
-
-// bitmapEncodeWins estimates whether scattering the sparse encoding from
-// posting intersections beats the per-row scan for one pivot value:
-// the posting sweep streams Σcard·words fused AND words plus one ranked
-// write per (row, attribute) cell, while the scan does one cached code
-// load per cell. Attributes whose postings would have to be built first
-// count double, so a narrow pivot value never triggers a whole-column
-// posting build it cannot amortize. Both encoders produce identical code
-// matrices, so the dispatch only moves time.
-func bitmapEncodeWins(v *dataview.View, attrs []string, bmVal *dataset.Bitmap, nVal int) bool {
-	words := (bmVal.Universe() + 63) / 64
-	cost := 0
-	for _, attr := range attrs {
-		c, err := v.Column(attr)
-		if err != nil {
-			return false
-		}
-		card := c.Cardinality()
-		if !c.PostingsReady() {
-			card *= 2
-		}
-		cost += card
-	}
-	return cost*words <= nVal*len(attrs)
 }
 
 // makeIUnits converts the clustering of one pivot value's rows into

@@ -239,6 +239,17 @@ func TestBuildTimings(t *testing.T) {
 	if tm.Total() != tm.Index+tm.CompareSelect+tm.Cluster+tm.Other {
 		t.Error("Total() is not the sum of components")
 	}
+	// ClusterDetail is a sub-breakdown of Cluster, not a fifth stage: its
+	// phases must fit inside the Cluster stage (the gap is encoding) and
+	// must not inflate Total().
+	d := tm.ClusterDetail
+	sum := d.Seed + d.Assign + d.Update + d.Reseed
+	if sum <= 0 {
+		t.Errorf("cluster detail empty: %+v", d)
+	}
+	if sum > tm.Cluster {
+		t.Errorf("cluster detail %v exceeds cluster stage %v", sum, tm.Cluster)
+	}
 }
 
 func TestNumericPivot(t *testing.T) {

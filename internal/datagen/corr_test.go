@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func corrBenchGroup() CorrGroup {
+	return CorrGroup{
+		Classes: 8,
+		S:       1.3,
+		Noise:   0.05,
+		Cols: []CorrColumn{
+			{Name: "make", Card: 40},
+			{Name: "model", Card: 200},
+			{Name: "trim", Card: 30},
+		},
+	}
+}
+
+func TestCorrSamplerDeterministic(t *testing.T) {
+	a := NewCorrSampler(rand.New(rand.NewSource(7)), corrBenchGroup())
+	b := NewCorrSampler(rand.New(rand.NewSource(7)), corrBenchGroup())
+	for i := 0; i < 1000; i++ {
+		ca, cla := a.Next(nil)
+		cb, clb := b.Next(nil)
+		if cla != clb {
+			t.Fatalf("row %d: classes differ: %d vs %d", i, cla, clb)
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("row %d col %d: codes differ: %d vs %d", i, j, ca[j], cb[j])
+			}
+		}
+	}
+}
+
+func TestCorrSamplerNoiseFreeTuples(t *testing.T) {
+	// With Noise = 0 every emitted tuple is a class anchor, so the
+	// number of distinct tuples is bounded by the number of classes.
+	g := corrBenchGroup()
+	g.Noise = 0
+	s := NewCorrSampler(rand.New(rand.NewSource(3)), g)
+	seen := map[[3]int]bool{}
+	codes := make([]int, 3)
+	for i := 0; i < 5000; i++ {
+		codes, _ = s.Next(codes)
+		seen[[3]int{codes[0], codes[1], codes[2]}] = true
+	}
+	if len(seen) > g.Classes {
+		t.Fatalf("noise-free group emitted %d distinct tuples, want <= %d classes", len(seen), g.Classes)
+	}
+}
+
+func TestCorrSamplerCorrelation(t *testing.T) {
+	// Columns in a group must be far from independent: with 8 classes
+	// and 5%% noise the distinct (make, model) pairs stay near the class
+	// count, while independent 40x200 Zipf columns would produce
+	// hundreds.
+	s := NewCorrSampler(rand.New(rand.NewSource(5)), corrBenchGroup())
+	seen := map[[2]int]bool{}
+	codes := make([]int, 3)
+	n := 5000
+	for i := 0; i < n; i++ {
+		codes, _ = s.Next(codes)
+		seen[[2]int{codes[0], codes[1]}] = true
+	}
+	if len(seen) > n/10 {
+		t.Fatalf("correlated pair count %d suspiciously high for %d classes", len(seen), 8)
+	}
+}
+
+func TestCorrTable(t *testing.T) {
+	groups := []CorrGroup{
+		corrBenchGroup(),
+		{Classes: 4, S: 1.5, Noise: 0.1, Cols: []CorrColumn{{Name: "region", Card: 10}, {Name: "dealer", Card: 50}}},
+	}
+	tbl := CorrTable("corr", 2000, groups, 1)
+	if tbl.NumRows() != 2000 {
+		t.Fatalf("rows = %d, want 2000", tbl.NumRows())
+	}
+	names := []string{"make", "model", "trim", "region", "dealer", "score"}
+	for _, name := range names {
+		if tbl.ColIndex(name) < 0 {
+			t.Fatalf("missing column %s", name)
+		}
+	}
+	// Deterministic across builds.
+	tbl2 := CorrTable("corr", 2000, groups, 1)
+	col := tbl.ColIndex("model")
+	for r := 0; r < tbl.NumRows(); r++ {
+		if v1, v2 := tbl.CellString(r, col), tbl2.CellString(r, col); v1 != v2 {
+			t.Fatalf("row %d: %v vs %v", r, v1, v2)
+		}
+	}
+}
+
+func TestCorrSamplerPanics(t *testing.T) {
+	cases := []CorrGroup{
+		{Classes: 0, S: 1.3, Cols: []CorrColumn{{Name: "a", Card: 3}}},
+		{Classes: 2, S: 1.3, Noise: 1.0, Cols: []CorrColumn{{Name: "a", Card: 3}}},
+		{Classes: 2, S: 1.3},
+		{Classes: 2, S: 1.3, Cols: []CorrColumn{{Name: "a", Card: 0}}},
+	}
+	for i, g := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewCorrSampler(rand.New(rand.NewSource(1)), g)
+		}()
+	}
+}

@@ -350,14 +350,34 @@ func (b *Bitmap) Not() *Bitmap {
 	return out
 }
 
+// complete reports whether chunk i's container holds every row of the
+// chunk's universe span. Intersecting with a complete container is the
+// identity over the chunk, so the fused-count and iteration primitives
+// below drop complete operands from the op entirely — on the common
+// "over the whole table" shapes (CAD View builds over AllRows, facet
+// digests of unfiltered results) this turns per-member probe work into
+// a cached-cardinality lookup. The container cardinality is maintained
+// by every mutation, so the check is O(1) and exact.
+func (b *Bitmap) complete(i int) bool {
+	return int(b.cs[i].card) == b.chunkLim(i)
+}
+
 // AndLen returns |b ∩ o| without materializing the intersection — the
 // facet digest's per-code counting primitive. Sparse×sparse pairs
-// gallop; dense pairs popcount fused words, as before.
+// gallop; dense pairs popcount fused words; chunks where either operand
+// is complete read the other's cached cardinality.
 func (b *Bitmap) AndLen(o *Bitmap) int {
 	b.sameUniverse(o)
 	total := 0
 	for i := range b.cs {
-		total += andLenContainers(&b.cs[i], &o.cs[i])
+		switch {
+		case o.complete(i):
+			total += int(b.cs[i].card)
+		case b.complete(i):
+			total += int(o.cs[i].card)
+		default:
+			total += andLenContainers(&b.cs[i], &o.cs[i])
+		}
 	}
 	return total
 }
@@ -366,13 +386,37 @@ func (b *Bitmap) AndLen(o *Bitmap) int {
 // either intersection. Contingency cells are |posting ∩ classPosting ∩
 // result|; counting through this instead of allocating the class ∩
 // result bitmaps first removes one bitmap allocation per class from
-// every feature-selection sweep.
+// every feature-selection sweep. Complete operands reduce the chunk to
+// a two-way count (or a cached cardinality), which is what makes
+// whole-table contingency sweeps probe-free in their result operand.
 func (b *Bitmap) AndLen3(o, m *Bitmap) int {
 	b.sameUniverse(o)
 	b.sameUniverse(m)
 	total := 0
 	for i := range b.cs {
-		total += andLen3Containers(&b.cs[i], &o.cs[i], &m.cs[i])
+		bc, oc, mc := &b.cs[i], &o.cs[i], &m.cs[i]
+		if m.complete(i) {
+			mc = nil
+		}
+		if o.complete(i) {
+			oc = mc
+			mc = nil
+		}
+		if b.complete(i) {
+			bc = oc
+			oc = mc
+			mc = nil
+		}
+		switch {
+		case bc == nil:
+			total += b.chunkLim(i)
+		case oc == nil:
+			total += int(bc.card)
+		case mc == nil:
+			total += andLenContainers(bc, oc)
+		default:
+			total += andLen3Containers(bc, oc, mc)
+		}
 	}
 	return total
 }
@@ -383,7 +427,16 @@ func (b *Bitmap) AndLen3(o, m *Bitmap) int {
 func (b *Bitmap) AndFirst(o *Bitmap) int {
 	b.sameUniverse(o)
 	for i := range b.cs {
-		if v := andFirstContainers(&b.cs[i], &o.cs[i]); v >= 0 {
+		var v int
+		switch {
+		case o.complete(i):
+			v = b.cs[i].first()
+		case b.complete(i):
+			v = o.cs[i].first()
+		default:
+			v = andFirstContainers(&b.cs[i], &o.cs[i])
+		}
+		if v >= 0 {
 			return i<<chunkBits + v
 		}
 	}
@@ -417,10 +470,18 @@ func (b *Bitmap) ForEachInSegment(s int, fn func(row int)) {
 
 // ForEachAnd calls fn for every row of b ∩ o in ascending order without
 // materializing the intersection — the fused form of And().ForEach().
+// Chunks where one operand is complete iterate the other directly.
 func (b *Bitmap) ForEachAnd(o *Bitmap, fn func(row int)) {
 	b.sameUniverse(o)
 	for i := range b.cs {
-		forEachAndContainers(&b.cs[i], &o.cs[i], i<<chunkBits, fn)
+		switch {
+		case o.complete(i):
+			b.cs[i].forEach(i<<chunkBits, fn)
+		case b.complete(i):
+			o.cs[i].forEach(i<<chunkBits, fn)
+		default:
+			forEachAndContainers(&b.cs[i], &o.cs[i], i<<chunkBits, fn)
+		}
 	}
 }
 

@@ -930,6 +930,26 @@ func andLen3Containers(a, b, c *container) int {
 	return andLenContainers(&m, ops[2])
 }
 
+// first returns the container's smallest member, or -1 when empty.
+func (c *container) first() int {
+	if c.card == 0 {
+		return -1
+	}
+	switch c.kind {
+	case arrayK:
+		return int(c.array[0])
+	case runK:
+		return int(c.runs[0].start)
+	default: // bitmap
+		for i, x := range c.words {
+			if x != 0 {
+				return i<<6 + bits.TrailingZeros64(x)
+			}
+		}
+		return -1
+	}
+}
+
 // andFirstContainers returns the smallest member of a ∩ b, or -1.
 func andFirstContainers(a, b *container) int {
 	if a.card == 0 || b.card == 0 {

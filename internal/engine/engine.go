@@ -528,6 +528,13 @@ func (s *Session) execExplain(ctx context.Context, st *cadql.ExplainStmt) (*Resu
 		fmt.Fprintf(&b, " %s %v,", strings.ReplaceAll(st.Name, "_", "-"), st.D.Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, " (total %v)\n", tm.Total().Round(time.Microsecond))
+	b.WriteString("cluster detail:")
+	for _, st := range tm.ClusterDetail.Stages() {
+		fmt.Fprintf(&b, " %s %v,", st.Name, st.D.Round(time.Microsecond))
+	}
+	detail := tm.ClusterDetail
+	encode := tm.Cluster - (detail.Seed + detail.Assign + detail.Update + detail.Reseed)
+	fmt.Fprintf(&b, " (encode %v)\n", encode.Round(time.Microsecond))
 	return &Result{Kind: KindMessage, Message: strings.TrimRight(b.String(), "\n")}, nil
 }
 

@@ -797,9 +797,14 @@ func (s *Server) shedCAD(_ context.Context, ds *datasetEntry, w http.ResponseWri
 }
 
 func timingsJSON(tm core.Timings) map[string]float64 {
-	out := make(map[string]float64, 3)
+	out := make(map[string]float64, 8)
 	for _, st := range tm.Stages() {
 		out[st.Name+"Ms"] = float64(st.D.Microseconds()) / 1e3
+	}
+	// Sub-breakdown of the cluster stage (additive keys; their sum plus
+	// encoding time equals clusterMs).
+	for _, st := range tm.ClusterDetail.Stages() {
+		out["cluster_"+st.Name+"Ms"] = float64(st.D.Microseconds()) / 1e3
 	}
 	return out
 }
@@ -900,6 +905,9 @@ func (s *Server) coldBuild(ctx context.Context, ds *datasetEntry, req *cadReques
 	}
 	for _, st := range tm.Stages() {
 		s.reg.Histogram("build_"+st.Name+"_seconds", metrics.DefBuckets()).ObserveDuration(st.D)
+	}
+	for _, st := range tm.ClusterDetail.Stages() {
+		s.reg.Histogram("build_cluster_"+st.Name+"_seconds", metrics.DefBuckets()).ObserveDuration(st.D)
 	}
 	s.buildTotal.ObserveDuration(tm.Total())
 	return &builtView{
